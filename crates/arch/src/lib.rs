@@ -1,0 +1,48 @@
+//! Architecture models of the LSQCA paper.
+//!
+//! This crate turns the floorplan designs of Sec. IV–V into executable latency
+//! and capacity models:
+//!
+//! * [`config`] — [`ArchConfig`](config::ArchConfig): which floorplan (point SAM,
+//!   line SAM, conventional), how many SAM banks, how many magic-state factories,
+//!   the hybrid-floorplan fraction `f`, and the CR size.
+//! * [`point`] — the point-SAM bank: a single scan cell, sliding-puzzle loads
+//!   (`W + H` seek plus `6·min(W,H) + 5·|W−H|` transport), locality-aware stores
+//!   into the vacant cell nearest the CR.
+//! * [`line`] — the line-SAM bank: a scan line, loads costing the row distance,
+//!   locality-aware stores into the most recently accessed row.
+//! * [`memory`] — [`MemorySystem`](memory::MemorySystem): hybrid floorplans (hot
+//!   qubits in a conventional 1/2-density region, cold qubits distributed
+//!   round-robin over SAM banks), memory-density accounting, and the load / store
+//!   / in-memory access latencies the simulator consumes.
+//! * [`msf`] — the magic-state factory model (one state per 15 beats per factory,
+//!   buffer of `2 × factories`).
+//!
+//! # Example
+//!
+//! ```
+//! use lsqca_arch::{ArchConfig, FloorplanKind, MemorySystem};
+//! use lsqca_lattice::QubitTag;
+//!
+//! // 400 data qubits in a single line-SAM bank: ≈87% memory density.
+//! let config = ArchConfig::new(FloorplanKind::LineSam { banks: 1 }, 1);
+//! let memory = MemorySystem::new(&config, 400, &[]);
+//! let density = memory.memory_density();
+//! assert!(density > 0.85 && density < 0.90);
+//! assert!(memory.is_resident(QubitTag(0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod line;
+pub mod memory;
+pub mod msf;
+pub mod point;
+
+pub use config::{ArchConfig, FloorplanKind};
+pub use line::LineSamBank;
+pub use memory::{MemorySystem, Residence};
+pub use msf::{MagicStateSupply, MsfConfig};
+pub use point::PointSamBank;

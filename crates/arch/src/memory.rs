@@ -1,0 +1,533 @@
+//! The memory system: hybrid floorplans, bank placement, density accounting.
+//!
+//! [`MemorySystem`] is what the simulator talks to. It owns:
+//!
+//! * an optional **conventional region** holding the "hot" qubits of a hybrid
+//!   floorplan (Sec. V-D / VI-C) at 50% density with zero access latency, and
+//! * zero or more **SAM banks** (point or line) holding the remaining qubits,
+//!   distributed round-robin over the banks as in the paper's evaluation, plus
+//! * the **CR** cell accounting.
+//!
+//! Memory density is `application qubits / (conventional cells + SAM cells + CR
+//! cells)`, excluding MSFs, exactly as defined in Sec. VI-A.
+
+use crate::config::{ArchConfig, FloorplanKind};
+use crate::line::LineSamBank;
+use crate::point::PointSamBank;
+use lsqca_lattice::{Beats, LatticeError, QubitTag};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Where a qubit lives in the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Residence {
+    /// The qubit is pinned in the conventional (unit-latency) region.
+    Conventional,
+    /// The qubit is stored in the SAM bank with this index.
+    SamBank(usize),
+}
+
+/// One SAM bank of either flavour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Bank {
+    Point(PointSamBank),
+    Line(LineSamBank),
+}
+
+impl Bank {
+    fn cell_count(&self) -> u64 {
+        match self {
+            Bank::Point(b) => b.cell_count(),
+            Bank::Line(b) => b.cell_count(),
+        }
+    }
+
+    fn total_height(&self) -> u32 {
+        match self {
+            Bank::Point(_) => 3,
+            Bank::Line(b) => b.total_height(),
+        }
+    }
+
+    fn peek_load(&self, q: QubitTag) -> Result<Beats, LatticeError> {
+        match self {
+            Bank::Point(b) => b.peek_load(q),
+            Bank::Line(b) => b.peek_load(q),
+        }
+    }
+
+    fn load(&mut self, q: QubitTag) -> Result<Beats, LatticeError> {
+        match self {
+            Bank::Point(b) => b.load(q),
+            Bank::Line(b) => b.load(q),
+        }
+    }
+
+    fn store(&mut self, q: QubitTag) -> Result<Beats, LatticeError> {
+        match self {
+            Bank::Point(b) => b.store(q),
+            Bank::Line(b) => b.store(q),
+        }
+    }
+
+    fn in_memory_seek(&mut self, q: QubitTag) -> Result<Beats, LatticeError> {
+        match self {
+            Bank::Point(b) => b.in_memory_seek(q),
+            Bank::Line(b) => b.in_memory_seek(q),
+        }
+    }
+
+    fn in_memory_two_qubit_access(&mut self, q: QubitTag) -> Result<Beats, LatticeError> {
+        match self {
+            Bank::Point(b) => b.in_memory_two_qubit_access(q),
+            Bank::Line(b) => b.in_memory_two_qubit_access(q),
+        }
+    }
+}
+
+/// The complete memory system for one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemorySystem {
+    floorplan: FloorplanKind,
+    cr_slots: u32,
+    residence: HashMap<QubitTag, Residence>,
+    banks: Vec<Bank>,
+    conventional_qubits: u64,
+    num_qubits: u32,
+}
+
+impl MemorySystem {
+    /// Builds the memory system for `num_qubits` data qubits.
+    ///
+    /// `hot_qubits` lists the qubits pinned into the conventional region of a
+    /// hybrid floorplan (ignored duplicates and out-of-range tags are dropped).
+    /// With [`FloorplanKind::Conventional`] every qubit is treated as hot
+    /// regardless of the list. The remaining qubits are distributed round-robin
+    /// over the configured number of SAM banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero.
+    pub fn new(config: &ArchConfig, num_qubits: u32, hot_qubits: &[QubitTag]) -> Self {
+        assert!(num_qubits > 0, "the memory system needs at least one qubit");
+        let mut residence = HashMap::with_capacity(num_qubits as usize);
+        let all: Vec<QubitTag> = (0..num_qubits).map(QubitTag).collect();
+
+        let hot: Vec<QubitTag> = if config.floorplan.is_conventional() {
+            all.clone()
+        } else {
+            let mut seen = std::collections::HashSet::new();
+            hot_qubits
+                .iter()
+                .copied()
+                .filter(|q| q.0 < num_qubits && seen.insert(*q))
+                .collect()
+        };
+        for &q in &hot {
+            residence.insert(q, Residence::Conventional);
+        }
+
+        let cold: Vec<QubitTag> = all
+            .iter()
+            .copied()
+            .filter(|q| !residence.contains_key(q))
+            .collect();
+
+        let bank_count = if cold.is_empty() {
+            0
+        } else {
+            config.floorplan.bank_count().max(1) as usize
+        };
+        let mut per_bank: Vec<Vec<QubitTag>> = vec![Vec::new(); bank_count];
+        for (i, &q) in cold.iter().enumerate() {
+            let bank = i % bank_count.max(1);
+            residence.insert(q, Residence::SamBank(bank));
+            per_bank[bank].push(q);
+        }
+
+        let banks: Vec<Bank> = per_bank
+            .into_iter()
+            .filter(|qs| !qs.is_empty())
+            .map(|qs| match config.floorplan {
+                FloorplanKind::PointSam { .. } => {
+                    Bank::Point(PointSamBank::new(&qs, config.locality_aware_store))
+                }
+                FloorplanKind::LineSam { .. } => {
+                    Bank::Line(LineSamBank::new(&qs, config.locality_aware_store))
+                }
+                FloorplanKind::Conventional => unreachable!("conventional has no cold qubits"),
+            })
+            .collect();
+
+        MemorySystem {
+            floorplan: config.floorplan,
+            cr_slots: config.cr_slots,
+            residence,
+            banks,
+            conventional_qubits: hot.len() as u64,
+            num_qubits,
+        }
+    }
+
+    /// The floorplan this memory system implements.
+    pub fn floorplan(&self) -> FloorplanKind {
+        self.floorplan
+    }
+
+    /// Number of data qubits managed by the system.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Number of SAM banks actually instantiated.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Number of qubits pinned in the conventional region.
+    pub fn conventional_qubits(&self) -> u64 {
+        self.conventional_qubits
+    }
+
+    /// Where `qubit` lives.
+    pub fn residence(&self, qubit: QubitTag) -> Option<Residence> {
+        self.residence.get(&qubit).copied()
+    }
+
+    /// The SAM bank index holding `qubit`, or `None` for conventional residents.
+    pub fn bank_of(&self, qubit: QubitTag) -> Option<usize> {
+        match self.residence(qubit) {
+            Some(Residence::SamBank(i)) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// True if the qubit is currently held by the memory system (conventional
+    /// region or stored in its bank). Qubits checked out to the CR are not
+    /// resident until they are stored back.
+    pub fn is_resident(&self, qubit: QubitTag) -> bool {
+        match self.residence(qubit) {
+            Some(Residence::Conventional) => true,
+            Some(Residence::SamBank(i)) => match &self.banks[i] {
+                Bank::Point(b) => b.contains(qubit),
+                Bank::Line(b) => b.contains(qubit),
+            },
+            None => false,
+        }
+    }
+
+    /// Cells occupied by the conventional region (50% density: two cells per
+    /// hot data qubit, as in the paper's baseline).
+    pub fn conventional_cells(&self) -> u64 {
+        2 * self.conventional_qubits
+    }
+
+    /// Cells occupied by all SAM banks.
+    pub fn sam_cells(&self) -> u64 {
+        self.banks.iter().map(Bank::cell_count).sum()
+    }
+
+    /// Cells occupied by the computational register.
+    ///
+    /// The point-SAM CR is the minimal six-cell block of Fig. 10a. The line-SAM
+    /// CR is two columns spanning the bank height (Fig. 10b); with more than two
+    /// banks the CR is stacked, growing proportionally. When every qubit is hot
+    /// (or the floorplan is conventional) no CR is charged.
+    pub fn cr_cells(&self) -> u64 {
+        if self.banks.is_empty() {
+            return 0;
+        }
+        match self.floorplan {
+            FloorplanKind::PointSam { .. } => 6,
+            FloorplanKind::LineSam { .. } => {
+                let height = self
+                    .banks
+                    .iter()
+                    .map(|b| b.total_height() as u64)
+                    .max()
+                    .unwrap_or(0);
+                let stacks = (self.banks.len() as u64).div_ceil(2);
+                2 * height * stacks
+            }
+            FloorplanKind::Conventional => 0,
+        }
+    }
+
+    /// Total cells charged to the architecture (conventional + SAM + CR),
+    /// excluding magic-state factories.
+    pub fn total_cells(&self) -> u64 {
+        self.conventional_cells() + self.sam_cells() + self.cr_cells()
+    }
+
+    /// Memory density: application data qubits over total cells.
+    pub fn memory_density(&self) -> f64 {
+        self.num_qubits as f64 / self.total_cells() as f64
+    }
+
+    /// Number of CR register slots available to hold loaded qubits.
+    pub fn cr_slots(&self) -> u32 {
+        self.cr_slots
+    }
+
+    fn bank_mut(&mut self, qubit: QubitTag) -> Result<Option<&mut Bank>, LatticeError> {
+        match self.residence(qubit) {
+            Some(Residence::Conventional) => Ok(None),
+            Some(Residence::SamBank(i)) => Ok(Some(&mut self.banks[i])),
+            None => Err(LatticeError::QubitNotPresent { qubit }),
+        }
+    }
+
+    /// Estimated load latency without mutating any bank state. Zero for
+    /// conventional residents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::QubitNotPresent`] for unknown or checked-out qubits.
+    pub fn peek_load(&self, qubit: QubitTag) -> Result<Beats, LatticeError> {
+        match self.residence(qubit) {
+            Some(Residence::Conventional) => Ok(Beats::ZERO),
+            Some(Residence::SamBank(i)) => self.banks[i].peek_load(qubit),
+            None => Err(LatticeError::QubitNotPresent { qubit }),
+        }
+    }
+
+    /// Loads `qubit` towards the CR; returns the latency. Zero (and a no-op) for
+    /// conventional residents, which are always directly accessible.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LatticeError`] if the qubit is unknown or already checked out.
+    pub fn load(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
+        match self.bank_mut(qubit)? {
+            None => Ok(Beats::ZERO),
+            Some(bank) => bank.load(qubit),
+        }
+    }
+
+    /// Stores `qubit` back into its bank (locality-aware by configuration);
+    /// returns the latency. Zero for conventional residents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LatticeError`] if the qubit is unknown or was never loaded.
+    pub fn store(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
+        match self.bank_mut(qubit)? {
+            None => Ok(Beats::ZERO),
+            Some(bank) => bank.store(qubit),
+        }
+    }
+
+    /// Access latency for an in-memory single-qubit operation on `qubit`
+    /// (the gate latency itself is not included). Zero for conventional residents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LatticeError`] if the qubit is unknown or checked out.
+    pub fn in_memory_seek(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
+        match self.bank_mut(qubit)? {
+            None => Ok(Beats::ZERO),
+            Some(bank) => bank.in_memory_seek(qubit),
+        }
+    }
+
+    /// Access latency for an in-memory two-qubit operation between a CR slot and
+    /// `qubit` (the one-beat surgery is not included). Zero for conventional
+    /// residents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LatticeError`] if the qubit is unknown or checked out.
+    pub fn in_memory_two_qubit_access(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
+        match self.bank_mut(qubit)? {
+            None => Ok(Beats::ZERO),
+            Some(bank) => bank.in_memory_two_qubit_access(qubit),
+        }
+    }
+}
+
+impl fmt::Display for MemorySystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} qubits in {} cells ({} conventional, {} SAM, {} CR), density {:.1}%",
+            self.floorplan,
+            self.num_qubits,
+            self.total_cells(),
+            self.conventional_cells(),
+            self.sam_cells(),
+            self.cr_cells(),
+            100.0 * self.memory_density()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(banks: u32) -> ArchConfig {
+        ArchConfig::new(FloorplanKind::PointSam { banks }, 1)
+    }
+
+    fn line(banks: u32) -> ArchConfig {
+        ArchConfig::new(FloorplanKind::LineSam { banks }, 1)
+    }
+
+    #[test]
+    fn line_sam_multiplier_density_matches_the_paper() {
+        // 400 qubits, one line-SAM bank: 420 SAM cells + 42 CR cells = 462,
+        // the paper's "approximately 400/462 ≃ 87%".
+        let mem = MemorySystem::new(&line(1), 400, &[]);
+        assert_eq!(mem.sam_cells(), 420);
+        assert_eq!(mem.cr_cells(), 42);
+        assert_eq!(mem.total_cells(), 462);
+        assert!((mem.memory_density() - 400.0 / 462.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn point_sam_density_approaches_one() {
+        let mem = MemorySystem::new(&point(1), 400, &[]);
+        assert_eq!(mem.sam_cells(), 401);
+        assert_eq!(mem.cr_cells(), 6);
+        assert!(mem.memory_density() > 0.97);
+    }
+
+    #[test]
+    fn conventional_floorplan_has_half_density() {
+        let mem = MemorySystem::new(&ArchConfig::conventional(1), 400, &[]);
+        assert_eq!(mem.total_cells(), 800);
+        assert!((mem.memory_density() - 0.5).abs() < 1e-12);
+        assert_eq!(mem.bank_count(), 0);
+        // Every access is free.
+        let mut mem = mem;
+        assert_eq!(mem.load(QubitTag(7)).unwrap(), Beats::ZERO);
+        assert_eq!(mem.store(QubitTag(7)).unwrap(), Beats::ZERO);
+    }
+
+    #[test]
+    fn multi_bank_distribution_is_round_robin() {
+        let mem = MemorySystem::new(&line(4), 100, &[]);
+        assert_eq!(mem.bank_count(), 4);
+        assert_eq!(mem.bank_of(QubitTag(0)), Some(0));
+        assert_eq!(mem.bank_of(QubitTag(1)), Some(1));
+        assert_eq!(mem.bank_of(QubitTag(5)), Some(1));
+        // Density is lower than the single-bank case but still far above 50%.
+        let single = MemorySystem::new(&line(1), 100, &[]);
+        assert!(mem.memory_density() < single.memory_density());
+        assert!(mem.memory_density() > 0.6);
+    }
+
+    #[test]
+    fn hybrid_floorplan_mixes_conventional_and_sam_cells() {
+        let hot: Vec<QubitTag> = (0..50).map(QubitTag).collect();
+        let config = point(1).with_hybrid_fraction(0.5);
+        let mem = MemorySystem::new(&config, 100, &hot);
+        assert_eq!(mem.conventional_qubits(), 50);
+        assert_eq!(mem.conventional_cells(), 100);
+        assert_eq!(mem.sam_cells(), 51);
+        assert_eq!(mem.residence(QubitTag(3)), Some(Residence::Conventional));
+        assert_eq!(mem.residence(QubitTag(60)), Some(Residence::SamBank(0)));
+        // Hot qubits are free to access; cold ones are not.
+        let mut mem = mem;
+        assert_eq!(mem.load(QubitTag(3)).unwrap(), Beats::ZERO);
+        assert!(mem.load(QubitTag(60)).unwrap() > Beats::ZERO);
+    }
+
+    #[test]
+    fn fully_hot_hybrid_equals_the_conventional_baseline_density() {
+        let hot: Vec<QubitTag> = (0..100).map(QubitTag).collect();
+        let config = line(1).with_hybrid_fraction(1.0);
+        let mem = MemorySystem::new(&config, 100, &hot);
+        assert_eq!(mem.bank_count(), 0);
+        assert_eq!(mem.total_cells(), 200);
+        assert!((mem.memory_density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_store_round_trip_keeps_residency_consistent() {
+        let mut mem = MemorySystem::new(&point(2), 60, &[]);
+        let q = QubitTag(59);
+        assert!(mem.is_resident(q));
+        let load = mem.load(q).unwrap();
+        assert!(load > Beats::ZERO);
+        assert!(!mem.is_resident(q));
+        // Loading again fails until it is stored back.
+        assert!(mem.load(q).is_err());
+        mem.store(q).unwrap();
+        assert!(mem.is_resident(q));
+    }
+
+    #[test]
+    fn unknown_qubits_are_rejected() {
+        let mut mem = MemorySystem::new(&point(1), 10, &[]);
+        assert!(mem.load(QubitTag(10)).is_err());
+        assert!(mem.peek_load(QubitTag(99)).is_err());
+        assert_eq!(mem.residence(QubitTag(10)), None);
+        assert!(!mem.is_resident(QubitTag(10)));
+    }
+
+    #[test]
+    fn hot_list_ignores_duplicates_and_out_of_range_tags() {
+        let hot = vec![QubitTag(1), QubitTag(1), QubitTag(500)];
+        let mem = MemorySystem::new(&point(1).with_hybrid_fraction(0.1), 10, &hot);
+        assert_eq!(mem.conventional_qubits(), 1);
+    }
+
+    #[test]
+    fn in_memory_accesses_are_cheaper_than_loads_for_point_sam() {
+        let mut mem = MemorySystem::new(&point(1), 100, &[]);
+        let far = QubitTag(99);
+        let load_estimate = mem.peek_load(far).unwrap();
+        let seek = mem.in_memory_seek(far).unwrap();
+        assert!(seek < load_estimate);
+    }
+
+    #[test]
+    fn display_mentions_density() {
+        let mem = MemorySystem::new(&line(1), 400, &[]);
+        let s = mem.to_string();
+        assert!(s.contains("density"));
+        assert!(s.contains("Line #SAM=1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn zero_qubits_panics() {
+        let _ = MemorySystem::new(&point(1), 0, &[]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For any realistic qubit count (small memories are dominated by the CR
+        /// overhead) the density of LSQCA without a hybrid region is strictly
+        /// higher than the conventional baseline's 50%, and at most 100%.
+        #[test]
+        fn lsqca_density_beats_the_baseline(
+            n in 64u32..2000,
+            line_sam in proptest::bool::ANY,
+            banks in 1u32..3,
+        ) {
+            let floorplan = if line_sam {
+                FloorplanKind::LineSam { banks }
+            } else {
+                FloorplanKind::PointSam { banks }
+            };
+            let config = ArchConfig::new(floorplan, 1);
+            let mem = MemorySystem::new(&config, n, &[]);
+            let density = mem.memory_density();
+            prop_assert!(density > 0.5, "density {density} should beat 50%");
+            prop_assert!(density <= 1.0);
+            // Every qubit is resident and assigned to exactly one bank.
+            for q in 0..n {
+                prop_assert!(mem.is_resident(QubitTag(q)));
+                prop_assert!(mem.bank_of(QubitTag(q)).unwrap() < mem.bank_count());
+            }
+        }
+    }
+}

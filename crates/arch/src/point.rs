@@ -1,0 +1,387 @@
+//! The point-SAM bank model (Sec. IV-C-2).
+//!
+//! A point SAM stores `n` logical qubits in `n + 1` cells: every cell holds data
+//! except a single vacancy, the **scan cell**, which is walked around like the
+//! hole of a sliding puzzle to extract and insert qubits. Loading a qubit costs
+//!
+//! * a **seek**: the scan cell walks to the target (`W + H` beats, one per cell), then
+//! * a **transport**: the target is marched to the port next to the CR, costing
+//!   6 beats per diagonal step and 5 per straight step (4 / 3 once a second
+//!   vacancy exists because another qubit is currently checked out).
+//!
+//! Stores use the **locality-aware** policy by default: the returning qubit is
+//! parked in the vacant cell closest to the port, so recently used qubits
+//! migrate towards the CR and their next load is cheap (Sec. V-B). In-memory
+//! operations only pay the seek (plus the gate itself), and an in-memory
+//! two-qubit access drags the target next to the port without the final move
+//! into a register cell (Sec. V-C).
+
+use lsqca_lattice::{Beats, CellGrid, Coord, LatticeError, ProtocolLatencies, QubitTag};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A single point-SAM bank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointSamBank {
+    grid: CellGrid,
+    /// The cell adjacent to the CR through which qubits enter and leave.
+    port: Coord,
+    /// Current position of the scan vacancy (approximate head tracking).
+    scan: Coord,
+    /// Original home cell of every qubit, for the non-locality-aware store.
+    home: HashMap<QubitTag, Coord>,
+    /// Number of qubits currently checked out to the CR.
+    checked_out: usize,
+    latencies: ProtocolLatencies,
+    /// Exact cell count charged to this bank (`data qubits + 1`).
+    cell_count: u64,
+    /// Store returning qubits near the port (true) or at their home cell (false).
+    locality_aware_store: bool,
+}
+
+impl PointSamBank {
+    /// Builds a bank holding `qubits`, placed row-major in a near-square grid,
+    /// with the scan cell starting next to the port (the cell closest to the CR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` is empty.
+    pub fn new(qubits: &[QubitTag], locality_aware_store: bool) -> Self {
+        assert!(!qubits.is_empty(), "a point-SAM bank needs at least one qubit");
+        let n = qubits.len() as u64;
+        // Grid shape: near-square rectangle with room for the scan cell.
+        let width = ((n + 1) as f64).sqrt().ceil() as u32;
+        let height = ((n + 1) as f64 / width as f64).ceil() as u32;
+        let mut grid = CellGrid::new(width, height);
+        let port = Coord::new(0, height / 2);
+
+        // Place qubits row-major, keeping the port cell free for the scan cell.
+        let mut cells = (0..height)
+            .flat_map(|y| (0..width).map(move |x| Coord::new(x, y)))
+            .filter(|&c| c != port);
+        let mut home = HashMap::with_capacity(qubits.len());
+        for &q in qubits {
+            let cell = cells
+                .next()
+                .expect("grid sized to hold every qubit plus the scan cell");
+            grid.place(q, cell).expect("cells are distinct and in bounds");
+            home.insert(q, cell);
+        }
+
+        PointSamBank {
+            grid,
+            port,
+            scan: port,
+            home,
+            checked_out: 0,
+            latencies: ProtocolLatencies::paper(),
+            cell_count: n + 1,
+            locality_aware_store,
+        }
+    }
+
+    /// Exact number of cells charged to this bank (data qubits + one scan cell).
+    pub fn cell_count(&self) -> u64 {
+        self.cell_count
+    }
+
+    /// Number of qubits currently stored in the bank.
+    pub fn stored_qubits(&self) -> usize {
+        self.grid.occupied_count()
+    }
+
+    /// True if `qubit` is currently stored in this bank.
+    pub fn contains(&self, qubit: QubitTag) -> bool {
+        self.grid.contains(qubit)
+    }
+
+    /// True when a second vacancy exists (a qubit is checked out), enabling the
+    /// cheaper move protocol of Fig. 11.
+    fn has_second_vacancy(&self) -> bool {
+        self.checked_out >= 1
+    }
+
+    fn position(&self, qubit: QubitTag) -> Result<Coord, LatticeError> {
+        self.grid
+            .position_of(qubit)
+            .ok_or(LatticeError::QubitNotPresent { qubit })
+    }
+
+    /// Estimated load latency without mutating the bank state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::QubitNotPresent`] if the qubit is not stored here.
+    pub fn peek_load(&self, qubit: QubitTag) -> Result<Beats, LatticeError> {
+        let pos = self.position(qubit)?;
+        Ok(self.load_cost(pos))
+    }
+
+    fn load_cost(&self, pos: Coord) -> Beats {
+        let seek = Beats(self.scan.manhattan_distance(pos) as u64);
+        let transport =
+            self.latencies
+                .point_transport(pos.dx(self.port), pos.dy(self.port), self.has_second_vacancy());
+        // One final move from the port into a CR register cell.
+        seek + transport + self.latencies.move_step
+    }
+
+    /// Loads `qubit` out of the bank and returns the latency in beats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::QubitNotPresent`] if the qubit is not stored here.
+    pub fn load(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
+        let pos = self.position(qubit)?;
+        let cost = self.load_cost(pos);
+        self.grid.remove(qubit)?;
+        self.checked_out += 1;
+        // The vacancy that carried the target ends up next to the port.
+        self.scan = self.port;
+        Ok(cost)
+    }
+
+    /// Stores `qubit` back into the bank and returns the latency in beats.
+    ///
+    /// With the locality-aware policy the qubit is parked in the vacant cell
+    /// nearest the port; otherwise it walks back to its original home cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::GridFull`] if no vacant cell is available, or
+    /// [`LatticeError::QubitAlreadyPlaced`] if the qubit never left.
+    pub fn store(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
+        let dest = if self.locality_aware_store {
+            self.grid.nearest_vacant(self.port).ok_or(LatticeError::GridFull)?
+        } else {
+            let home = *self.home.get(&qubit).ok_or(LatticeError::QubitNotPresent { qubit })?;
+            if self.grid.is_vacant(home) {
+                home
+            } else {
+                self.grid.nearest_vacant(home).ok_or(LatticeError::GridFull)?
+            }
+        };
+        let transport = self.latencies.point_transport(
+            dest.dx(self.port),
+            dest.dy(self.port),
+            self.has_second_vacancy(),
+        );
+        self.grid.place(qubit, dest)?;
+        self.checked_out = self.checked_out.saturating_sub(1);
+        self.scan = self.port;
+        Ok(transport + self.latencies.move_step)
+    }
+
+    /// Walks the scan cell next to `qubit` for an in-memory single-qubit
+    /// operation and returns the seek latency (the gate latency itself is the
+    /// caller's concern).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::QubitNotPresent`] if the qubit is not stored here.
+    pub fn in_memory_seek(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
+        let pos = self.position(qubit)?;
+        let seek = Beats(self.scan.manhattan_distance(pos) as u64);
+        self.scan = pos;
+        Ok(seek)
+    }
+
+    /// Brings `qubit` adjacent to the port for an in-memory two-qubit operation
+    /// with a CR slot (lattice surgery across the port). The qubit is relocated
+    /// next to the port — this is what removes the last move of a load and the
+    /// first move of a store (Sec. V-C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::QubitNotPresent`] if the qubit is not stored here.
+    pub fn in_memory_two_qubit_access(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
+        let pos = self.position(qubit)?;
+        let seek = Beats(self.scan.manhattan_distance(pos) as u64);
+        let two = self.has_second_vacancy();
+        // Destination: the vacant cell closest to the port (often the port's
+        // neighbour); if the qubit already sits there the transport is free.
+        self.grid.remove(qubit)?;
+        let dest = self
+            .grid
+            .nearest_vacant(self.port)
+            .expect("removing the qubit guarantees a vacancy");
+        let transport = self
+            .latencies
+            .point_transport(pos.dx(dest), pos.dy(dest), two);
+        self.grid.place(qubit, dest)?;
+        self.scan = pos;
+        Ok(seek + transport)
+    }
+
+    /// Manhattan distance from the port to the qubit's current cell, a proxy for
+    /// how "hot" its placement currently is (used in tests and diagnostics).
+    pub fn distance_from_port(&self, qubit: QubitTag) -> Option<u32> {
+        self.grid.position_of(qubit).map(|p| p.manhattan_distance(self.port))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qubits(n: u32) -> Vec<QubitTag> {
+        (0..n).map(QubitTag).collect()
+    }
+
+    #[test]
+    fn cell_count_is_qubits_plus_one() {
+        let bank = PointSamBank::new(&qubits(400), true);
+        assert_eq!(bank.cell_count(), 401);
+        assert_eq!(bank.stored_qubits(), 400);
+        assert!(bank.contains(QubitTag(123)));
+        assert!(!bank.contains(QubitTag(400)));
+    }
+
+    #[test]
+    fn load_latency_grows_with_distance() {
+        let bank = PointSamBank::new(&qubits(100), true);
+        // The qubit closest to the port loads much faster than the corner qubit.
+        let near = (0..100)
+            .map(|q| bank.peek_load(QubitTag(q)).unwrap())
+            .min()
+            .unwrap();
+        let far = bank.peek_load(QubitTag(99)).unwrap();
+        assert!(far > near, "far qubit should cost more ({far} <= {near})");
+        assert!(near <= Beats(10));
+    }
+
+    #[test]
+    fn worst_case_load_is_order_seven_sqrt_n() {
+        let n = 400u32;
+        let bank = PointSamBank::new(&qubits(n), true);
+        let worst = (0..n)
+            .map(|q| bank.peek_load(QubitTag(q)).unwrap())
+            .max()
+            .unwrap();
+        let bound = 7.0 * (n as f64).sqrt();
+        assert!(
+            worst.as_f64() <= bound * 1.3,
+            "worst-case load {worst} should be about 7*sqrt(n) = {bound:.0}"
+        );
+        assert!(worst.as_f64() >= bound * 0.4);
+    }
+
+    #[test]
+    fn load_then_store_round_trip() {
+        let mut bank = PointSamBank::new(&qubits(25), true);
+        let load = bank.load(QubitTag(24)).unwrap();
+        assert!(load > Beats(0));
+        assert!(!bank.contains(QubitTag(24)));
+        let store = bank.store(QubitTag(24)).unwrap();
+        assert!(bank.contains(QubitTag(24)));
+        // Locality-aware store parks next to the port, so it is much cheaper
+        // than the original far-away load.
+        assert!(store < load);
+        // Loading it again is now cheap as well (temporal locality payoff).
+        let reload = bank.peek_load(QubitTag(24)).unwrap();
+        assert!(reload < load);
+    }
+
+    #[test]
+    fn double_load_of_missing_qubit_errors() {
+        let mut bank = PointSamBank::new(&qubits(9), true);
+        bank.load(QubitTag(3)).unwrap();
+        assert!(bank.load(QubitTag(3)).is_err());
+        assert!(bank.peek_load(QubitTag(3)).is_err());
+        assert!(bank.in_memory_seek(QubitTag(3)).is_err());
+    }
+
+    #[test]
+    fn second_vacancy_makes_the_next_load_cheaper() {
+        let mut with_vacancy = PointSamBank::new(&qubits(100), true);
+        let baseline = PointSamBank::new(&qubits(100), true);
+        // Check out one qubit to open a second vacancy.
+        with_vacancy.load(QubitTag(55)).unwrap();
+        let target = QubitTag(99);
+        let faster = with_vacancy.peek_load(target).unwrap();
+        let slower = baseline.peek_load(target).unwrap();
+        assert!(
+            faster < slower,
+            "two vacancies should speed up transport ({faster} >= {slower})"
+        );
+    }
+
+    #[test]
+    fn home_store_policy_returns_to_the_original_cell() {
+        let mut bank = PointSamBank::new(&qubits(36), false);
+        let far = QubitTag(35);
+        let before = bank.distance_from_port(far).unwrap();
+        bank.load(far).unwrap();
+        bank.store(far).unwrap();
+        assert_eq!(bank.distance_from_port(far), Some(before));
+
+        // With locality-aware store the qubit ends up closer to the port.
+        let mut aware = PointSamBank::new(&qubits(36), true);
+        aware.load(far).unwrap();
+        aware.store(far).unwrap();
+        assert!(aware.distance_from_port(far).unwrap() < before);
+    }
+
+    #[test]
+    fn in_memory_seek_is_cheaper_than_a_load() {
+        let mut bank = PointSamBank::new(&qubits(100), true);
+        let target = QubitTag(99);
+        let load_cost = bank.peek_load(target).unwrap();
+        let seek = bank.in_memory_seek(target).unwrap();
+        assert!(seek < load_cost);
+        // Seeking the same qubit again is free because the scan cell is parked
+        // right next to it.
+        assert_eq!(bank.in_memory_seek(target).unwrap(), Beats(0));
+    }
+
+    #[test]
+    fn in_memory_two_qubit_access_relocates_towards_the_port() {
+        let mut bank = PointSamBank::new(&qubits(100), true);
+        let target = QubitTag(99);
+        let before = bank.distance_from_port(target).unwrap();
+        let cost = bank.in_memory_two_qubit_access(target).unwrap();
+        assert!(cost > Beats(0));
+        let after = bank.distance_from_port(target).unwrap();
+        assert!(after < before);
+        assert!(bank.contains(target));
+        // A repeat access is now much cheaper.
+        let again = bank.in_memory_two_qubit_access(target).unwrap();
+        assert!(again < cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn empty_bank_panics() {
+        let _ = PointSamBank::new(&[], true);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any sequence of load/store pairs keeps the bank consistent: the qubit
+        /// count is conserved and latencies stay within the 7·√n-style bound.
+        #[test]
+        fn load_store_sequences_preserve_occupancy(
+            n in 4u32..120,
+            accesses in proptest::collection::vec(0u32..120, 1..60)
+        ) {
+            let qubits: Vec<QubitTag> = (0..n).map(QubitTag).collect();
+            let mut bank = PointSamBank::new(&qubits, true);
+            let bound = 16.0 * (n as f64).sqrt() + 32.0;
+            for a in accesses {
+                let q = QubitTag(a % n);
+                if bank.contains(q) {
+                    let cost = bank.load(q).unwrap();
+                    prop_assert!(cost.as_f64() <= bound);
+                    let cost = bank.store(q).unwrap();
+                    prop_assert!(cost.as_f64() <= bound);
+                }
+                prop_assert_eq!(bank.stored_qubits(), n as usize);
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Ablation bench: how much of LSQCA's performance comes from the
+//! locality-aware store (Sec. V-B) and from in-memory operations (Sec. V-C)?
+//!
+//! Prints the quick-scale 2×2 ablation table once (both optimizations on/off on
+//! a single-bank point SAM) and benchmarks the fully optimized and fully
+//! de-optimized configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsqca::experiment::{ExperimentConfig, Workload};
+use lsqca::prelude::*;
+use lsqca_bench::{ablation, Scale};
+
+fn bench_ablation(c: &mut Criterion) {
+    let floorplan = FloorplanKind::PointSam { banks: 1 };
+    println!("{}", ablation::render(Scale::Quick, &[], floorplan));
+
+    let circuit = Benchmark::Multiplier.reduced_instance();
+    let optimized = Workload::from_circuit(circuit.clone());
+    let stripped = Workload::with_compiler(
+        circuit,
+        CompilerConfig {
+            use_in_memory_ops: false,
+            ..CompilerConfig::default()
+        },
+    );
+
+    let mut group = c.benchmark_group("ablation_optimizations");
+    group.sample_size(10);
+    group.bench_function("optimized_point_sam", |b| {
+        let config = ExperimentConfig::new(floorplan, 1);
+        b.iter(|| optimized.run(&config))
+    });
+    group.bench_function("no_locality_no_in_memory", |b| {
+        let config = ExperimentConfig::new(floorplan, 1).with_home_store();
+        b.iter(|| stripped.run(&config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Fig. 8 — memory reference locality of SELECT and the multiplier.
+//!
+//! Benchmarks the full trace-collection + locality-analysis pipeline on
+//! reduced instances and prints the resulting summary table once, so that
+//! `cargo bench` both measures the harness and regenerates the figure's rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsqca_bench::{fig08, Scale};
+
+fn bench_fig08(c: &mut Criterion) {
+    println!("{}", fig08::render(Scale::Quick));
+    let mut group = c.benchmark_group("fig08_traces");
+    group.sample_size(10);
+    group.bench_function("select_and_multiplier_quick", |b| {
+        b.iter(|| fig08::generate(Scale::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig08);
+criterion_main!(benches);

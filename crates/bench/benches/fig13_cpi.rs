@@ -1,0 +1,28 @@
+//! Fig. 13 — CPI of every benchmark under every floorplan and factory count.
+//!
+//! Prints the quick-scale CPI table once and benchmarks the sweep over the
+//! cheaper benchmarks. Use `cargo run --release -p lsqca-bench --bin
+//! experiments -- fig13 --full` for the paper-sized instances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsqca::workloads::Benchmark;
+use lsqca_bench::{fig13, Scale};
+
+fn bench_fig13(c: &mut Criterion) {
+    println!("{}", fig13::render(Scale::Quick, &[], &[1, 4]));
+    let mut group = c.benchmark_group("fig13_cpi");
+    group.sample_size(10);
+    group.bench_function("ghz_square_root_select_quick", |b| {
+        b.iter(|| {
+            fig13::generate(
+                Scale::Quick,
+                &[Benchmark::Ghz, Benchmark::SquareRoot, Benchmark::Select],
+                &[1],
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 14 — hybrid-floorplan trade-off between memory density and execution
+//! time overhead.
+//!
+//! Prints the quick-scale trade-off table (fraction step 0.25) once and
+//! benchmarks one sweep. The full 0.05-step sweep over all seven paper-sized
+//! benchmarks is available from the `experiments` binary with `--full`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsqca::workloads::Benchmark;
+use lsqca_bench::{fig14, Scale};
+
+fn bench_fig14(c: &mut Criterion) {
+    println!(
+        "{}",
+        fig14::render(Scale::Quick, &[Benchmark::Multiplier, Benchmark::Select], &[1], 0.25)
+    );
+    let mut group = c.benchmark_group("fig14_hybrid");
+    group.sample_size(10);
+    group.bench_function("multiplier_sweep_quick", |b| {
+        b.iter(|| fig14::generate(Scale::Quick, &[Benchmark::Multiplier], &[1], 0.25))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Fig. 15 — SELECT scaling with hybrid layouts.
+//!
+//! Prints the quick-scale scaling table (small lattices, capped term count)
+//! once and benchmarks the generation. The paper-sized instance widths
+//! (21–101) are available from the `experiments` binary with `--full`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsqca_bench::{fig15, Scale};
+
+fn bench_fig15(c: &mut Criterion) {
+    println!("{}", fig15::render(Scale::Quick, &[1], Some(200)));
+    let mut group = c.benchmark_group("fig15_scaling");
+    group.sample_size(10);
+    group.bench_function("select_scaling_quick", |b| {
+        b.iter(|| fig15::generate(Scale::Quick, &[1], Some(100)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig15);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Microbenchmark: raw load/store latency modelling of the SAM banks.
+//!
+//! Measures how fast the point-SAM and line-SAM models can serve load/store
+//! round trips, which bounds the simulator's throughput on memory-heavy
+//! programs. Also doubles as an ablation harness for the locality-aware store
+//! (compare the `locality_aware` and `home_store` groups).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lsqca::arch::{LineSamBank, PointSamBank};
+use lsqca::lattice::QubitTag;
+
+fn qubits(n: u32) -> Vec<QubitTag> {
+    (0..n).map(QubitTag).collect()
+}
+
+fn bench_sam_latency(c: &mut Criterion) {
+    let tags = qubits(400);
+    let mut group = c.benchmark_group("micro_sam_latency");
+
+    for locality in [true, false] {
+        let label = if locality { "locality_aware" } else { "home_store" };
+        group.bench_function(format!("point_sam_400_{label}"), |b| {
+            b.iter_batched(
+                || PointSamBank::new(&tags, locality),
+                |mut bank| {
+                    for i in 0..400u32 {
+                        let q = QubitTag((i * 37) % 400);
+                        if bank.contains(q) {
+                            bank.load(q).unwrap();
+                            bank.store(q).unwrap();
+                        }
+                    }
+                    bank
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("line_sam_400_{label}"), |b| {
+            b.iter_batched(
+                || LineSamBank::new(&tags, locality),
+                |mut bank| {
+                    for i in 0..400u32 {
+                        let q = QubitTag((i * 37) % 400);
+                        if bank.contains(q) {
+                            bank.load(q).unwrap();
+                            bank.store(q).unwrap();
+                        }
+                    }
+                    bank
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sam_latency);
+criterion_main!(benches);

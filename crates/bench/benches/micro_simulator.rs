@@ -1,0 +1,38 @@
+//! Microbenchmark: end-to-end simulator throughput.
+//!
+//! Compiles a mid-sized multiplier once and measures how many code-beat
+//! simulations per second the engine sustains on the point-SAM, line-SAM, and
+//! conventional floorplans. This is the number that determines how long the
+//! paper-scale figure sweeps take.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsqca::experiment::{ExperimentConfig, Workload};
+use lsqca::prelude::*;
+use lsqca::workloads::{shift_add_multiplier, MultiplierConfig};
+
+fn bench_simulator(c: &mut Criterion) {
+    let circuit = shift_add_multiplier(MultiplierConfig {
+        operand_bits: 16,
+        partial_products: None,
+    });
+    let workload = Workload::from_circuit(circuit);
+    let instructions = workload.compiled().program.len();
+    println!("simulating {instructions} instructions per iteration");
+
+    let mut group = c.benchmark_group("micro_simulator");
+    group.sample_size(10);
+    for floorplan in [
+        FloorplanKind::PointSam { banks: 1 },
+        FloorplanKind::LineSam { banks: 1 },
+        FloorplanKind::Conventional,
+    ] {
+        group.bench_function(floorplan.label(), |b| {
+            let config = ExperimentConfig::new(floorplan, 1);
+            b.iter(|| workload.run(&config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Regenerates the paper's tables and figures as text tables.
+//!
+//! ```text
+//! cargo run --release -p lsqca-bench --bin experiments -- <command> [--full] [--json]
+//!
+//! commands:
+//!   table1     the LSQCA instruction set (Table I)
+//!   fig8       memory reference locality of SELECT and the multiplier
+//!   fig13      CPI for every benchmark, floorplan, and factory count
+//!   fig14      hybrid-floorplan trade-off curves (density vs overhead)
+//!   fig15      SELECT scaling with hybrid layouts
+//!   headline   the headline density/overhead claims
+//!   all        everything above
+//! ```
+//!
+//! `--full` runs the paper-sized instances (minutes); the default quick mode
+//! uses reduced instances with the same structure (seconds). `--json` prints
+//! machine-readable output instead of text tables.
+
+use lsqca_bench::{ablation, fig08, fig13, fig14, fig15, headline, table1, Scale, FACTORY_COUNTS};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: experiments <table1|fig8|fig13|fig14|fig15|headline|ablation|all> [--full] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let full = args.iter().any(|a| a == "--full");
+    let json = args.iter().any(|a| a == "--json");
+    let scale = Scale::from_flag(full);
+    let factories: Vec<u32> = if full {
+        FACTORY_COUNTS.to_vec()
+    } else {
+        vec![1, 4]
+    };
+    let fraction_step = if full { 0.05 } else { 0.25 };
+    let fig15_terms = if full { None } else { Some(200) };
+
+    let run = |name: &str| -> String {
+        match name {
+            "table1" => {
+                if json {
+                    serde_json::to_string_pretty(&table1::rows()).expect("serializable")
+                } else {
+                    table1::render()
+                }
+            }
+            "fig8" => {
+                if json {
+                    serde_json::to_string_pretty(&fig08::generate(scale)).expect("serializable")
+                } else {
+                    fig08::render(scale)
+                }
+            }
+            "fig13" => {
+                if json {
+                    serde_json::to_string_pretty(&fig13::generate(scale, &[], &factories))
+                        .expect("serializable")
+                } else {
+                    fig13::render(scale, &[], &factories)
+                }
+            }
+            "fig14" => {
+                if json {
+                    serde_json::to_string_pretty(&fig14::generate(
+                        scale,
+                        &[],
+                        &factories,
+                        fraction_step,
+                    ))
+                    .expect("serializable")
+                } else {
+                    fig14::render(scale, &[], &factories, fraction_step)
+                }
+            }
+            "fig15" => {
+                if json {
+                    serde_json::to_string_pretty(&fig15::generate(scale, &factories, fig15_terms))
+                        .expect("serializable")
+                } else {
+                    fig15::render(scale, &factories, fig15_terms)
+                }
+            }
+            "headline" => {
+                if json {
+                    serde_json::to_string_pretty(&headline::generate(scale)).expect("serializable")
+                } else {
+                    headline::render(scale)
+                }
+            }
+            "ablation" => {
+                let floorplan = lsqca::prelude::FloorplanKind::PointSam { banks: 1 };
+                if json {
+                    serde_json::to_string_pretty(&ablation::generate(scale, &[], floorplan))
+                        .expect("serializable")
+                } else {
+                    ablation::render(scale, &[], floorplan)
+                }
+            }
+            other => format!("unknown experiment `{other}`"),
+        }
+    };
+
+    match command.as_str() {
+        "all" => {
+            for name in [
+                "table1", "fig8", "fig13", "fig14", "fig15", "headline", "ablation",
+            ] {
+                println!("==== {name} ====");
+                println!("{}", run(name));
+            }
+            ExitCode::SUCCESS
+        }
+        name @ ("table1" | "fig8" | "fig13" | "fig14" | "fig15" | "headline" | "ablation") => {
+            println!("{}", run(name));
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,248 @@
+//! Dependency analysis of circuits.
+//!
+//! The motivation study (Sec. III-B) and the baseline model both need to know
+//! how much instruction-level parallelism a benchmark offers: the conventional
+//! floorplan executes independent logical operations concurrently, while LSQCA's
+//! small CR serializes them. [`CircuitDag`] builds the gate dependency graph
+//! (two gates conflict when they share a qubit) and derives depth and per-layer
+//! parallelism via an ASAP schedule.
+
+use crate::circuit::Circuit;
+use crate::gate::Qubit;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The gate dependency DAG of a circuit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitDag {
+    /// `predecessors[i]` lists the indices of gates that must finish before gate `i`.
+    predecessors: Vec<Vec<usize>>,
+    /// ASAP layer index of each gate.
+    asap_layer: Vec<usize>,
+    num_gates: usize,
+}
+
+impl CircuitDag {
+    /// Builds the DAG of `circuit` by linking each gate to the previous gate on
+    /// every qubit it touches.
+    pub fn new(circuit: &Circuit) -> Self {
+        let gates = circuit.gates();
+        let mut last_on_qubit: HashMap<Qubit, usize> = HashMap::new();
+        let mut predecessors = vec![Vec::new(); gates.len()];
+        let mut asap_layer = vec![0usize; gates.len()];
+
+        for (idx, gate) in gates.iter().enumerate() {
+            let mut layer = 0usize;
+            for q in gate.qubits() {
+                if let Some(&prev) = last_on_qubit.get(&q) {
+                    predecessors[idx].push(prev);
+                    layer = layer.max(asap_layer[prev] + 1);
+                }
+                last_on_qubit.insert(q, idx);
+            }
+            predecessors[idx].sort_unstable();
+            predecessors[idx].dedup();
+            asap_layer[idx] = layer;
+        }
+
+        CircuitDag {
+            predecessors,
+            asap_layer,
+            num_gates: gates.len(),
+        }
+    }
+
+    /// Number of gates in the DAG.
+    pub fn len(&self) -> usize {
+        self.num_gates
+    }
+
+    /// True if the circuit had no gates.
+    pub fn is_empty(&self) -> bool {
+        self.num_gates == 0
+    }
+
+    /// Direct predecessors of gate `index`.
+    pub fn predecessors(&self, index: usize) -> &[usize] {
+        &self.predecessors[index]
+    }
+
+    /// The ASAP layer of gate `index` (0 for gates with no predecessors).
+    pub fn layer_of(&self, index: usize) -> usize {
+        self.asap_layer[index]
+    }
+
+    /// The logical depth: number of ASAP layers.
+    pub fn depth(&self) -> usize {
+        self.asap_layer.iter().map(|&l| l + 1).max().unwrap_or(0)
+    }
+
+    /// Groups gate indices by ASAP layer.
+    pub fn layers(&self) -> LayerSchedule {
+        let depth = self.depth();
+        let mut layers = vec![Vec::new(); depth];
+        for (idx, &layer) in self.asap_layer.iter().enumerate() {
+            layers[layer].push(idx);
+        }
+        LayerSchedule { layers }
+    }
+}
+
+/// An ASAP layering of a circuit: each layer holds gates that can execute
+/// concurrently because no two of them share a qubit with an earlier unfinished
+/// gate.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSchedule {
+    layers: Vec<Vec<usize>>,
+}
+
+impl LayerSchedule {
+    /// The layers in execution order; each inner vector lists gate indices.
+    pub fn layers(&self) -> &[Vec<usize>] {
+        &self.layers
+    }
+
+    /// Number of layers (the circuit depth).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The widest layer (maximum instruction-level parallelism).
+    pub fn max_parallelism(&self) -> usize {
+        self.layers.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Average gates per layer.
+    pub fn average_parallelism(&self) -> f64 {
+        if self.layers.is_empty() {
+            0.0
+        } else {
+            let total: usize = self.layers.iter().map(Vec::len).sum();
+            total as f64 / self.layers.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for LayerSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} layers, max parallelism {}, average {:.2}",
+            self.depth(),
+            self.max_parallelism(),
+            self.average_parallelism()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn independent_gates_share_a_layer() {
+        let mut c = Circuit::new("parallel", 4);
+        c.h(0);
+        c.h(1);
+        c.h(2);
+        c.h(3);
+        let dag = CircuitDag::new(&c);
+        assert_eq!(dag.depth(), 1);
+        let layers = dag.layers();
+        assert_eq!(layers.depth(), 1);
+        assert_eq!(layers.max_parallelism(), 4);
+        assert_eq!(layers.average_parallelism(), 4.0);
+    }
+
+    #[test]
+    fn chained_gates_serialize() {
+        let mut c = Circuit::new("chain", 1);
+        c.h(0);
+        c.t(0);
+        c.h(0);
+        let dag = CircuitDag::new(&c);
+        assert_eq!(dag.depth(), 3);
+        assert_eq!(dag.predecessors(0), &[] as &[usize]);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.predecessors(2), &[1]);
+        assert_eq!(dag.layer_of(2), 2);
+    }
+
+    #[test]
+    fn two_qubit_gates_join_dependencies() {
+        let mut c = Circuit::new("join", 2);
+        c.h(0); // gate 0
+        c.t(1); // gate 1
+        c.cnot(0, 1); // gate 2 depends on both
+        c.h(0); // gate 3 depends on gate 2
+        let dag = CircuitDag::new(&c);
+        assert_eq!(dag.predecessors(2), &[0, 1]);
+        assert_eq!(dag.predecessors(3), &[2]);
+        assert_eq!(dag.depth(), 3);
+        let layers = dag.layers();
+        assert_eq!(layers.layers()[0], vec![0, 1]);
+        assert_eq!(layers.layers()[1], vec![2]);
+    }
+
+    #[test]
+    fn empty_circuit_has_zero_depth() {
+        let c = Circuit::new("empty", 3);
+        let dag = CircuitDag::new(&c);
+        assert!(dag.is_empty());
+        assert_eq!(dag.depth(), 0);
+        assert_eq!(dag.layers().max_parallelism(), 0);
+        assert_eq!(dag.layers().average_parallelism(), 0.0);
+        assert!(!dag.layers().to_string().is_empty());
+    }
+
+    #[test]
+    fn ghz_circuit_depth_is_linear() {
+        let n = 8;
+        let mut c = Circuit::new("ghz", n);
+        c.h(0);
+        for q in 1..n {
+            c.cnot(q - 1, q);
+        }
+        let dag = CircuitDag::new(&c);
+        assert_eq!(dag.depth(), n as usize);
+        assert_eq!(dag.len(), n as usize);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The ASAP layering is a valid topological schedule: every gate sits in
+        /// a strictly later layer than each of its predecessors, and depth never
+        /// exceeds the gate count.
+        #[test]
+        fn asap_layers_respect_dependencies(
+            gates in proptest::collection::vec((0u32..6, 0u32..6, proptest::bool::ANY), 1..60)
+        ) {
+            let mut c = Circuit::new("prop", 6);
+            for (a, b, two_qubit) in gates {
+                if two_qubit && a != b {
+                    c.cnot(a, b);
+                } else {
+                    c.h(a);
+                }
+            }
+            let dag = CircuitDag::new(&c);
+            prop_assert!(dag.depth() <= dag.len());
+            for idx in 0..dag.len() {
+                for &pred in dag.predecessors(idx) {
+                    prop_assert!(dag.layer_of(pred) < dag.layer_of(idx));
+                }
+            }
+            // Layer sizes sum to the gate count.
+            let total: usize = dag.layers().layers().iter().map(Vec::len).sum();
+            prop_assert_eq!(total, dag.len());
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Named qubit registers.
+//!
+//! The access-pattern analysis of Sec. III-B distinguishes the *control*,
+//! *temporal*, and *system* registers of SELECT circuits, and the hybrid
+//! floorplan of Sec. VI-C pins whole registers into the conventional region.
+//! A [`RegisterMap`] attaches that structure to a flat qubit index space.
+
+use crate::gate::Qubit;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Range;
+
+/// The architectural role of a register, used by locality analysis and hybrid
+/// floorplan placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RegisterRole {
+    /// SELECT control register (the index being iterated).
+    Control,
+    /// SELECT temporal / ancilla register (Toffoli ladder workspace).
+    Temporal,
+    /// SELECT system register (the simulated physical system).
+    System,
+    /// Data operands of arithmetic circuits.
+    Operand,
+    /// Ancilla qubits of arithmetic circuits.
+    Ancilla,
+    /// Result / output qubits.
+    Result,
+    /// Any other role.
+    Other,
+}
+
+impl fmt::Display for RegisterRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RegisterRole::Control => "control",
+            RegisterRole::Temporal => "temporal",
+            RegisterRole::System => "system",
+            RegisterRole::Operand => "operand",
+            RegisterRole::Ancilla => "ancilla",
+            RegisterRole::Result => "result",
+            RegisterRole::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One named, contiguous register of qubits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Register {
+    /// Human-readable register name.
+    pub name: String,
+    /// Role used by analysis passes.
+    pub role: RegisterRole,
+    /// The contiguous qubit index range `[start, end)`.
+    pub range: Range<Qubit>,
+}
+
+impl Register {
+    /// Number of qubits in the register.
+    pub fn len(&self) -> usize {
+        (self.range.end - self.range.start) as usize
+    }
+
+    /// True if the register is empty.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// True if `qubit` belongs to the register.
+    pub fn contains(&self, qubit: Qubit) -> bool {
+        self.range.contains(&qubit)
+    }
+}
+
+/// A collection of disjoint registers covering (part of) a circuit's qubits.
+///
+/// ```
+/// use lsqca_circuit::register::{RegisterMap, RegisterRole};
+/// let mut map = RegisterMap::new();
+/// let ctrl = map.add("control", RegisterRole::Control, 4);
+/// let sys = map.add("system", RegisterRole::System, 8);
+/// assert_eq!(ctrl, 0..4);
+/// assert_eq!(sys, 4..12);
+/// assert_eq!(map.role_of(6), Some(RegisterRole::System));
+/// assert_eq!(map.total_qubits(), 12);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterMap {
+    registers: Vec<Register>,
+    next: Qubit,
+}
+
+impl RegisterMap {
+    /// Creates an empty register map.
+    pub fn new() -> Self {
+        RegisterMap::default()
+    }
+
+    /// Appends a register of `size` qubits and returns its index range.
+    pub fn add(&mut self, name: impl Into<String>, role: RegisterRole, size: u32) -> Range<Qubit> {
+        let range = self.next..self.next + size;
+        self.registers.push(Register {
+            name: name.into(),
+            role,
+            range: range.clone(),
+        });
+        self.next += size;
+        range
+    }
+
+    /// Total number of qubits across all registers.
+    pub fn total_qubits(&self) -> u32 {
+        self.next
+    }
+
+    /// All registers in declaration order.
+    pub fn registers(&self) -> &[Register] {
+        &self.registers
+    }
+
+    /// The register containing `qubit`, if any.
+    pub fn register_of(&self, qubit: Qubit) -> Option<&Register> {
+        self.registers.iter().find(|r| r.contains(qubit))
+    }
+
+    /// The role of the register containing `qubit`, if any.
+    pub fn role_of(&self, qubit: Qubit) -> Option<RegisterRole> {
+        self.register_of(qubit).map(|r| r.role)
+    }
+
+    /// The register with the given name, if any.
+    pub fn by_name(&self, name: &str) -> Option<&Register> {
+        self.registers.iter().find(|r| r.name == name)
+    }
+
+    /// Qubit indices belonging to registers with the given role.
+    pub fn qubits_with_role(&self, role: RegisterRole) -> Vec<Qubit> {
+        self.registers
+            .iter()
+            .filter(|r| r.role == role)
+            .flat_map(|r| r.range.clone())
+            .collect()
+    }
+
+    /// Number of qubits per role.
+    pub fn role_sizes(&self) -> BTreeMap<RegisterRole, usize> {
+        let mut sizes = BTreeMap::new();
+        for r in &self.registers {
+            *sizes.entry(r.role).or_insert(0) += r.len();
+        }
+        sizes
+    }
+}
+
+impl fmt::Display for RegisterMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.registers.is_empty() {
+            return f.write_str("(no registers)");
+        }
+        let parts: Vec<String> = self
+            .registers
+            .iter()
+            .map(|r| format!("{}[{}..{}]", r.name, r.range.start, r.range.end))
+            .collect();
+        f.write_str(&parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_are_contiguous_and_disjoint() {
+        let mut map = RegisterMap::new();
+        let a = map.add("a", RegisterRole::Control, 3);
+        let b = map.add("b", RegisterRole::System, 5);
+        assert_eq!(a, 0..3);
+        assert_eq!(b, 3..8);
+        assert_eq!(map.total_qubits(), 8);
+        assert_eq!(map.registers().len(), 2);
+    }
+
+    #[test]
+    fn lookup_by_qubit_name_and_role() {
+        let mut map = RegisterMap::new();
+        map.add("control", RegisterRole::Control, 2);
+        map.add("temporal", RegisterRole::Temporal, 3);
+        map.add("system", RegisterRole::System, 4);
+        assert_eq!(map.role_of(0), Some(RegisterRole::Control));
+        assert_eq!(map.role_of(4), Some(RegisterRole::Temporal));
+        assert_eq!(map.role_of(8), Some(RegisterRole::System));
+        assert_eq!(map.role_of(99), None);
+        assert_eq!(map.by_name("temporal").unwrap().len(), 3);
+        assert!(map.by_name("missing").is_none());
+        assert_eq!(map.qubits_with_role(RegisterRole::System), vec![5, 6, 7, 8]);
+        assert_eq!(map.role_sizes()[&RegisterRole::Temporal], 3);
+    }
+
+    #[test]
+    fn empty_register_is_allowed() {
+        let mut map = RegisterMap::new();
+        let r = map.add("empty", RegisterRole::Other, 0);
+        assert!(r.is_empty());
+        assert!(map.registers()[0].is_empty());
+        assert_eq!(map.total_qubits(), 0);
+    }
+
+    #[test]
+    fn display_lists_registers() {
+        let mut map = RegisterMap::new();
+        assert_eq!(map.to_string(), "(no registers)");
+        map.add("x", RegisterRole::Operand, 2);
+        map.add("y", RegisterRole::Result, 2);
+        assert_eq!(map.to_string(), "x[0..2], y[2..4]");
+    }
+}

@@ -1,0 +1,137 @@
+//! Gate-count statistics.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate gate counts of a circuit.
+///
+/// The T-count is the key cost driver for FTQC (each T consumes a distilled
+/// magic state); the Toffoli count matters because each Toffoli lowers to seven
+/// T gates in the standard decomposition.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitStats {
+    /// Total number of gates, including preparations and measurements.
+    pub total_gates: u64,
+    /// Number of T / T† gates.
+    pub t_count: u64,
+    /// Number of Toffoli gates (before lowering).
+    pub toffoli_count: u64,
+    /// Number of multi-controlled-X gates (before lowering).
+    pub mcx_count: u64,
+    /// Number of two-qubit gates (CNOT, CZ).
+    pub two_qubit_gates: u64,
+    /// Number of single-qubit Clifford gates (H, S, S†, Paulis).
+    pub single_qubit_cliffords: u64,
+    /// Number of measurements.
+    pub measurements: u64,
+    /// Number of state preparations.
+    pub preparations: u64,
+    /// Count per gate name.
+    pub per_gate: BTreeMap<String, u64>,
+}
+
+impl CircuitStats {
+    /// Computes statistics for `circuit`.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut stats = CircuitStats::default();
+        for gate in circuit.gates() {
+            stats.total_gates += 1;
+            *stats.per_gate.entry(gate.name().to_string()).or_insert(0) += 1;
+            match gate {
+                Gate::T(_) | Gate::Tdg(_) => stats.t_count += 1,
+                Gate::Toffoli { .. } => stats.toffoli_count += 1,
+                Gate::MultiControlledX { .. } => stats.mcx_count += 1,
+                Gate::Cnot { .. } | Gate::Cz { .. } => stats.two_qubit_gates += 1,
+                Gate::H(_) | Gate::S(_) | Gate::Sdg(_) | Gate::X(_) | Gate::Y(_) | Gate::Z(_) => {
+                    stats.single_qubit_cliffords += 1
+                }
+                Gate::MeasureZ(_) | Gate::MeasureX(_) => stats.measurements += 1,
+                Gate::PrepZ(_) | Gate::PrepX(_) => stats.preparations += 1,
+            }
+        }
+        stats
+    }
+
+    /// An estimate of the T-count after lowering composite gates: each Toffoli
+    /// contributes seven T gates, and a multi-controlled X over `k ≥ 2` controls
+    /// lowers to `2(k−1) − 1` Toffolis in the ladder construction.
+    pub fn lowered_t_count_estimate(&self, mcx_controls: u32) -> u64 {
+        let toffolis_per_mcx = if mcx_controls >= 2 {
+            2 * (mcx_controls as u64 - 1) - 1
+        } else {
+            0
+        };
+        self.t_count + 7 * (self.toffoli_count + self.mcx_count * toffolis_per_mcx)
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} gates (T: {}, Toffoli: {}, 2q: {}, meas: {})",
+            self.total_gates,
+            self.t_count,
+            self.toffoli_count,
+            self.two_qubit_gates,
+            self.measurements
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_every_category() {
+        let mut c = Circuit::new("stats", 4);
+        c.prep_z(0);
+        c.h(0);
+        c.s(1);
+        c.x(2);
+        c.t(0);
+        c.tdg(1);
+        c.cnot(0, 1);
+        c.cz(2, 3);
+        c.toffoli(0, 1, 2);
+        c.mcx(vec![0, 1, 2], 3);
+        c.measure_z(0);
+        let stats = c.stats();
+        assert_eq!(stats.total_gates, 11);
+        assert_eq!(stats.t_count, 2);
+        assert_eq!(stats.toffoli_count, 1);
+        assert_eq!(stats.mcx_count, 1);
+        assert_eq!(stats.two_qubit_gates, 2);
+        assert_eq!(stats.single_qubit_cliffords, 3);
+        assert_eq!(stats.measurements, 1);
+        assert_eq!(stats.preparations, 1);
+        assert_eq!(stats.per_gate["cnot"], 1);
+        assert!(!stats.to_string().is_empty());
+    }
+
+    #[test]
+    fn lowered_t_count_estimate_counts_toffolis() {
+        let mut c = Circuit::new("t", 5);
+        c.t(0);
+        c.toffoli(0, 1, 2);
+        let stats = c.stats();
+        assert_eq!(stats.lowered_t_count_estimate(3), 1 + 7);
+
+        let mut c = Circuit::new("mcx", 5);
+        c.mcx(vec![0, 1, 2], 4);
+        // 3 controls -> 2*(3-1)-1 = 3 Toffolis -> 21 T gates.
+        assert_eq!(c.stats().lowered_t_count_estimate(3), 21);
+    }
+
+    #[test]
+    fn empty_circuit_has_zero_stats() {
+        let c = Circuit::new("empty", 0);
+        let stats = c.stats();
+        assert_eq!(stats.total_gates, 0);
+        assert_eq!(stats.lowered_t_count_estimate(2), 0);
+    }
+}

@@ -1,0 +1,357 @@
+//! High-level experiment runners.
+//!
+//! The benchmark harness and the examples all follow the same three steps:
+//! compile a workload circuit once, pick an architecture configuration, and
+//! simulate. [`Workload`] caches the compiled program so that parameter sweeps
+//! (bank counts, factory counts, hybrid fractions) reuse the expensive
+//! compilation, and [`ExperimentResult`] carries the numbers the paper reports:
+//! execution time, CPI, memory density, and the overhead relative to the
+//! conventional baseline.
+
+use lsqca_analysis::{hot_set_by_access_count, hot_set_by_role, hot_set_size};
+use lsqca_arch::{ArchConfig, FloorplanKind};
+use lsqca_circuit::{Circuit, RegisterRole};
+use lsqca_compiler::{compile, CompiledProgram, CompilerConfig};
+use lsqca_lattice::{Beats, QubitTag};
+use lsqca_sim::{simulate, ExecutionStats, MemoryTrace, SimConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the hot set of a hybrid floorplan is chosen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HotSetStrategy {
+    /// Pick the most frequently referenced qubits of the compiled program
+    /// (the paper's default for Fig. 14).
+    ByAccessCount,
+    /// Pin every qubit whose register has one of these roles (Fig. 15 pins the
+    /// SELECT control and temporal registers).
+    ByRole(Vec<RegisterRole>),
+    /// Use an explicit list of qubits.
+    Explicit(Vec<QubitTag>),
+}
+
+impl Default for HotSetStrategy {
+    fn default() -> Self {
+        HotSetStrategy::ByAccessCount
+    }
+}
+
+/// Configuration of one experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The floorplan to simulate.
+    pub floorplan: FloorplanKind,
+    /// Number of magic-state factories.
+    pub factories: u32,
+    /// Hybrid-floorplan fraction `f` (0 = pure LSQCA).
+    pub hybrid_fraction: f64,
+    /// How hot qubits are selected when `hybrid_fraction > 0`.
+    pub hot_set: HotSetStrategy,
+    /// Use the locality-aware store policy (Sec. V-B). Enabled by default, as
+    /// in the paper's evaluation; disable it for ablation studies.
+    pub locality_aware_store: bool,
+    /// Simulator options.
+    pub sim: SimConfig,
+}
+
+impl ExperimentConfig {
+    /// A pure-LSQCA (or baseline) configuration with the paper's defaults.
+    pub fn new(floorplan: FloorplanKind, factories: u32) -> Self {
+        ExperimentConfig {
+            floorplan,
+            factories,
+            hybrid_fraction: 0.0,
+            hot_set: HotSetStrategy::default(),
+            locality_aware_store: true,
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// The conventional-baseline configuration with the same factory count.
+    pub fn baseline(factories: u32) -> Self {
+        ExperimentConfig::new(FloorplanKind::Conventional, factories)
+    }
+
+    /// Returns a copy with the given hybrid fraction.
+    pub fn with_hybrid_fraction(mut self, fraction: f64) -> Self {
+        self.hybrid_fraction = fraction;
+        self
+    }
+
+    /// Returns a copy with the given hot-set strategy.
+    pub fn with_hot_set(mut self, strategy: HotSetStrategy) -> Self {
+        self.hot_set = strategy;
+        self
+    }
+
+    /// Returns a copy with trace recording enabled.
+    pub fn with_trace(mut self) -> Self {
+        self.sim.record_trace = true;
+        self
+    }
+
+    /// Returns a copy that assumes infinitely fast magic-state production
+    /// (the Sec. III-B motivation-study assumption).
+    pub fn with_infinite_magic(mut self) -> Self {
+        self.sim.assume_infinite_magic = true;
+        self
+    }
+
+    /// Returns a copy that stores qubits back to their home cells instead of
+    /// using the locality-aware store (ablation of Sec. V-B). The in-memory
+    /// operation ablation lives on the compiler side: build the workload with
+    /// [`Workload::with_compiler`] and `use_in_memory_ops: false`.
+    pub fn with_home_store(mut self) -> Self {
+        self.locality_aware_store = false;
+        self
+    }
+
+    fn arch_config(&self) -> ArchConfig {
+        let mut arch = ArchConfig::new(self.floorplan, self.factories)
+            .with_hybrid_fraction(self.hybrid_fraction.clamp(0.0, 1.0));
+        arch.locality_aware_store = self.locality_aware_store;
+        arch
+    }
+
+    /// A short label for tables, e.g. `"Line #SAM=2, f=0.30, 4 MSF"`.
+    pub fn label(&self) -> String {
+        if self.hybrid_fraction > 0.0 && !self.floorplan.is_conventional() {
+            format!(
+                "{}, f={:.2}, {} MSF",
+                self.floorplan.label(),
+                self.hybrid_fraction,
+                self.factories
+            )
+        } else {
+            format!("{}, {} MSF", self.floorplan.label(), self.factories)
+        }
+    }
+}
+
+/// A compiled workload, ready to be simulated under many configurations.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    circuit: Circuit,
+    compiled: CompiledProgram,
+}
+
+impl Workload {
+    /// Compiles `circuit` with the default compiler configuration.
+    pub fn from_circuit(circuit: Circuit) -> Self {
+        Workload::with_compiler(circuit, CompilerConfig::default())
+    }
+
+    /// Compiles `circuit` with an explicit compiler configuration.
+    pub fn with_compiler(circuit: Circuit, config: CompilerConfig) -> Self {
+        let compiled = compile(&circuit, config);
+        Workload { circuit, compiled }
+    }
+
+    /// The source circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The compiled program.
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+
+    /// Number of data qubits (SAM addresses) the workload needs.
+    pub fn num_qubits(&self) -> u32 {
+        self.compiled.num_qubits
+    }
+
+    /// Selects the hot qubits for the given configuration.
+    pub fn hot_qubits(&self, config: &ExperimentConfig) -> Vec<QubitTag> {
+        if config.hybrid_fraction <= 0.0 || config.floorplan.is_conventional() {
+            return Vec::new();
+        }
+        let count = hot_set_size(self.num_qubits(), config.hybrid_fraction);
+        match &config.hot_set {
+            HotSetStrategy::ByAccessCount => {
+                hot_set_by_access_count(&self.compiled.program, count)
+            }
+            HotSetStrategy::ByRole(roles) => {
+                let mut hot = hot_set_by_role(&self.circuit, roles);
+                hot.truncate(count.max(hot.len().min(count)).max(count));
+                // Role-based pinning uses the whole register set even if it is
+                // smaller or larger than `count`; `count` only caps the list.
+                if hot.len() > count && count > 0 {
+                    hot.truncate(count);
+                }
+                hot
+            }
+            HotSetStrategy::Explicit(list) => {
+                let mut hot = list.clone();
+                hot.truncate(count.max(list.len().min(count)));
+                hot
+            }
+        }
+    }
+
+    /// Compiles (already done) and simulates this workload under `config`.
+    pub fn run(&self, config: &ExperimentConfig) -> ExperimentResult {
+        let hot = self.hot_qubits(config);
+        let arch = config.arch_config();
+        let outcome = simulate(
+            &self.compiled.program,
+            self.num_qubits(),
+            &arch,
+            &hot,
+            config.sim,
+        );
+        ExperimentResult {
+            workload: self.circuit.name().to_string(),
+            config_label: config.label(),
+            total_beats: outcome.stats.total_beats,
+            cpi: outcome.stats.cpi(),
+            memory_density: outcome.stats.memory_density,
+            total_cells: outcome.stats.total_cells,
+            hot_qubits: hot.len() as u32,
+            stats: outcome.stats,
+            trace: outcome.trace,
+        }
+    }
+
+    /// Runs `config` and the conventional baseline with the same factory count,
+    /// returning `(lsqca, baseline)`.
+    pub fn run_with_baseline(
+        &self,
+        config: &ExperimentConfig,
+    ) -> (ExperimentResult, ExperimentResult) {
+        let baseline = ExperimentConfig {
+            floorplan: FloorplanKind::Conventional,
+            ..config.clone()
+        };
+        (self.run(config), self.run(&baseline))
+    }
+}
+
+/// The outcome of one experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Name of the workload circuit.
+    pub workload: String,
+    /// Label of the architecture configuration.
+    pub config_label: String,
+    /// Execution time in code beats.
+    pub total_beats: Beats,
+    /// Code beats per (non-negligible) command.
+    pub cpi: f64,
+    /// Memory density of the simulated architecture.
+    pub memory_density: f64,
+    /// Total logical cells charged to the architecture.
+    pub total_cells: u64,
+    /// Number of qubits pinned in the conventional region.
+    pub hot_qubits: u32,
+    /// Full execution statistics.
+    pub stats: ExecutionStats,
+    /// Memory reference trace (empty unless enabled).
+    pub trace: MemoryTrace,
+}
+
+impl ExperimentResult {
+    /// Execution-time overhead relative to `baseline` (1.0 = equal).
+    pub fn overhead_vs(&self, baseline: &ExperimentResult) -> f64 {
+        self.stats.overhead_vs(&baseline.stats)
+    }
+}
+
+impl fmt::Display for ExperimentResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: {} beats, CPI {:.2}, density {:.1}%",
+            self.workload,
+            self.config_label,
+            self.total_beats.as_u64(),
+            self.cpi,
+            100.0 * self.memory_density
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsqca_workloads::Benchmark;
+
+    fn workload() -> Workload {
+        Workload::from_circuit(Benchmark::Multiplier.reduced_instance())
+    }
+
+    #[test]
+    fn lsqca_beats_the_baseline_density_and_pays_some_time() {
+        let w = workload();
+        let config = ExperimentConfig::new(FloorplanKind::LineSam { banks: 1 }, 1);
+        let (lsqca, baseline) = w.run_with_baseline(&config);
+        assert!(lsqca.memory_density > baseline.memory_density);
+        assert!((baseline.memory_density - 0.5).abs() < 1e-9);
+        assert!(lsqca.total_beats >= baseline.total_beats);
+        let overhead = lsqca.overhead_vs(&baseline);
+        assert!(overhead >= 1.0);
+        assert!(!lsqca.to_string().is_empty());
+    }
+
+    #[test]
+    fn hybrid_fraction_trades_density_for_time() {
+        let w = workload();
+        let pure = w.run(&ExperimentConfig::new(
+            FloorplanKind::PointSam { banks: 1 },
+            1,
+        ));
+        let hybrid = w.run(
+            &ExperimentConfig::new(FloorplanKind::PointSam { banks: 1 }, 1)
+                .with_hybrid_fraction(0.5),
+        );
+        assert!(hybrid.memory_density < pure.memory_density);
+        assert!(hybrid.total_beats <= pure.total_beats);
+        assert!(hybrid.hot_qubits > 0);
+    }
+
+    #[test]
+    fn role_based_hot_set_uses_the_register_structure() {
+        let select = Workload::from_circuit(Benchmark::Select.reduced_instance());
+        let config = ExperimentConfig::new(FloorplanKind::PointSam { banks: 1 }, 1)
+            .with_hybrid_fraction(0.3)
+            .with_hot_set(HotSetStrategy::ByRole(vec![
+                RegisterRole::Control,
+                RegisterRole::Temporal,
+            ]));
+        let hot = select.hot_qubits(&config);
+        assert!(!hot.is_empty());
+        let result = select.run(&config);
+        assert!(result.hot_qubits > 0);
+    }
+
+    #[test]
+    fn explicit_hot_set_is_respected() {
+        let w = workload();
+        let config = ExperimentConfig::new(FloorplanKind::LineSam { banks: 1 }, 1)
+            .with_hybrid_fraction(0.1)
+            .with_hot_set(HotSetStrategy::Explicit(vec![QubitTag(0), QubitTag(1)]));
+        let hot = w.hot_qubits(&config);
+        assert!(hot.contains(&QubitTag(0)));
+    }
+
+    #[test]
+    fn trace_and_infinite_magic_options_propagate() {
+        let w = Workload::from_circuit(Benchmark::Ghz.reduced_instance());
+        let result = w.run(
+            &ExperimentConfig::new(FloorplanKind::Conventional, 1)
+                .with_trace()
+                .with_infinite_magic(),
+        );
+        assert!(!result.trace.is_empty());
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        let plain = ExperimentConfig::new(FloorplanKind::LineSam { banks: 2 }, 4);
+        assert_eq!(plain.label(), "Line #SAM=2, 4 MSF");
+        let hybrid = plain.with_hybrid_fraction(0.25);
+        assert!(hybrid.label().contains("f=0.25"));
+        assert_eq!(ExperimentConfig::baseline(2).label(), "Conventional, 2 MSF");
+    }
+}

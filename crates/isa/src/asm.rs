@@ -1,0 +1,353 @@
+//! A textual assembly format for LSQCA programs.
+//!
+//! The syntax follows Table I: one instruction per line, mnemonic followed by
+//! whitespace-separated operands. Operands are written with a one-letter prefix
+//! identifying their space: `m<N>` for memory addresses, `c<N>` for register
+//! slots, `v<N>` for classical values. Lines starting with `;` or `#` are
+//! comments; blank lines are ignored.
+//!
+//! ```
+//! use lsqca_isa::asm::{format_program, parse_program};
+//!
+//! let source = "\n; a tiny program\nLD m0 c0\nHD.C c0\nST c0 m0\n";
+//! let program = parse_program("tiny", source).unwrap();
+//! assert_eq!(program.len(), 3);
+//! let text = format_program(&program);
+//! assert!(text.contains("HD.C c0"));
+//! // Round trip: parsing the formatted text yields the same program.
+//! assert_eq!(parse_program("tiny", &text).unwrap(), program);
+//! ```
+
+use crate::instruction::Instruction;
+use crate::operand::{ClassicalId, MemAddr, RegId};
+use crate::program::Program;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing LSQCA assembly text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Formats a program in the assembly syntax (identical to `Program`'s `Display`).
+pub fn format_program(program: &Program) -> String {
+    program.to_string()
+}
+
+/// Parses assembly text into a [`Program`] named `name`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] identifying the first malformed line: unknown
+/// mnemonic, wrong operand count, or an operand with the wrong prefix for its
+/// position.
+pub fn parse_program(name: &str, source: &str) -> Result<Program, ParseError> {
+    let mut program = Program::new(name);
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with(';') || line.starts_with('#') {
+            continue;
+        }
+        let instruction = parse_line(line).map_err(|message| ParseError {
+            line: line_no,
+            message,
+        })?;
+        program.push(instruction);
+    }
+    Ok(program)
+}
+
+fn parse_line(line: &str) -> Result<Instruction, String> {
+    let mut parts = line.split_whitespace();
+    let mnemonic = parts.next().ok_or_else(|| "empty line".to_string())?;
+    let operands: Vec<&str> = parts.collect();
+    let expect =
+        |n: usize| -> Result<(), String> {
+            if operands.len() == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{mnemonic} expects {n} operand(s), found {}",
+                    operands.len()
+                ))
+            }
+        };
+
+    let instr = match mnemonic.to_ascii_uppercase().as_str() {
+        "LD" => {
+            expect(2)?;
+            Instruction::Ld {
+                mem: parse_mem(operands[0])?,
+                reg: parse_reg(operands[1])?,
+            }
+        }
+        "ST" => {
+            expect(2)?;
+            Instruction::St {
+                reg: parse_reg(operands[0])?,
+                mem: parse_mem(operands[1])?,
+            }
+        }
+        "PZ.C" => {
+            expect(1)?;
+            Instruction::PzC {
+                reg: parse_reg(operands[0])?,
+            }
+        }
+        "PP.C" => {
+            expect(1)?;
+            Instruction::PpC {
+                reg: parse_reg(operands[0])?,
+            }
+        }
+        "PM" => {
+            expect(1)?;
+            Instruction::Pm {
+                reg: parse_reg(operands[0])?,
+            }
+        }
+        "HD.C" => {
+            expect(1)?;
+            Instruction::HdC {
+                reg: parse_reg(operands[0])?,
+            }
+        }
+        "PH.C" => {
+            expect(1)?;
+            Instruction::PhC {
+                reg: parse_reg(operands[0])?,
+            }
+        }
+        "MX.C" => {
+            expect(2)?;
+            Instruction::MxC {
+                reg: parse_reg(operands[0])?,
+                out: parse_classical(operands[1])?,
+            }
+        }
+        "MZ.C" => {
+            expect(2)?;
+            Instruction::MzC {
+                reg: parse_reg(operands[0])?,
+                out: parse_classical(operands[1])?,
+            }
+        }
+        "MXX.C" => {
+            expect(3)?;
+            Instruction::MxxC {
+                reg1: parse_reg(operands[0])?,
+                reg2: parse_reg(operands[1])?,
+                out: parse_classical(operands[2])?,
+            }
+        }
+        "MZZ.C" => {
+            expect(3)?;
+            Instruction::MzzC {
+                reg1: parse_reg(operands[0])?,
+                reg2: parse_reg(operands[1])?,
+                out: parse_classical(operands[2])?,
+            }
+        }
+        "SK" => {
+            expect(1)?;
+            Instruction::Sk {
+                cond: parse_classical(operands[0])?,
+            }
+        }
+        "PZ.M" => {
+            expect(1)?;
+            Instruction::PzM {
+                mem: parse_mem(operands[0])?,
+            }
+        }
+        "PP.M" => {
+            expect(1)?;
+            Instruction::PpM {
+                mem: parse_mem(operands[0])?,
+            }
+        }
+        "HD.M" => {
+            expect(1)?;
+            Instruction::HdM {
+                mem: parse_mem(operands[0])?,
+            }
+        }
+        "PH.M" => {
+            expect(1)?;
+            Instruction::PhM {
+                mem: parse_mem(operands[0])?,
+            }
+        }
+        "MX.M" => {
+            expect(2)?;
+            Instruction::MxM {
+                mem: parse_mem(operands[0])?,
+                out: parse_classical(operands[1])?,
+            }
+        }
+        "MZ.M" => {
+            expect(2)?;
+            Instruction::MzM {
+                mem: parse_mem(operands[0])?,
+                out: parse_classical(operands[1])?,
+            }
+        }
+        "MXX.M" => {
+            expect(3)?;
+            Instruction::MxxM {
+                reg: parse_reg(operands[0])?,
+                mem: parse_mem(operands[1])?,
+                out: parse_classical(operands[2])?,
+            }
+        }
+        "MZZ.M" => {
+            expect(3)?;
+            Instruction::MzzM {
+                reg: parse_reg(operands[0])?,
+                mem: parse_mem(operands[1])?,
+                out: parse_classical(operands[2])?,
+            }
+        }
+        "CX" => {
+            expect(2)?;
+            Instruction::Cx {
+                control: parse_mem(operands[0])?,
+                target: parse_mem(operands[1])?,
+            }
+        }
+        other => return Err(format!("unknown mnemonic `{other}`")),
+    };
+    Ok(instr)
+}
+
+fn parse_index(token: &str, prefix: char, space: &str) -> Result<u32, String> {
+    let mut chars = token.chars();
+    match chars.next() {
+        Some(c) if c.eq_ignore_ascii_case(&prefix) => {}
+        _ => return Err(format!("expected {space} operand like `{prefix}3`, found `{token}`")),
+    }
+    chars
+        .as_str()
+        .parse::<u32>()
+        .map_err(|_| format!("invalid {space} index in `{token}`"))
+}
+
+fn parse_mem(token: &str) -> Result<MemAddr, String> {
+    parse_index(token, 'm', "memory").map(MemAddr)
+}
+
+fn parse_reg(token: &str) -> Result<RegId, String> {
+    parse_index(token, 'c', "register").map(RegId)
+}
+
+fn parse_classical(token: &str) -> Result<ClassicalId, String> {
+    parse_index(token, 'v', "classical").map(ClassicalId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::example_instructions;
+
+    #[test]
+    fn every_instruction_round_trips_through_text() {
+        let mut program = Program::new("all");
+        program.extend(example_instructions());
+        let text = format_program(&program);
+        let parsed = parse_program("all", &text).unwrap();
+        assert_eq!(parsed, program);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let src = "; header\n\n# another comment\nPZ.C c0\n";
+        let p = parse_program("p", src).unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_rejected_with_line_number() {
+        let err = parse_program("p", "PZ.C c0\nFROB c1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unknown mnemonic"));
+    }
+
+    #[test]
+    fn wrong_operand_count_is_rejected() {
+        let err = parse_program("p", "LD m0\n").unwrap_err();
+        assert!(err.message.contains("expects 2"));
+    }
+
+    #[test]
+    fn wrong_operand_space_is_rejected() {
+        let err = parse_program("p", "LD c0 m0\n").unwrap_err();
+        assert!(err.message.contains("memory operand"));
+        let err = parse_program("p", "SK m0\n").unwrap_err();
+        assert!(err.message.contains("classical"));
+    }
+
+    #[test]
+    fn invalid_index_is_rejected() {
+        let err = parse_program("p", "PZ.C cX\n").unwrap_err();
+        assert!(err.message.contains("invalid register index"));
+    }
+
+    #[test]
+    fn mnemonics_are_case_insensitive_but_canonicalized() {
+        let p = parse_program("p", "ld m1 c0\nhd.c c0\n").unwrap();
+        assert_eq!(p.instructions()[0].mnemonic(), "LD");
+        assert_eq!(p.instructions()[1].mnemonic(), "HD.C");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::instruction::Instruction;
+    use proptest::prelude::*;
+
+    fn arbitrary_instruction() -> impl Strategy<Value = Instruction> {
+        let mem = (0u32..10_000).prop_map(MemAddr);
+        let reg = (0u32..64).prop_map(RegId);
+        let val = (0u32..10_000).prop_map(ClassicalId);
+        prop_oneof![
+            (mem.clone(), reg.clone()).prop_map(|(mem, reg)| Instruction::Ld { mem, reg }),
+            (reg.clone(), mem.clone()).prop_map(|(reg, mem)| Instruction::St { reg, mem }),
+            reg.clone().prop_map(|reg| Instruction::PzC { reg }),
+            reg.clone().prop_map(|reg| Instruction::Pm { reg }),
+            reg.clone().prop_map(|reg| Instruction::HdC { reg }),
+            (reg.clone(), val.clone()).prop_map(|(reg, out)| Instruction::MxC { reg, out }),
+            (reg.clone(), reg.clone(), val.clone())
+                .prop_map(|(reg1, reg2, out)| Instruction::MzzC { reg1, reg2, out }),
+            val.clone().prop_map(|cond| Instruction::Sk { cond }),
+            mem.clone().prop_map(|mem| Instruction::HdM { mem }),
+            (reg, mem.clone(), val).prop_map(|(reg, mem, out)| Instruction::MzzM { reg, mem, out }),
+            (mem.clone(), mem).prop_map(|(control, target)| Instruction::Cx { control, target }),
+        ]
+    }
+
+    proptest! {
+        /// Formatting then parsing any program reproduces it exactly.
+        #[test]
+        fn format_parse_round_trip(instrs in proptest::collection::vec(arbitrary_instruction(), 0..100)) {
+            let mut program = Program::new("prop");
+            program.extend(instrs);
+            let text = format_program(&program);
+            let parsed = parse_program("prop", &text).unwrap();
+            prop_assert_eq!(parsed, program);
+        }
+    }
+}

@@ -1,0 +1,624 @@
+//! The LSQCA instructions (Table I).
+
+use crate::operand::{ClassicalId, MemAddr, RegId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The instruction categories of Table I.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum InstructionKind {
+    /// `LD` / `ST` data movement between SAM and CR.
+    Memory,
+    /// State preparations executed in the CR.
+    Preparation,
+    /// Unitary gates executed in the CR.
+    Unitary,
+    /// Measurements executed in the CR.
+    Measurement,
+    /// Classical control flow.
+    Control,
+    /// State preparations executed in place inside SAM.
+    InMemoryPreparation,
+    /// Unitary gates executed in place inside SAM.
+    InMemoryUnitary,
+    /// Measurements executed in place inside SAM.
+    InMemoryMeasurement,
+    /// Locally optimized composite unitaries (the `CX` instruction).
+    OptimizedUnitary,
+}
+
+impl fmt::Display for InstructionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstructionKind::Memory => "memory",
+            InstructionKind::Preparation => "preparation",
+            InstructionKind::Unitary => "unitary",
+            InstructionKind::Measurement => "measurement",
+            InstructionKind::Control => "control",
+            InstructionKind::InMemoryPreparation => "in-memory preparation",
+            InstructionKind::InMemoryUnitary => "in-memory unitary",
+            InstructionKind::InMemoryMeasurement => "in-memory measurement",
+            InstructionKind::OptimizedUnitary => "optimized unitary",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The location of a logical-qubit operand: a CR register slot or a SAM address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperandLocation {
+    /// Operand lives in the computational register.
+    Register(RegId),
+    /// Operand lives in scan-access memory.
+    Memory(MemAddr),
+}
+
+impl fmt::Display for OperandLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperandLocation::Register(r) => write!(f, "{r}"),
+            OperandLocation::Memory(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// One LSQCA instruction (Table I of the paper).
+///
+/// Variants ending in `C` act on CR register slots, variants ending in `M` act on
+/// SAM addresses in place, and `Cx` is the locally-optimized CNOT whose operand
+/// placement is decided at runtime by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instruction {
+    /// `LD M C` — load a logical qubit from SAM into a CR register slot.
+    Ld {
+        /// SAM address to load from.
+        mem: MemAddr,
+        /// CR slot to load into.
+        reg: RegId,
+    },
+    /// `ST C M` — store a logical qubit from a CR slot back into SAM.
+    St {
+        /// CR slot to store from.
+        reg: RegId,
+        /// SAM address to store to.
+        mem: MemAddr,
+    },
+    /// `PZ.C C` — initialize a CR slot to |0⟩.
+    PzC {
+        /// Target CR slot.
+        reg: RegId,
+    },
+    /// `PP.C C` — initialize a CR slot to |+⟩.
+    PpC {
+        /// Target CR slot.
+        reg: RegId,
+    },
+    /// `PM C` — move a distilled magic state from the MSF buffer into a CR slot.
+    Pm {
+        /// Target CR slot.
+        reg: RegId,
+    },
+    /// `HD.C C` — Hadamard gate on a CR slot (3 beats).
+    HdC {
+        /// Target CR slot.
+        reg: RegId,
+    },
+    /// `PH.C C` — phase (S) gate on a CR slot (2 beats).
+    PhC {
+        /// Target CR slot.
+        reg: RegId,
+    },
+    /// `MX.C C V` — destructive Pauli-X measurement of a CR slot.
+    MxC {
+        /// Measured CR slot.
+        reg: RegId,
+        /// Classical destination for the outcome.
+        out: ClassicalId,
+    },
+    /// `MZ.C C V` — destructive Pauli-Z measurement of a CR slot.
+    MzC {
+        /// Measured CR slot.
+        reg: RegId,
+        /// Classical destination for the outcome.
+        out: ClassicalId,
+    },
+    /// `MXX.C C1 C2 V` — joint Pauli-XX measurement of two CR slots (1 beat).
+    MxxC {
+        /// First CR slot.
+        reg1: RegId,
+        /// Second CR slot.
+        reg2: RegId,
+        /// Classical destination for the outcome.
+        out: ClassicalId,
+    },
+    /// `MZZ.C C1 C2 V` — joint Pauli-ZZ measurement of two CR slots (1 beat).
+    MzzC {
+        /// First CR slot.
+        reg1: RegId,
+        /// Second CR slot.
+        reg2: RegId,
+        /// Classical destination for the outcome.
+        out: ClassicalId,
+    },
+    /// `SK V` — skip the next instruction if the classical value is zero.
+    Sk {
+        /// Classical value controlling the skip.
+        cond: ClassicalId,
+    },
+    /// `PZ.M M` — initialize a SAM qubit to |0⟩ in place.
+    PzM {
+        /// Target SAM address.
+        mem: MemAddr,
+    },
+    /// `PP.M M` — initialize a SAM qubit to |+⟩ in place.
+    PpM {
+        /// Target SAM address.
+        mem: MemAddr,
+    },
+    /// `HD.M M` — in-memory Hadamard (scan cell/line provides the ancilla).
+    HdM {
+        /// Target SAM address.
+        mem: MemAddr,
+    },
+    /// `PH.M M` — in-memory phase gate.
+    PhM {
+        /// Target SAM address.
+        mem: MemAddr,
+    },
+    /// `MX.M M V` — in-memory destructive Pauli-X measurement.
+    MxM {
+        /// Measured SAM address.
+        mem: MemAddr,
+        /// Classical destination for the outcome.
+        out: ClassicalId,
+    },
+    /// `MZ.M M V` — in-memory destructive Pauli-Z measurement.
+    MzM {
+        /// Measured SAM address.
+        mem: MemAddr,
+        /// Classical destination for the outcome.
+        out: ClassicalId,
+    },
+    /// `MXX.M C M V` — joint Pauli-XX measurement between a CR slot and a SAM qubit.
+    MxxM {
+        /// CR slot operand.
+        reg: RegId,
+        /// SAM address operand.
+        mem: MemAddr,
+        /// Classical destination for the outcome.
+        out: ClassicalId,
+    },
+    /// `MZZ.M C M V` — joint Pauli-ZZ measurement between a CR slot and a SAM qubit.
+    MzzM {
+        /// CR slot operand.
+        reg: RegId,
+        /// SAM address operand.
+        mem: MemAddr,
+        /// Classical destination for the outcome.
+        out: ClassicalId,
+    },
+    /// `CX M1 M2` — locally optimized CNOT between two SAM qubits.
+    Cx {
+        /// Control qubit address.
+        control: MemAddr,
+        /// Target qubit address.
+        target: MemAddr,
+    },
+}
+
+impl Instruction {
+    /// The Table I category of this instruction.
+    pub fn kind(&self) -> InstructionKind {
+        use Instruction::*;
+        match self {
+            Ld { .. } | St { .. } => InstructionKind::Memory,
+            PzC { .. } | PpC { .. } | Pm { .. } => InstructionKind::Preparation,
+            HdC { .. } | PhC { .. } => InstructionKind::Unitary,
+            MxC { .. } | MzC { .. } | MxxC { .. } | MzzC { .. } => InstructionKind::Measurement,
+            Sk { .. } => InstructionKind::Control,
+            PzM { .. } | PpM { .. } => InstructionKind::InMemoryPreparation,
+            HdM { .. } | PhM { .. } => InstructionKind::InMemoryUnitary,
+            MxM { .. } | MzM { .. } | MxxM { .. } | MzzM { .. } => {
+                InstructionKind::InMemoryMeasurement
+            }
+            Cx { .. } => InstructionKind::OptimizedUnitary,
+        }
+    }
+
+    /// The assembler mnemonic of this instruction (Table I syntax column).
+    pub fn mnemonic(&self) -> &'static str {
+        use Instruction::*;
+        match self {
+            Ld { .. } => "LD",
+            St { .. } => "ST",
+            PzC { .. } => "PZ.C",
+            PpC { .. } => "PP.C",
+            Pm { .. } => "PM",
+            HdC { .. } => "HD.C",
+            PhC { .. } => "PH.C",
+            MxC { .. } => "MX.C",
+            MzC { .. } => "MZ.C",
+            MxxC { .. } => "MXX.C",
+            MzzC { .. } => "MZZ.C",
+            Sk { .. } => "SK",
+            PzM { .. } => "PZ.M",
+            PpM { .. } => "PP.M",
+            HdM { .. } => "HD.M",
+            PhM { .. } => "PH.M",
+            MxM { .. } => "MX.M",
+            MzM { .. } => "MZ.M",
+            MxxM { .. } => "MXX.M",
+            MzzM { .. } => "MZZ.M",
+            Cx { .. } => "CX",
+        }
+    }
+
+    /// All logical-qubit operands (registers and memory addresses) of this
+    /// instruction, in syntactic order.
+    pub fn qubit_operands(&self) -> Vec<OperandLocation> {
+        use Instruction::*;
+        use OperandLocation::{Memory, Register};
+        match *self {
+            Ld { mem, reg } => vec![Memory(mem), Register(reg)],
+            St { reg, mem } => vec![Register(reg), Memory(mem)],
+            PzC { reg } | PpC { reg } | Pm { reg } | HdC { reg } | PhC { reg } => {
+                vec![Register(reg)]
+            }
+            MxC { reg, .. } | MzC { reg, .. } => vec![Register(reg)],
+            MxxC { reg1, reg2, .. } | MzzC { reg1, reg2, .. } => {
+                vec![Register(reg1), Register(reg2)]
+            }
+            Sk { .. } => vec![],
+            PzM { mem } | PpM { mem } | HdM { mem } | PhM { mem } => vec![Memory(mem)],
+            MxM { mem, .. } | MzM { mem, .. } => vec![Memory(mem)],
+            MxxM { reg, mem, .. } | MzzM { reg, mem, .. } => vec![Register(reg), Memory(mem)],
+            Cx { control, target } => vec![Memory(control), Memory(target)],
+        }
+    }
+
+    /// The SAM addresses referenced by this instruction.
+    pub fn memory_operands(&self) -> Vec<MemAddr> {
+        self.qubit_operands()
+            .into_iter()
+            .filter_map(|op| match op {
+                OperandLocation::Memory(m) => Some(m),
+                OperandLocation::Register(_) => None,
+            })
+            .collect()
+    }
+
+    /// The CR slots referenced by this instruction.
+    pub fn register_operands(&self) -> Vec<RegId> {
+        self.qubit_operands()
+            .into_iter()
+            .filter_map(|op| match op {
+                OperandLocation::Register(r) => Some(r),
+                OperandLocation::Memory(_) => None,
+            })
+            .collect()
+    }
+
+    /// The classical value written by this instruction, if any.
+    pub fn classical_output(&self) -> Option<ClassicalId> {
+        use Instruction::*;
+        match *self {
+            MxC { out, .. }
+            | MzC { out, .. }
+            | MxxC { out, .. }
+            | MzzC { out, .. }
+            | MxM { out, .. }
+            | MzM { out, .. }
+            | MxxM { out, .. }
+            | MzzM { out, .. } => Some(out),
+            _ => None,
+        }
+    }
+
+    /// The classical value read by this instruction, if any (only `SK`).
+    pub fn classical_input(&self) -> Option<ClassicalId> {
+        match *self {
+            Instruction::Sk { cond } => Some(cond),
+            _ => None,
+        }
+    }
+
+    /// True if this instruction consumes a distilled magic state.
+    pub fn consumes_magic_state(&self) -> bool {
+        matches!(self, Instruction::Pm { .. })
+    }
+
+    /// True if the instruction operates on SAM contents in place (the `*.M`
+    /// variants and the optimized `CX`).
+    pub fn is_in_memory(&self) -> bool {
+        matches!(
+            self.kind(),
+            InstructionKind::InMemoryPreparation
+                | InstructionKind::InMemoryUnitary
+                | InstructionKind::InMemoryMeasurement
+                | InstructionKind::OptimizedUnitary
+        )
+    }
+
+    /// True if the instruction references at least one SAM address.
+    pub fn touches_memory(&self) -> bool {
+        !self.memory_operands().is_empty()
+    }
+
+    /// True if this instruction may take a data-dependent, variable number of
+    /// beats (the "variable" rows of Table I).
+    pub fn has_variable_latency(&self) -> bool {
+        use Instruction::*;
+        matches!(
+            self,
+            Ld { .. }
+                | St { .. }
+                | Pm { .. }
+                | Sk { .. }
+                | HdM { .. }
+                | PhM { .. }
+                | MxxM { .. }
+                | MzzM { .. }
+                | Cx { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        match *self {
+            Ld { mem, reg } => write!(f, "LD {mem} {reg}"),
+            St { reg, mem } => write!(f, "ST {reg} {mem}"),
+            PzC { reg } => write!(f, "PZ.C {reg}"),
+            PpC { reg } => write!(f, "PP.C {reg}"),
+            Pm { reg } => write!(f, "PM {reg}"),
+            HdC { reg } => write!(f, "HD.C {reg}"),
+            PhC { reg } => write!(f, "PH.C {reg}"),
+            MxC { reg, out } => write!(f, "MX.C {reg} {out}"),
+            MzC { reg, out } => write!(f, "MZ.C {reg} {out}"),
+            MxxC { reg1, reg2, out } => write!(f, "MXX.C {reg1} {reg2} {out}"),
+            MzzC { reg1, reg2, out } => write!(f, "MZZ.C {reg1} {reg2} {out}"),
+            Sk { cond } => write!(f, "SK {cond}"),
+            PzM { mem } => write!(f, "PZ.M {mem}"),
+            PpM { mem } => write!(f, "PP.M {mem}"),
+            HdM { mem } => write!(f, "HD.M {mem}"),
+            PhM { mem } => write!(f, "PH.M {mem}"),
+            MxM { mem, out } => write!(f, "MX.M {mem} {out}"),
+            MzM { mem, out } => write!(f, "MZ.M {mem} {out}"),
+            MxxM { reg, mem, out } => write!(f, "MXX.M {reg} {mem} {out}"),
+            MzzM { reg, mem, out } => write!(f, "MZZ.M {reg} {mem} {out}"),
+            Cx { control, target } => write!(f, "CX {control} {target}"),
+        }
+    }
+}
+
+/// Enumerates one instance of every instruction variant, useful for exhaustive
+/// tests and for printing the ISA reference table.
+pub fn example_instructions() -> Vec<Instruction> {
+    use Instruction::*;
+    vec![
+        Ld {
+            mem: MemAddr(0),
+            reg: RegId(0),
+        },
+        St {
+            reg: RegId(0),
+            mem: MemAddr(0),
+        },
+        PzC { reg: RegId(0) },
+        PpC { reg: RegId(0) },
+        Pm { reg: RegId(0) },
+        HdC { reg: RegId(0) },
+        PhC { reg: RegId(0) },
+        MxC {
+            reg: RegId(0),
+            out: ClassicalId(0),
+        },
+        MzC {
+            reg: RegId(0),
+            out: ClassicalId(0),
+        },
+        MxxC {
+            reg1: RegId(0),
+            reg2: RegId(1),
+            out: ClassicalId(0),
+        },
+        MzzC {
+            reg1: RegId(0),
+            reg2: RegId(1),
+            out: ClassicalId(0),
+        },
+        Sk {
+            cond: ClassicalId(0),
+        },
+        PzM { mem: MemAddr(0) },
+        PpM { mem: MemAddr(0) },
+        HdM { mem: MemAddr(0) },
+        PhM { mem: MemAddr(0) },
+        MxM {
+            mem: MemAddr(0),
+            out: ClassicalId(0),
+        },
+        MzM {
+            mem: MemAddr(0),
+            out: ClassicalId(0),
+        },
+        MxxM {
+            reg: RegId(0),
+            mem: MemAddr(0),
+            out: ClassicalId(0),
+        },
+        MzzM {
+            reg: RegId(0),
+            mem: MemAddr(0),
+            out: ClassicalId(0),
+        },
+        Cx {
+            control: MemAddr(0),
+            target: MemAddr(1),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_is_enumerated_exactly_once() {
+        let all = example_instructions();
+        assert_eq!(all.len(), 21);
+        let mut mnemonics: Vec<_> = all.iter().map(|i| i.mnemonic()).collect();
+        mnemonics.sort_unstable();
+        mnemonics.dedup();
+        assert_eq!(mnemonics.len(), 21, "mnemonics must be unique");
+    }
+
+    #[test]
+    fn kind_classification_matches_table_one() {
+        use Instruction::*;
+        assert_eq!(
+            Ld {
+                mem: MemAddr(0),
+                reg: RegId(0)
+            }
+            .kind(),
+            InstructionKind::Memory
+        );
+        assert_eq!(Pm { reg: RegId(0) }.kind(), InstructionKind::Preparation);
+        assert_eq!(HdC { reg: RegId(0) }.kind(), InstructionKind::Unitary);
+        assert_eq!(
+            MzzC {
+                reg1: RegId(0),
+                reg2: RegId(1),
+                out: ClassicalId(0)
+            }
+            .kind(),
+            InstructionKind::Measurement
+        );
+        assert_eq!(
+            Sk {
+                cond: ClassicalId(0)
+            }
+            .kind(),
+            InstructionKind::Control
+        );
+        assert_eq!(
+            PzM { mem: MemAddr(0) }.kind(),
+            InstructionKind::InMemoryPreparation
+        );
+        assert_eq!(
+            HdM { mem: MemAddr(0) }.kind(),
+            InstructionKind::InMemoryUnitary
+        );
+        assert_eq!(
+            MzzM {
+                reg: RegId(0),
+                mem: MemAddr(0),
+                out: ClassicalId(0)
+            }
+            .kind(),
+            InstructionKind::InMemoryMeasurement
+        );
+        assert_eq!(
+            Cx {
+                control: MemAddr(0),
+                target: MemAddr(1)
+            }
+            .kind(),
+            InstructionKind::OptimizedUnitary
+        );
+    }
+
+    #[test]
+    fn operand_extraction() {
+        let ld = Instruction::Ld {
+            mem: MemAddr(3),
+            reg: RegId(1),
+        };
+        assert_eq!(ld.memory_operands(), vec![MemAddr(3)]);
+        assert_eq!(ld.register_operands(), vec![RegId(1)]);
+        assert!(ld.touches_memory());
+        assert!(!ld.is_in_memory());
+
+        let mzzm = Instruction::MzzM {
+            reg: RegId(0),
+            mem: MemAddr(7),
+            out: ClassicalId(2),
+        };
+        assert_eq!(mzzm.classical_output(), Some(ClassicalId(2)));
+        assert_eq!(mzzm.classical_input(), None);
+        assert!(mzzm.is_in_memory());
+
+        let sk = Instruction::Sk {
+            cond: ClassicalId(4),
+        };
+        assert_eq!(sk.classical_input(), Some(ClassicalId(4)));
+        assert_eq!(sk.classical_output(), None);
+        assert!(sk.qubit_operands().is_empty());
+        assert!(!sk.touches_memory());
+    }
+
+    #[test]
+    fn variable_latency_matches_table_one() {
+        use Instruction::*;
+        assert!(Ld {
+            mem: MemAddr(0),
+            reg: RegId(0)
+        }
+        .has_variable_latency());
+        assert!(St {
+            reg: RegId(0),
+            mem: MemAddr(0)
+        }
+        .has_variable_latency());
+        assert!(Pm { reg: RegId(0) }.has_variable_latency());
+        assert!(HdM { mem: MemAddr(0) }.has_variable_latency());
+        assert!(Cx {
+            control: MemAddr(0),
+            target: MemAddr(1)
+        }
+        .has_variable_latency());
+        assert!(!HdC { reg: RegId(0) }.has_variable_latency());
+        assert!(!PzC { reg: RegId(0) }.has_variable_latency());
+        assert!(!MzzC {
+            reg1: RegId(0),
+            reg2: RegId(1),
+            out: ClassicalId(0)
+        }
+        .has_variable_latency());
+    }
+
+    #[test]
+    fn magic_state_consumption() {
+        assert!(Instruction::Pm { reg: RegId(0) }.consumes_magic_state());
+        for instr in example_instructions() {
+            if !matches!(instr, Instruction::Pm { .. }) {
+                assert!(!instr.consumes_magic_state());
+            }
+        }
+    }
+
+    #[test]
+    fn display_round_trips_mnemonic() {
+        for instr in example_instructions() {
+            let text = instr.to_string();
+            assert!(
+                text.starts_with(instr.mnemonic()),
+                "{text} should start with {}",
+                instr.mnemonic()
+            );
+        }
+        assert_eq!(
+            Instruction::MzzM {
+                reg: RegId(1),
+                mem: MemAddr(5),
+                out: ClassicalId(3)
+            }
+            .to_string(),
+            "MZZ.M c1 m5 v3"
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Operand spaces of the LSQCA instruction set.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An abstract memory qubit address (`M` operand).
+///
+/// Addresses name logical qubits stored in SAM; the controller maintains the map
+/// from address to the physical cell currently holding the qubit, so the same
+/// compiled program runs on any SAM geometry (the paper's portability argument).
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct MemAddr(pub u32);
+
+impl MemAddr {
+    /// The raw address index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for MemAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl From<u32> for MemAddr {
+    fn from(value: u32) -> Self {
+        MemAddr(value)
+    }
+}
+
+/// A computational-register qubit identifier (`C` operand).
+///
+/// With the minimal CR of the paper there are two register slots; a hybrid
+/// floorplan extends the identifier space to cover the attached conventional
+/// region as well.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RegId(pub u32);
+
+impl RegId {
+    /// The raw register index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u32> for RegId {
+    fn from(value: u32) -> Self {
+        RegId(value)
+    }
+}
+
+/// A classical value identifier (`V` operand) holding a measurement outcome.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ClassicalId(pub u32);
+
+impl ClassicalId {
+    /// The raw classical register index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ClassicalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for ClassicalId {
+    fn from(value: u32) -> Self {
+        ClassicalId(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_distinguish_operand_spaces() {
+        assert_eq!(MemAddr(3).to_string(), "m3");
+        assert_eq!(RegId(1).to_string(), "c1");
+        assert_eq!(ClassicalId(7).to_string(), "v7");
+    }
+
+    #[test]
+    fn conversions_and_indexing() {
+        assert_eq!(MemAddr::from(4u32).index(), 4);
+        assert_eq!(RegId::from(2u32).index(), 2);
+        assert_eq!(ClassicalId::from(9u32).index(), 9);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(MemAddr(1) < MemAddr(2));
+        assert!(RegId(0) < RegId(5));
+        assert!(ClassicalId(3) > ClassicalId(1));
+    }
+}

@@ -1,0 +1,389 @@
+//! Static validation of LSQCA programs.
+//!
+//! The checks are the ones a memory controller would demand before accepting a
+//! program:
+//!
+//! * `SK` only reads classical values that some earlier instruction produced.
+//! * `SK` must be followed by an instruction it can actually skip.
+//! * A `LD` must not target a register slot that already holds a loaded qubit,
+//!   and a `ST` must store a slot that was previously loaded or prepared
+//!   (register liveness discipline).
+//! * A qubit cannot be loaded twice without an intervening store (it would be in
+//!   two places at once).
+
+use crate::instruction::Instruction;
+use crate::operand::{ClassicalId, MemAddr, RegId};
+use crate::program::Program;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+/// A violation detected by [`validate_program`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ValidationError {
+    /// `SK` reads a classical value never written before it.
+    UndefinedClassicalValue {
+        /// Index of the offending instruction.
+        index: usize,
+        /// The classical value that was never written.
+        value: ClassicalId,
+    },
+    /// `SK` is the last instruction, so there is nothing to skip.
+    DanglingSkip {
+        /// Index of the offending instruction.
+        index: usize,
+    },
+    /// A register slot was used as a gate/measurement operand while empty.
+    EmptyRegisterUse {
+        /// Index of the offending instruction.
+        index: usize,
+        /// The register slot that held no qubit.
+        reg: RegId,
+    },
+    /// A `LD` targets a register slot that is already occupied.
+    RegisterOverwrite {
+        /// Index of the offending instruction.
+        index: usize,
+        /// The register slot that was still occupied.
+        reg: RegId,
+    },
+    /// A memory qubit was loaded while it was already checked out to the CR.
+    DoubleLoad {
+        /// Index of the offending instruction.
+        index: usize,
+        /// The memory address loaded twice.
+        mem: MemAddr,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UndefinedClassicalValue { index, value } => {
+                write!(f, "instruction {index}: skip reads undefined value {value}")
+            }
+            ValidationError::DanglingSkip { index } => {
+                write!(f, "instruction {index}: skip has no following instruction")
+            }
+            ValidationError::EmptyRegisterUse { index, reg } => {
+                write!(f, "instruction {index}: register {reg} is used while empty")
+            }
+            ValidationError::RegisterOverwrite { index, reg } => {
+                write!(f, "instruction {index}: register {reg} is loaded while occupied")
+            }
+            ValidationError::DoubleLoad { index, mem } => {
+                write!(f, "instruction {index}: memory qubit {mem} is already loaded")
+            }
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+/// Summary of a successful validation.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Distinct register slots used by the program.
+    pub registers_used: BTreeSet<RegId>,
+    /// Distinct memory addresses referenced.
+    pub memory_used: BTreeSet<MemAddr>,
+    /// Distinct classical values written.
+    pub classical_written: BTreeSet<ClassicalId>,
+    /// Maximum number of register slots simultaneously holding loaded qubits.
+    pub peak_register_pressure: usize,
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} registers, {} memory qubits, {} classical values, peak register pressure {}",
+            self.registers_used.len(),
+            self.memory_used.len(),
+            self.classical_written.len(),
+            self.peak_register_pressure
+        )
+    }
+}
+
+/// What a register slot currently holds during abstract interpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Empty,
+    /// Holds a qubit checked out from this SAM address.
+    LoadedFrom(MemAddr),
+    /// Holds a locally prepared state (|0⟩, |+⟩, or magic).
+    Prepared,
+}
+
+/// Validates a program; returns a report on success or the first error found.
+///
+/// # Errors
+///
+/// Returns the first [`ValidationError`] encountered while scanning the program
+/// in order.
+pub fn validate_program(program: &Program) -> Result<ValidationReport, ValidationError> {
+    let mut report = ValidationReport::default();
+    let mut defined_values: BTreeSet<ClassicalId> = BTreeSet::new();
+    let mut slots: BTreeMap<RegId, SlotState> = BTreeMap::new();
+    let mut loaded_mem: BTreeSet<MemAddr> = BTreeSet::new();
+
+    let slot_state = |slots: &BTreeMap<RegId, SlotState>, reg: RegId| {
+        slots.get(&reg).copied().unwrap_or(SlotState::Empty)
+    };
+
+    let instructions = program.instructions();
+    for (index, instr) in instructions.iter().enumerate() {
+        for r in instr.register_operands() {
+            report.registers_used.insert(r);
+        }
+        for m in instr.memory_operands() {
+            report.memory_used.insert(m);
+        }
+
+        match *instr {
+            Instruction::Ld { mem, reg } => {
+                if loaded_mem.contains(&mem) {
+                    return Err(ValidationError::DoubleLoad { index, mem });
+                }
+                if !matches!(slot_state(&slots, reg), SlotState::Empty) {
+                    return Err(ValidationError::RegisterOverwrite { index, reg });
+                }
+                loaded_mem.insert(mem);
+                slots.insert(reg, SlotState::LoadedFrom(mem));
+            }
+            Instruction::St { reg, mem: _ } => {
+                match slot_state(&slots, reg) {
+                    SlotState::Empty => {
+                        return Err(ValidationError::EmptyRegisterUse { index, reg })
+                    }
+                    SlotState::LoadedFrom(m) => {
+                        loaded_mem.remove(&m);
+                    }
+                    SlotState::Prepared => {}
+                }
+                slots.insert(reg, SlotState::Empty);
+            }
+            Instruction::PzC { reg } | Instruction::PpC { reg } | Instruction::Pm { reg } => {
+                // Preparations may freely reinitialize a slot.
+                if let SlotState::LoadedFrom(m) = slot_state(&slots, reg) {
+                    loaded_mem.remove(&m);
+                }
+                slots.insert(reg, SlotState::Prepared);
+            }
+            Instruction::HdC { reg } | Instruction::PhC { reg } => {
+                if matches!(slot_state(&slots, reg), SlotState::Empty) {
+                    return Err(ValidationError::EmptyRegisterUse { index, reg });
+                }
+            }
+            Instruction::MxC { reg, .. } | Instruction::MzC { reg, .. } => {
+                if matches!(slot_state(&slots, reg), SlotState::Empty) {
+                    return Err(ValidationError::EmptyRegisterUse { index, reg });
+                }
+                // Destructive measurement frees the slot.
+                if let SlotState::LoadedFrom(m) = slot_state(&slots, reg) {
+                    loaded_mem.remove(&m);
+                }
+                slots.insert(reg, SlotState::Empty);
+            }
+            Instruction::MxxC { reg1, reg2, .. } | Instruction::MzzC { reg1, reg2, .. } => {
+                for reg in [reg1, reg2] {
+                    if matches!(slot_state(&slots, reg), SlotState::Empty) {
+                        return Err(ValidationError::EmptyRegisterUse { index, reg });
+                    }
+                }
+            }
+            Instruction::MxxM { reg, .. } | Instruction::MzzM { reg, .. } => {
+                if matches!(slot_state(&slots, reg), SlotState::Empty) {
+                    return Err(ValidationError::EmptyRegisterUse { index, reg });
+                }
+            }
+            Instruction::Sk { cond } => {
+                if !defined_values.contains(&cond) {
+                    return Err(ValidationError::UndefinedClassicalValue { index, value: cond });
+                }
+                if index + 1 >= instructions.len() {
+                    return Err(ValidationError::DanglingSkip { index });
+                }
+            }
+            // Pure in-memory instructions have no register discipline to check.
+            Instruction::PzM { .. }
+            | Instruction::PpM { .. }
+            | Instruction::HdM { .. }
+            | Instruction::PhM { .. }
+            | Instruction::MxM { .. }
+            | Instruction::MzM { .. }
+            | Instruction::Cx { .. } => {}
+        }
+
+        if let Some(out) = instr.classical_output() {
+            defined_values.insert(out);
+            report.classical_written.insert(out);
+        }
+
+        let pressure = slots
+            .values()
+            .filter(|s| !matches!(s, SlotState::Empty))
+            .count();
+        report.peak_register_pressure = report.peak_register_pressure.max(pressure);
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_program() -> Program {
+        let mut p = Program::new("ok");
+        p.push(Instruction::Ld {
+            mem: MemAddr(0),
+            reg: RegId(0),
+        });
+        p.push(Instruction::Pm { reg: RegId(1) });
+        p.push(Instruction::MzzC {
+            reg1: RegId(0),
+            reg2: RegId(1),
+            out: ClassicalId(0),
+        });
+        p.push(Instruction::MxC {
+            reg: RegId(1),
+            out: ClassicalId(1),
+        });
+        p.push(Instruction::Sk {
+            cond: ClassicalId(0),
+        });
+        p.push(Instruction::PhC { reg: RegId(0) });
+        p.push(Instruction::St {
+            reg: RegId(0),
+            mem: MemAddr(0),
+        });
+        p
+    }
+
+    #[test]
+    fn valid_program_produces_report() {
+        let report = validate_program(&ok_program()).unwrap();
+        assert_eq!(report.registers_used.len(), 2);
+        assert_eq!(report.memory_used.len(), 1);
+        assert_eq!(report.classical_written.len(), 2);
+        assert_eq!(report.peak_register_pressure, 2);
+        assert!(!report.to_string().is_empty());
+    }
+
+    #[test]
+    fn skip_of_undefined_value_is_rejected() {
+        let mut p = Program::new("bad");
+        p.push(Instruction::Sk {
+            cond: ClassicalId(0),
+        });
+        p.push(Instruction::PzC { reg: RegId(0) });
+        let err = validate_program(&p).unwrap_err();
+        assert!(matches!(err, ValidationError::UndefinedClassicalValue { .. }));
+        assert!(err.to_string().contains("undefined"));
+    }
+
+    #[test]
+    fn trailing_skip_is_rejected() {
+        let mut p = Program::new("bad");
+        p.push(Instruction::MzM {
+            mem: MemAddr(0),
+            out: ClassicalId(0),
+        });
+        p.push(Instruction::Sk {
+            cond: ClassicalId(0),
+        });
+        let err = validate_program(&p).unwrap_err();
+        assert!(matches!(err, ValidationError::DanglingSkip { .. }));
+    }
+
+    #[test]
+    fn empty_register_use_is_rejected() {
+        let mut p = Program::new("bad");
+        p.push(Instruction::HdC { reg: RegId(0) });
+        let err = validate_program(&p).unwrap_err();
+        assert!(matches!(err, ValidationError::EmptyRegisterUse { .. }));
+
+        let mut p = Program::new("bad-store");
+        p.push(Instruction::St {
+            reg: RegId(0),
+            mem: MemAddr(0),
+        });
+        assert!(matches!(
+            validate_program(&p).unwrap_err(),
+            ValidationError::EmptyRegisterUse { .. }
+        ));
+    }
+
+    #[test]
+    fn register_overwrite_is_rejected() {
+        let mut p = Program::new("bad");
+        p.push(Instruction::Ld {
+            mem: MemAddr(0),
+            reg: RegId(0),
+        });
+        p.push(Instruction::Ld {
+            mem: MemAddr(1),
+            reg: RegId(0),
+        });
+        let err = validate_program(&p).unwrap_err();
+        assert!(matches!(err, ValidationError::RegisterOverwrite { .. }));
+    }
+
+    #[test]
+    fn double_load_of_same_qubit_is_rejected() {
+        let mut p = Program::new("bad");
+        p.push(Instruction::Ld {
+            mem: MemAddr(0),
+            reg: RegId(0),
+        });
+        p.push(Instruction::Ld {
+            mem: MemAddr(0),
+            reg: RegId(1),
+        });
+        let err = validate_program(&p).unwrap_err();
+        assert!(matches!(err, ValidationError::DoubleLoad { .. }));
+    }
+
+    #[test]
+    fn measurement_frees_the_slot_for_reload() {
+        let mut p = Program::new("ok");
+        p.push(Instruction::Ld {
+            mem: MemAddr(0),
+            reg: RegId(0),
+        });
+        p.push(Instruction::MzC {
+            reg: RegId(0),
+            out: ClassicalId(0),
+        });
+        p.push(Instruction::Ld {
+            mem: MemAddr(1),
+            reg: RegId(0),
+        });
+        p.push(Instruction::St {
+            reg: RegId(0),
+            mem: MemAddr(1),
+        });
+        assert!(validate_program(&p).is_ok());
+    }
+
+    #[test]
+    fn in_memory_instructions_need_no_register_state() {
+        let mut p = Program::new("ok");
+        p.push(Instruction::HdM { mem: MemAddr(0) });
+        p.push(Instruction::Cx {
+            control: MemAddr(0),
+            target: MemAddr(1),
+        });
+        p.push(Instruction::MzM {
+            mem: MemAddr(1),
+            out: ClassicalId(0),
+        });
+        let report = validate_program(&p).unwrap();
+        assert_eq!(report.memory_used.len(), 2);
+        assert_eq!(report.peak_register_pressure, 0);
+    }
+}

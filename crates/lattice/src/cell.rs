@@ -1,0 +1,167 @@
+//! Surface-code cells: the unit tiles of an FTQC floorplan.
+//!
+//! Each cell is one surface-code patch worth of physical qubits. A floorplan
+//! assigns every cell a role ([`CellKind`]) and tracks whether a logical qubit is
+//! currently stored in it ([`CellState`]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a logical data qubit stored on the lattice.
+///
+/// The tag is assigned by the compiler / memory controller and stays with the
+/// qubit as it moves between cells, banks, and the computational register.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct QubitTag(pub u32);
+
+impl QubitTag {
+    /// Returns the raw index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for QubitTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for QubitTag {
+    fn from(value: u32) -> Self {
+        QubitTag(value)
+    }
+}
+
+/// The architectural role a cell plays in a floorplan.
+///
+/// The LSQCA floorplans (Fig. 9, 10) use every one of these roles: SAM data
+/// cells, the scan cell / scan line, CR register and auxiliary cells, ports
+/// between regions, and magic-state-factory cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Stores a logical data qubit in a SAM bank or conventional floorplan.
+    Data,
+    /// Empty space used as routing / lattice-surgery ancilla.
+    Auxiliary,
+    /// The movable vacancy of a point SAM (or a cell of a line SAM's scan line).
+    Scan,
+    /// A register cell of the computational register that holds a loaded qubit.
+    Register,
+    /// A port cell connecting two regions (SAM↔CR or CR↔MSF).
+    Port,
+    /// A cell belonging to a magic-state factory.
+    Factory,
+}
+
+impl CellKind {
+    /// True if a logical data qubit may rest in this cell between operations.
+    pub fn can_store_data(self) -> bool {
+        matches!(
+            self,
+            CellKind::Data | CellKind::Register | CellKind::Port | CellKind::Scan
+        )
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellKind::Data => "data",
+            CellKind::Auxiliary => "auxiliary",
+            CellKind::Scan => "scan",
+            CellKind::Register => "register",
+            CellKind::Port => "port",
+            CellKind::Factory => "factory",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Occupancy state of a single cell.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellState {
+    /// No logical qubit is stored here; the cell can act as surgery ancilla.
+    #[default]
+    Vacant,
+    /// A logical qubit is stored here.
+    Occupied(QubitTag),
+}
+
+impl CellState {
+    /// True if the cell holds no logical qubit.
+    pub fn is_vacant(self) -> bool {
+        matches!(self, CellState::Vacant)
+    }
+
+    /// Returns the occupant, if any.
+    pub fn occupant(self) -> Option<QubitTag> {
+        match self {
+            CellState::Vacant => None,
+            CellState::Occupied(q) => Some(q),
+        }
+    }
+}
+
+impl fmt::Display for CellState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellState::Vacant => f.write_str("vacant"),
+            CellState::Occupied(q) => write!(f, "occupied by {q}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_tag_display_and_conversion() {
+        let q = QubitTag::from(12u32);
+        assert_eq!(q.index(), 12);
+        assert_eq!(q.to_string(), "q12");
+    }
+
+    #[test]
+    fn cell_kind_data_storage_rules() {
+        assert!(CellKind::Data.can_store_data());
+        assert!(CellKind::Register.can_store_data());
+        assert!(CellKind::Port.can_store_data());
+        assert!(CellKind::Scan.can_store_data());
+        assert!(!CellKind::Auxiliary.can_store_data());
+        assert!(!CellKind::Factory.can_store_data());
+    }
+
+    #[test]
+    fn cell_state_occupancy() {
+        let vacant = CellState::Vacant;
+        let occupied = CellState::Occupied(QubitTag(3));
+        assert!(vacant.is_vacant());
+        assert!(!occupied.is_vacant());
+        assert_eq!(vacant.occupant(), None);
+        assert_eq!(occupied.occupant(), Some(QubitTag(3)));
+        assert_eq!(CellState::default(), CellState::Vacant);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        for kind in [
+            CellKind::Data,
+            CellKind::Auxiliary,
+            CellKind::Scan,
+            CellKind::Register,
+            CellKind::Port,
+            CellKind::Factory,
+        ] {
+            assert!(!kind.to_string().is_empty());
+        }
+        assert_eq!(CellState::Vacant.to_string(), "vacant");
+        assert_eq!(
+            CellState::Occupied(QubitTag(1)).to_string(),
+            "occupied by q1"
+        );
+    }
+}

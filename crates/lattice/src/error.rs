@@ -1,0 +1,130 @@
+//! Error types for lattice operations.
+
+use crate::cell::QubitTag;
+use crate::geom::Coord;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by cell-grid manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LatticeError {
+    /// The coordinate is outside the grid.
+    OutOfBounds {
+        /// The offending coordinate.
+        coord: Coord,
+        /// Grid width in cells.
+        width: u32,
+        /// Grid height in cells.
+        height: u32,
+    },
+    /// The target cell is already occupied by another logical qubit.
+    CellOccupied {
+        /// The occupied coordinate.
+        coord: Coord,
+        /// The qubit currently holding the cell.
+        occupant: QubitTag,
+    },
+    /// The referenced qubit is not present on this grid.
+    QubitNotPresent {
+        /// The missing qubit.
+        qubit: QubitTag,
+    },
+    /// The qubit is already placed on this grid.
+    QubitAlreadyPlaced {
+        /// The duplicate qubit.
+        qubit: QubitTag,
+        /// Where it currently sits.
+        at: Coord,
+    },
+    /// The requested cell is vacant but an occupant was expected.
+    CellVacant {
+        /// The vacant coordinate.
+        coord: Coord,
+    },
+    /// No path of vacant cells exists between the requested endpoints.
+    NoVacantPath {
+        /// Path start.
+        from: Coord,
+        /// Path goal.
+        to: Coord,
+    },
+    /// The grid has no vacant cell left.
+    GridFull,
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::OutOfBounds {
+                coord,
+                width,
+                height,
+            } => write!(
+                f,
+                "coordinate {coord} is outside the {width}x{height} grid"
+            ),
+            LatticeError::CellOccupied { coord, occupant } => {
+                write!(f, "cell {coord} is already occupied by {occupant}")
+            }
+            LatticeError::QubitNotPresent { qubit } => {
+                write!(f, "qubit {qubit} is not present on the grid")
+            }
+            LatticeError::QubitAlreadyPlaced { qubit, at } => {
+                write!(f, "qubit {qubit} is already placed at {at}")
+            }
+            LatticeError::CellVacant { coord } => write!(f, "cell {coord} is vacant"),
+            LatticeError::NoVacantPath { from, to } => {
+                write!(f, "no vacant path from {from} to {to}")
+            }
+            LatticeError::GridFull => write!(f, "grid has no vacant cell"),
+        }
+    }
+}
+
+impl Error for LatticeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errors = [
+            LatticeError::OutOfBounds {
+                coord: Coord::new(9, 9),
+                width: 4,
+                height: 4,
+            },
+            LatticeError::CellOccupied {
+                coord: Coord::new(1, 1),
+                occupant: QubitTag(3),
+            },
+            LatticeError::QubitNotPresent { qubit: QubitTag(5) },
+            LatticeError::QubitAlreadyPlaced {
+                qubit: QubitTag(5),
+                at: Coord::new(0, 0),
+            },
+            LatticeError::CellVacant {
+                coord: Coord::new(2, 2),
+            },
+            LatticeError::NoVacantPath {
+                from: Coord::new(0, 0),
+                to: Coord::new(3, 3),
+            },
+            LatticeError::GridFull,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<LatticeError>();
+    }
+}

@@ -1,0 +1,322 @@
+//! Integer geometry on the 2D cell grid.
+//!
+//! Surface-code cells are arranged on a rectangular grid; all positions are
+//! addressed by non-negative integer [`Coord`]s measured in cells. The SAM
+//! latency models only need Manhattan-style metrics (Chebyshev distance for
+//! diagonal-capable moves, per-axis distances for scan-line seeks), which live
+//! here next to the coordinate type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cell coordinate on the 2D grid: `x` grows to the right, `y` grows downward.
+///
+/// ```
+/// use lsqca_lattice::geom::Coord;
+/// let a = Coord::new(1, 2);
+/// let b = Coord::new(4, 6);
+/// assert_eq!(a.manhattan_distance(b), 7);
+/// assert_eq!(a.chebyshev_distance(b), 4);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Coord {
+    /// Horizontal position in cells, growing to the right.
+    pub x: u32,
+    /// Vertical position in cells, growing downward.
+    pub y: u32,
+}
+
+impl Coord {
+    /// Creates a new coordinate.
+    pub const fn new(x: u32, y: u32) -> Self {
+        Coord { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Coord = Coord::new(0, 0);
+
+    /// Manhattan (L1) distance to `other`.
+    pub fn manhattan_distance(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+
+    /// Chebyshev (L∞) distance to `other` — the number of king moves.
+    pub fn chebyshev_distance(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x).max(self.y.abs_diff(other.y))
+    }
+
+    /// Horizontal distance (|Δx|) to `other`.
+    pub fn dx(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x)
+    }
+
+    /// Vertical distance (|Δy|) to `other`.
+    pub fn dy(self, other: Coord) -> u32 {
+        self.y.abs_diff(other.y)
+    }
+
+    /// Returns the coordinate shifted one cell in `direction`, or `None` if the
+    /// shift would leave the non-negative quadrant.
+    pub fn step(self, direction: Direction) -> Option<Coord> {
+        let (dx, dy) = direction.offset();
+        let x = self.x.checked_add_signed(dx)?;
+        let y = self.y.checked_add_signed(dy)?;
+        Some(Coord::new(x, y))
+    }
+
+    /// The four edge-adjacent neighbors that remain in the non-negative quadrant.
+    pub fn neighbors(self) -> impl Iterator<Item = Coord> {
+        Direction::ALL.into_iter().filter_map(move |d| self.step(d))
+    }
+
+    /// True if `other` is edge-adjacent to `self`.
+    pub fn is_adjacent(self, other: Coord) -> bool {
+        self.manhattan_distance(other) == 1
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(u32, u32)> for Coord {
+    fn from((x, y): (u32, u32)) -> Self {
+        Coord::new(x, y)
+    }
+}
+
+/// One of the four lattice directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Towards negative `y`.
+    North,
+    /// Towards positive `y`.
+    South,
+    /// Towards positive `x`.
+    East,
+    /// Towards negative `x`.
+    West,
+}
+
+impl Direction {
+    /// All four directions, in a fixed order.
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::South,
+        Direction::East,
+        Direction::West,
+    ];
+
+    /// The (dx, dy) unit offset of this direction.
+    pub fn offset(self) -> (i32, i32) {
+        match self {
+            Direction::North => (0, -1),
+            Direction::South => (0, 1),
+            Direction::East => (1, 0),
+            Direction::West => (-1, 0),
+        }
+    }
+
+    /// The direction pointing the opposite way.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+        }
+    }
+
+    /// True if this direction is horizontal (east or west).
+    pub fn is_horizontal(self) -> bool {
+        matches!(self, Direction::East | Direction::West)
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "north",
+            Direction::South => "south",
+            Direction::East => "east",
+            Direction::West => "west",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An axis-aligned rectangle of cells, defined by its inclusive top-left corner
+/// and its width/height in cells.
+///
+/// ```
+/// use lsqca_lattice::geom::{Coord, Rect};
+/// let r = Rect::new(Coord::new(1, 1), 3, 2);
+/// assert_eq!(r.area(), 6);
+/// assert!(r.contains(Coord::new(3, 2)));
+/// assert!(!r.contains(Coord::new(4, 2)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    /// Top-left (minimum-x, minimum-y) corner, inclusive.
+    pub origin: Coord,
+    /// Width in cells (extent along x).
+    pub width: u32,
+    /// Height in cells (extent along y).
+    pub height: u32,
+}
+
+impl Rect {
+    /// Creates a rectangle from its top-left corner and dimensions.
+    pub const fn new(origin: Coord, width: u32, height: u32) -> Self {
+        Rect {
+            origin,
+            width,
+            height,
+        }
+    }
+
+    /// Number of cells covered by the rectangle.
+    pub fn area(self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// True if `coord` lies inside the rectangle.
+    pub fn contains(self, coord: Coord) -> bool {
+        coord.x >= self.origin.x
+            && coord.y >= self.origin.y
+            && coord.x < self.origin.x + self.width
+            && coord.y < self.origin.y + self.height
+    }
+
+    /// Iterates over every cell in the rectangle in row-major order.
+    pub fn cells(self) -> impl Iterator<Item = Coord> {
+        let Rect {
+            origin,
+            width,
+            height,
+        } = self;
+        (0..height).flat_map(move |dy| (0..width).map(move |dx| Coord::new(origin.x + dx, origin.y + dy)))
+    }
+
+    /// The exclusive maximum x coordinate.
+    pub fn max_x(self) -> u32 {
+        self.origin.x + self.width
+    }
+
+    /// The exclusive maximum y coordinate.
+    pub fn max_y(self) -> u32 {
+        self.origin.y + self.height
+    }
+
+    /// True if the two rectangles share at least one cell.
+    pub fn intersects(self, other: Rect) -> bool {
+        self.origin.x < other.max_x()
+            && other.origin.x < self.max_x()
+            && self.origin.y < other.max_y()
+            && other.origin.y < self.max_y()
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} at {}", self.width, self.height, self.origin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Coord::new(2, 3);
+        let b = Coord::new(5, 1);
+        assert_eq!(a.manhattan_distance(b), 5);
+        assert_eq!(a.chebyshev_distance(b), 3);
+        assert_eq!(a.dx(b), 3);
+        assert_eq!(a.dy(b), 2);
+        assert_eq!(a.manhattan_distance(a), 0);
+    }
+
+    #[test]
+    fn step_stays_in_quadrant() {
+        assert_eq!(Coord::ORIGIN.step(Direction::North), None);
+        assert_eq!(Coord::ORIGIN.step(Direction::West), None);
+        assert_eq!(
+            Coord::ORIGIN.step(Direction::South),
+            Some(Coord::new(0, 1))
+        );
+        assert_eq!(Coord::ORIGIN.step(Direction::East), Some(Coord::new(1, 0)));
+    }
+
+    #[test]
+    fn neighbors_of_interior_cell() {
+        let n: Vec<_> = Coord::new(2, 2).neighbors().collect();
+        assert_eq!(n.len(), 4);
+        assert!(n.contains(&Coord::new(2, 1)));
+        assert!(n.contains(&Coord::new(2, 3)));
+        assert!(n.contains(&Coord::new(1, 2)));
+        assert!(n.contains(&Coord::new(3, 2)));
+    }
+
+    #[test]
+    fn neighbors_of_origin_are_clipped() {
+        let n: Vec<_> = Coord::ORIGIN.neighbors().collect();
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn adjacency() {
+        assert!(Coord::new(1, 1).is_adjacent(Coord::new(1, 2)));
+        assert!(!Coord::new(1, 1).is_adjacent(Coord::new(2, 2)));
+        assert!(!Coord::new(1, 1).is_adjacent(Coord::new(1, 1)));
+    }
+
+    #[test]
+    fn direction_round_trips() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            let (dx, dy) = d.offset();
+            let (ox, oy) = d.opposite().offset();
+            assert_eq!((dx + ox, dy + oy), (0, 0));
+        }
+        assert!(Direction::East.is_horizontal());
+        assert!(!Direction::North.is_horizontal());
+    }
+
+    #[test]
+    fn rect_contains_and_area() {
+        let r = Rect::new(Coord::new(2, 2), 3, 4);
+        assert_eq!(r.area(), 12);
+        assert!(r.contains(Coord::new(2, 2)));
+        assert!(r.contains(Coord::new(4, 5)));
+        assert!(!r.contains(Coord::new(5, 5)));
+        assert!(!r.contains(Coord::new(4, 6)));
+        assert!(!r.contains(Coord::new(1, 3)));
+    }
+
+    #[test]
+    fn rect_cells_enumerates_all() {
+        let r = Rect::new(Coord::new(1, 1), 2, 3);
+        let cells: Vec<_> = r.cells().collect();
+        assert_eq!(cells.len(), 6);
+        assert_eq!(cells[0], Coord::new(1, 1));
+        assert_eq!(cells[5], Coord::new(2, 3));
+        assert!(cells.iter().all(|&c| r.contains(c)));
+    }
+
+    #[test]
+    fn rect_intersections() {
+        let a = Rect::new(Coord::new(0, 0), 3, 3);
+        let b = Rect::new(Coord::new(2, 2), 3, 3);
+        let c = Rect::new(Coord::new(3, 0), 2, 2);
+        assert!(a.intersects(b));
+        assert!(b.intersects(a));
+        assert!(!a.intersects(c));
+        assert!(!c.intersects(a));
+    }
+}

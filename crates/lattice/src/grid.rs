@@ -1,0 +1,504 @@
+//! Occupancy grid of surface-code cells.
+//!
+//! [`CellGrid`] tracks which cell each logical qubit currently occupies within one
+//! rectangular region (a SAM bank, a conventional floorplan, ...). The SAM models
+//! use it to simulate the sliding-puzzle load procedure: moving a target cell
+//! requires vacant neighbours, and the scan cell is the vacancy that walks around
+//! the grid. The grid therefore exposes vacancy-aware path finding in addition to
+//! plain placement bookkeeping.
+
+use crate::cell::{CellState, QubitTag};
+use crate::error::LatticeError;
+use crate::geom::Coord;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// A rectangular grid of surface-code cells with logical-qubit occupancy.
+///
+/// Coordinates are local to the grid: `(0, 0)` is the top-left cell and the grid
+/// spans `width × height` cells.
+///
+/// ```
+/// use lsqca_lattice::{CellGrid, Coord, QubitTag};
+/// let mut grid = CellGrid::new(3, 3);
+/// grid.place(QubitTag(0), Coord::new(0, 0)).unwrap();
+/// grid.place(QubitTag(1), Coord::new(1, 0)).unwrap();
+/// assert_eq!(grid.vacant_count(), 7);
+/// assert_eq!(grid.position_of(QubitTag(1)), Some(Coord::new(1, 0)));
+/// grid.remove(QubitTag(0)).unwrap();
+/// assert_eq!(grid.occupied_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellGrid {
+    width: u32,
+    height: u32,
+    cells: Vec<CellState>,
+    positions: HashMap<QubitTag, Coord>,
+}
+
+impl CellGrid {
+    /// Creates an empty grid of `width × height` vacant cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be non-zero");
+        CellGrid {
+            width,
+            height,
+            cells: vec![CellState::Vacant; (width * height) as usize],
+            positions: HashMap::new(),
+        }
+    }
+
+    /// Grid width in cells.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height in cells.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// Number of occupied cells.
+    pub fn occupied_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of vacant cells.
+    pub fn vacant_count(&self) -> usize {
+        self.cell_count() as usize - self.positions.len()
+    }
+
+    /// True if `coord` lies inside the grid.
+    pub fn in_bounds(&self, coord: Coord) -> bool {
+        coord.x < self.width && coord.y < self.height
+    }
+
+    fn index(&self, coord: Coord) -> usize {
+        (coord.y * self.width + coord.x) as usize
+    }
+
+    fn check_bounds(&self, coord: Coord) -> Result<(), LatticeError> {
+        if self.in_bounds(coord) {
+            Ok(())
+        } else {
+            Err(LatticeError::OutOfBounds {
+                coord,
+                width: self.width,
+                height: self.height,
+            })
+        }
+    }
+
+    /// The state of the cell at `coord`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::OutOfBounds`] if the coordinate is outside the grid.
+    pub fn state(&self, coord: Coord) -> Result<CellState, LatticeError> {
+        self.check_bounds(coord)?;
+        Ok(self.cells[self.index(coord)])
+    }
+
+    /// True if the cell at `coord` exists and is vacant.
+    pub fn is_vacant(&self, coord: Coord) -> bool {
+        self.in_bounds(coord) && self.cells[self.index(coord)].is_vacant()
+    }
+
+    /// The occupant of `coord`, if the cell exists and is occupied.
+    pub fn occupant(&self, coord: Coord) -> Option<QubitTag> {
+        if !self.in_bounds(coord) {
+            return None;
+        }
+        self.cells[self.index(coord)].occupant()
+    }
+
+    /// The current position of `qubit`, if it is on this grid.
+    pub fn position_of(&self, qubit: QubitTag) -> Option<Coord> {
+        self.positions.get(&qubit).copied()
+    }
+
+    /// True if the qubit is stored on this grid.
+    pub fn contains(&self, qubit: QubitTag) -> bool {
+        self.positions.contains_key(&qubit)
+    }
+
+    /// Places `qubit` on the vacant cell at `coord`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LatticeError::OutOfBounds`] if `coord` is outside the grid.
+    /// * [`LatticeError::CellOccupied`] if the target cell already holds a qubit.
+    /// * [`LatticeError::QubitAlreadyPlaced`] if the qubit is already on the grid.
+    pub fn place(&mut self, qubit: QubitTag, coord: Coord) -> Result<(), LatticeError> {
+        self.check_bounds(coord)?;
+        if let Some(&at) = self.positions.get(&qubit) {
+            return Err(LatticeError::QubitAlreadyPlaced { qubit, at });
+        }
+        let idx = self.index(coord);
+        if let Some(occupant) = self.cells[idx].occupant() {
+            return Err(LatticeError::CellOccupied { coord, occupant });
+        }
+        self.cells[idx] = CellState::Occupied(qubit);
+        self.positions.insert(qubit, coord);
+        Ok(())
+    }
+
+    /// Removes `qubit` from the grid and returns the cell it occupied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::QubitNotPresent`] if the qubit is not on the grid.
+    pub fn remove(&mut self, qubit: QubitTag) -> Result<Coord, LatticeError> {
+        let coord = self
+            .positions
+            .remove(&qubit)
+            .ok_or(LatticeError::QubitNotPresent { qubit })?;
+        let idx = self.index(coord);
+        self.cells[idx] = CellState::Vacant;
+        Ok(coord)
+    }
+
+    /// Moves `qubit` to the vacant cell at `to`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LatticeError::QubitNotPresent`] if the qubit is not on the grid.
+    /// * [`LatticeError::OutOfBounds`] / [`LatticeError::CellOccupied`] for the target.
+    pub fn relocate(&mut self, qubit: QubitTag, to: Coord) -> Result<(), LatticeError> {
+        self.check_bounds(to)?;
+        let from = self
+            .positions
+            .get(&qubit)
+            .copied()
+            .ok_or(LatticeError::QubitNotPresent { qubit })?;
+        if from == to {
+            return Ok(());
+        }
+        let to_idx = self.index(to);
+        if let Some(occupant) = self.cells[to_idx].occupant() {
+            return Err(LatticeError::CellOccupied { coord: to, occupant });
+        }
+        let from_idx = self.index(from);
+        self.cells[from_idx] = CellState::Vacant;
+        self.cells[to_idx] = CellState::Occupied(qubit);
+        self.positions.insert(qubit, to);
+        Ok(())
+    }
+
+    /// Iterates over all `(qubit, position)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (QubitTag, Coord)> + '_ {
+        self.positions.iter().map(|(&q, &c)| (q, c))
+    }
+
+    /// Iterates over all vacant cell coordinates in row-major order.
+    pub fn vacant_cells(&self) -> impl Iterator<Item = Coord> + '_ {
+        (0..self.height).flat_map(move |y| {
+            (0..self.width)
+                .map(move |x| Coord::new(x, y))
+                .filter(move |&c| self.cells[self.index(c)].is_vacant())
+        })
+    }
+
+    /// Finds the vacant cell closest (Manhattan metric) to `target`, breaking ties
+    /// by row-major order. Returns `None` if the grid is full.
+    pub fn nearest_vacant(&self, target: Coord) -> Option<Coord> {
+        self.vacant_cells()
+            .min_by_key(|&c| (c.manhattan_distance(target), c.y, c.x))
+    }
+
+    /// Finds the occupied cell closest (Manhattan metric) to `target`.
+    pub fn nearest_occupied(&self, target: Coord) -> Option<Coord> {
+        self.positions
+            .values()
+            .copied()
+            .min_by_key(|&c| (c.manhattan_distance(target), c.y, c.x))
+    }
+
+    /// Length (in steps) of the shortest path from `from` to `to` that travels only
+    /// through vacant cells, excluding `from` itself but including `to`.
+    ///
+    /// This is the distance a scan cell (a vacancy) must cover when every step
+    /// swaps it with an occupied neighbour, and also the length of a routing path
+    /// for lattice surgery through empty space.
+    ///
+    /// # Errors
+    ///
+    /// * [`LatticeError::OutOfBounds`] if either endpoint is outside the grid.
+    /// * [`LatticeError::NoVacantPath`] if no vacant path exists.
+    pub fn vacant_path_len(&self, from: Coord, to: Coord) -> Result<u32, LatticeError> {
+        self.check_bounds(from)?;
+        self.check_bounds(to)?;
+        if from == to {
+            return Ok(0);
+        }
+        let mut dist: HashMap<Coord, u32> = HashMap::new();
+        let mut queue = VecDeque::new();
+        dist.insert(from, 0);
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            let d = dist[&cur];
+            for next in cur.neighbors() {
+                if !self.in_bounds(next) || dist.contains_key(&next) {
+                    continue;
+                }
+                if next == to {
+                    return Ok(d + 1);
+                }
+                if self.is_vacant(next) {
+                    dist.insert(next, d + 1);
+                    queue.push_back(next);
+                }
+            }
+        }
+        Err(LatticeError::NoVacantPath { from, to })
+    }
+
+    /// Fraction of cells currently holding a logical qubit.
+    pub fn occupancy(&self) -> f64 {
+        self.occupied_count() as f64 / self.cell_count() as f64
+    }
+}
+
+impl fmt::Display for CellGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}x{} grid, {} occupied / {} cells",
+            self.width,
+            self.height,
+            self.occupied_count(),
+            self.cell_count()
+        )?;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let c = Coord::new(x, y);
+                let ch = if self.is_vacant(c) { '.' } else { 'Q' };
+                write!(f, "{ch}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled_grid(width: u32, height: u32, qubits: u32) -> CellGrid {
+        let mut grid = CellGrid::new(width, height);
+        let mut placed = 0;
+        'outer: for y in 0..height {
+            for x in 0..width {
+                if placed >= qubits {
+                    break 'outer;
+                }
+                grid.place(QubitTag(placed), Coord::new(x, y)).unwrap();
+                placed += 1;
+            }
+        }
+        grid
+    }
+
+    #[test]
+    fn place_remove_round_trip() {
+        let mut grid = CellGrid::new(4, 4);
+        grid.place(QubitTag(1), Coord::new(2, 3)).unwrap();
+        assert!(grid.contains(QubitTag(1)));
+        assert_eq!(grid.occupant(Coord::new(2, 3)), Some(QubitTag(1)));
+        let at = grid.remove(QubitTag(1)).unwrap();
+        assert_eq!(at, Coord::new(2, 3));
+        assert!(!grid.contains(QubitTag(1)));
+        assert!(grid.is_vacant(Coord::new(2, 3)));
+    }
+
+    #[test]
+    fn double_place_is_rejected() {
+        let mut grid = CellGrid::new(2, 2);
+        grid.place(QubitTag(0), Coord::new(0, 0)).unwrap();
+        let err = grid.place(QubitTag(0), Coord::new(1, 1)).unwrap_err();
+        assert!(matches!(err, LatticeError::QubitAlreadyPlaced { .. }));
+        let err = grid.place(QubitTag(1), Coord::new(0, 0)).unwrap_err();
+        assert!(matches!(err, LatticeError::CellOccupied { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_is_rejected() {
+        let mut grid = CellGrid::new(2, 2);
+        let err = grid.place(QubitTag(0), Coord::new(2, 0)).unwrap_err();
+        assert!(matches!(err, LatticeError::OutOfBounds { .. }));
+        assert!(grid.state(Coord::new(0, 5)).is_err());
+    }
+
+    #[test]
+    fn remove_missing_qubit_fails() {
+        let mut grid = CellGrid::new(2, 2);
+        assert!(matches!(
+            grid.remove(QubitTag(9)),
+            Err(LatticeError::QubitNotPresent { .. })
+        ));
+    }
+
+    #[test]
+    fn relocate_moves_the_qubit() {
+        let mut grid = CellGrid::new(3, 3);
+        grid.place(QubitTag(0), Coord::new(0, 0)).unwrap();
+        grid.relocate(QubitTag(0), Coord::new(2, 2)).unwrap();
+        assert_eq!(grid.position_of(QubitTag(0)), Some(Coord::new(2, 2)));
+        assert!(grid.is_vacant(Coord::new(0, 0)));
+        // Relocating onto itself is a no-op.
+        grid.relocate(QubitTag(0), Coord::new(2, 2)).unwrap();
+        // Relocating onto an occupied cell fails.
+        grid.place(QubitTag(1), Coord::new(1, 1)).unwrap();
+        assert!(grid.relocate(QubitTag(0), Coord::new(1, 1)).is_err());
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let grid = filled_grid(4, 4, 10);
+        assert_eq!(grid.occupied_count(), 10);
+        assert_eq!(grid.vacant_count(), 6);
+        assert_eq!(grid.cell_count(), 16);
+        assert!((grid.occupancy() - 10.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_vacant_prefers_closest() {
+        let grid = filled_grid(3, 3, 8); // only (2,2) vacant
+        assert_eq!(grid.nearest_vacant(Coord::new(0, 0)), Some(Coord::new(2, 2)));
+        let full = filled_grid(2, 2, 4);
+        assert_eq!(full.nearest_vacant(Coord::new(0, 0)), None);
+    }
+
+    #[test]
+    fn nearest_occupied_finds_target() {
+        let mut grid = CellGrid::new(3, 3);
+        grid.place(QubitTag(0), Coord::new(2, 2)).unwrap();
+        assert_eq!(
+            grid.nearest_occupied(Coord::new(0, 0)),
+            Some(Coord::new(2, 2))
+        );
+        let empty = CellGrid::new(2, 2);
+        assert_eq!(empty.nearest_occupied(Coord::new(0, 0)), None);
+    }
+
+    #[test]
+    fn vacant_path_in_empty_grid_is_manhattan() {
+        let grid = CellGrid::new(5, 5);
+        let len = grid
+            .vacant_path_len(Coord::new(0, 0), Coord::new(3, 2))
+            .unwrap();
+        assert_eq!(len, 5);
+        assert_eq!(
+            grid.vacant_path_len(Coord::new(1, 1), Coord::new(1, 1))
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn vacant_path_routes_around_obstacles() {
+        // Wall of occupied cells forces a detour.
+        let mut grid = CellGrid::new(3, 3);
+        grid.place(QubitTag(0), Coord::new(1, 0)).unwrap();
+        grid.place(QubitTag(1), Coord::new(1, 1)).unwrap();
+        // From (0,0) to (2,0): direct path is blocked at (1,0); detour through row 2.
+        let len = grid
+            .vacant_path_len(Coord::new(0, 0), Coord::new(2, 0))
+            .unwrap();
+        assert_eq!(len, 6);
+    }
+
+    #[test]
+    fn vacant_path_reports_unreachable() {
+        let mut grid = CellGrid::new(3, 1);
+        grid.place(QubitTag(0), Coord::new(1, 0)).unwrap();
+        let err = grid
+            .vacant_path_len(Coord::new(0, 0), Coord::new(2, 0))
+            .unwrap_err();
+        assert!(matches!(err, LatticeError::NoVacantPath { .. }));
+    }
+
+    #[test]
+    fn display_renders_one_row_per_line() {
+        let grid = filled_grid(3, 2, 2);
+        let s = grid.to_string();
+        assert!(s.contains("3x2 grid"));
+        assert!(s.contains("QQ."));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_sized_grid_panics() {
+        let _ = CellGrid::new(0, 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Occupied + vacant always equals the total cell count, and every stored
+        /// qubit's recorded position matches the cell map, under random placement
+        /// and removal sequences.
+        #[test]
+        fn occupancy_bookkeeping_is_consistent(
+            ops in proptest::collection::vec((0u32..30, 0u32..6, 0u32..6, proptest::bool::ANY), 1..80)
+        ) {
+            let mut grid = CellGrid::new(6, 6);
+            for (q, x, y, place) in ops {
+                let qubit = QubitTag(q);
+                if place {
+                    let _ = grid.place(qubit, Coord::new(x, y));
+                } else {
+                    let _ = grid.remove(qubit);
+                }
+                // Invariants hold after every step.
+                prop_assert_eq!(
+                    grid.occupied_count() + grid.vacant_count(),
+                    grid.cell_count() as usize
+                );
+                for (qubit, pos) in grid.iter() {
+                    prop_assert_eq!(grid.occupant(pos), Some(qubit));
+                }
+            }
+        }
+
+        /// A vacant path in a grid with obstacles is never shorter than the
+        /// Manhattan distance and never longer than the number of cells.
+        #[test]
+        fn vacant_path_len_bounds(
+            obstacles in proptest::collection::hash_set((0u32..8, 0u32..8), 0..20),
+            from in (0u32..8, 0u32..8),
+            to in (0u32..8, 0u32..8),
+        ) {
+            let mut grid = CellGrid::new(8, 8);
+            let from = Coord::new(from.0, from.1);
+            let to = Coord::new(to.0, to.1);
+            let mut next = 0u32;
+            for (x, y) in obstacles {
+                let c = Coord::new(x, y);
+                if c != from && c != to {
+                    let _ = grid.place(QubitTag(next), c);
+                    next += 1;
+                }
+            }
+            if let Ok(len) = grid.vacant_path_len(from, to) {
+                prop_assert!(len >= from.manhattan_distance(to));
+                prop_assert!(u64::from(len) <= grid.cell_count());
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Logical surface-code patches.
+//!
+//! A *patch* is one surface-code cell's worth of encoded logical qubit. Its two
+//! boundary types (X and Z) determine which lattice-surgery merges are possible
+//! without first rotating the patch: a logical `ZZ` measurement merges two
+//! Z-boundaries through a column of ancilla cells, an `XX` measurement merges two
+//! X-boundaries. The floorplan models use the orientation to account for the
+//! extra rotation beat required when the needed boundary does not face a vacant
+//! cell (the reason the 1/2-filling conventional floorplan is the densest
+//! unit-latency design).
+
+use crate::cell::QubitTag;
+use crate::geom::{Coord, Direction};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a logical patch tracked by a floorplan controller.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PatchId(pub u32);
+
+impl fmt::Display for PatchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "patch{}", self.0)
+    }
+}
+
+/// Which pair of opposite sides carries the Z boundary.
+///
+/// In the paper's drawing convention (Fig. 2) the left/right sides are the
+/// Z-boundaries and the top/bottom sides the X-boundaries; a patch rotation
+/// (realized by expand + contract, one beat each) swaps them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BoundaryOrientation {
+    /// Z-boundaries face east/west, X-boundaries face north/south (paper default).
+    #[default]
+    ZHorizontal,
+    /// Z-boundaries face north/south, X-boundaries face east/west.
+    ZVertical,
+}
+
+impl BoundaryOrientation {
+    /// The orientation after a 90° patch rotation.
+    pub fn rotated(self) -> BoundaryOrientation {
+        match self {
+            BoundaryOrientation::ZHorizontal => BoundaryOrientation::ZVertical,
+            BoundaryOrientation::ZVertical => BoundaryOrientation::ZHorizontal,
+        }
+    }
+
+    /// True if the Z boundary faces the given direction.
+    pub fn z_faces(self, direction: Direction) -> bool {
+        match self {
+            BoundaryOrientation::ZHorizontal => direction.is_horizontal(),
+            BoundaryOrientation::ZVertical => !direction.is_horizontal(),
+        }
+    }
+
+    /// True if the X boundary faces the given direction.
+    pub fn x_faces(self, direction: Direction) -> bool {
+        !self.z_faces(direction)
+    }
+}
+
+impl fmt::Display for BoundaryOrientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundaryOrientation::ZHorizontal => f.write_str("Z-horizontal"),
+            BoundaryOrientation::ZVertical => f.write_str("Z-vertical"),
+        }
+    }
+}
+
+/// A logical patch: which qubit it encodes, where it sits, how it is oriented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Patch {
+    /// Identifier of the patch.
+    pub id: PatchId,
+    /// The logical data qubit the patch encodes.
+    pub qubit: QubitTag,
+    /// Grid position of the patch (single-cell patches only).
+    pub position: Coord,
+    /// Boundary orientation.
+    pub orientation: BoundaryOrientation,
+}
+
+impl Patch {
+    /// Creates a patch with the default (paper) orientation.
+    pub fn new(id: PatchId, qubit: QubitTag, position: Coord) -> Self {
+        Patch {
+            id,
+            qubit,
+            position,
+            orientation: BoundaryOrientation::default(),
+        }
+    }
+
+    /// Returns a copy rotated by 90°.
+    pub fn rotated(mut self) -> Self {
+        self.orientation = self.orientation.rotated();
+        self
+    }
+
+    /// Returns a copy moved to `position`.
+    pub fn moved_to(mut self, position: Coord) -> Self {
+        self.position = position;
+        self
+    }
+
+    /// True if a lattice-surgery merge of the requested boundary type towards
+    /// `direction` is possible without rotating the patch first.
+    pub fn can_merge(&self, boundary: MergeBoundary, direction: Direction) -> bool {
+        match boundary {
+            MergeBoundary::Z => self.orientation.z_faces(direction),
+            MergeBoundary::X => self.orientation.x_faces(direction),
+        }
+    }
+}
+
+impl fmt::Display for Patch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}) at {} [{}]",
+            self.id, self.qubit, self.position, self.orientation
+        )
+    }
+}
+
+/// Which boundary participates in a lattice-surgery merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MergeBoundary {
+    /// Merge through the Z-boundaries (logical ZZ measurement).
+    Z,
+    /// Merge through the X-boundaries (logical XX measurement).
+    X,
+}
+
+impl fmt::Display for MergeBoundary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeBoundary::Z => f.write_str("Z"),
+            MergeBoundary::X => f.write_str("X"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_toggles_orientation() {
+        let o = BoundaryOrientation::ZHorizontal;
+        assert_eq!(o.rotated(), BoundaryOrientation::ZVertical);
+        assert_eq!(o.rotated().rotated(), o);
+    }
+
+    #[test]
+    fn boundary_facing() {
+        let o = BoundaryOrientation::ZHorizontal;
+        assert!(o.z_faces(Direction::East));
+        assert!(o.z_faces(Direction::West));
+        assert!(!o.z_faces(Direction::North));
+        assert!(o.x_faces(Direction::North));
+        let r = o.rotated();
+        assert!(r.z_faces(Direction::North));
+        assert!(!r.z_faces(Direction::East));
+    }
+
+    #[test]
+    fn patch_merge_capability() {
+        let p = Patch::new(PatchId(0), QubitTag(0), Coord::new(1, 1));
+        assert!(p.can_merge(MergeBoundary::Z, Direction::East));
+        assert!(!p.can_merge(MergeBoundary::Z, Direction::North));
+        assert!(p.can_merge(MergeBoundary::X, Direction::North));
+        let rotated = p.rotated();
+        assert!(rotated.can_merge(MergeBoundary::Z, Direction::North));
+        assert!(!rotated.can_merge(MergeBoundary::Z, Direction::East));
+    }
+
+    #[test]
+    fn patch_move_preserves_identity() {
+        let p = Patch::new(PatchId(3), QubitTag(9), Coord::new(0, 0));
+        let q = p.moved_to(Coord::new(4, 2));
+        assert_eq!(q.id, PatchId(3));
+        assert_eq!(q.qubit, QubitTag(9));
+        assert_eq!(q.position, Coord::new(4, 2));
+        assert_eq!(q.orientation, p.orientation);
+    }
+
+    #[test]
+    fn displays_are_descriptive() {
+        let p = Patch::new(PatchId(1), QubitTag(2), Coord::new(3, 4));
+        let s = p.to_string();
+        assert!(s.contains("patch1"));
+        assert!(s.contains("q2"));
+        assert!(s.contains("(3, 4)"));
+        assert_eq!(MergeBoundary::Z.to_string(), "Z");
+    }
+}

@@ -1,0 +1,178 @@
+//! The code-beat time unit.
+//!
+//! The paper measures all latencies in *code beats*: one beat is `d` syndrome
+//! measurement cycles, the time needed to fault-tolerantly commit a change to the
+//! syndrome-measurement pattern (a lattice-surgery merge, a patch move step, ...).
+//! For realistic code distances (11–31) a beat is roughly 10–50 µs, but the whole
+//! evaluation is distance-independent, so we keep time as an integer beat count.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A duration or timestamp expressed in code beats.
+///
+/// `Beats` is a thin newtype over `u64` that supports the arithmetic needed by the
+/// scheduler (saturating subtraction is intentional: latencies never go negative).
+///
+/// ```
+/// use lsqca_lattice::Beats;
+/// let t = Beats(3) + Beats(4);
+/// assert_eq!(t, Beats(7));
+/// assert_eq!(t * 2, Beats(14));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Beats(pub u64);
+
+impl Beats {
+    /// The zero duration.
+    pub const ZERO: Beats = Beats(0);
+    /// One code beat, the latency of a single lattice-surgery operation.
+    pub const ONE: Beats = Beats(1);
+
+    /// Returns the raw beat count.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the beat count as `f64`, convenient for ratios such as CPI.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Returns the larger of two durations.
+    #[inline]
+    pub fn max(self, other: Beats) -> Beats {
+        Beats(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Beats) -> Beats {
+        Beats(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction; clamps at zero instead of underflowing.
+    #[inline]
+    pub fn saturating_sub(self, other: Beats) -> Beats {
+        Beats(self.0.saturating_sub(other.0))
+    }
+
+    /// True if this duration is zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Beats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} beats", self.0)
+    }
+}
+
+impl From<u64> for Beats {
+    fn from(value: u64) -> Self {
+        Beats(value)
+    }
+}
+
+impl From<Beats> for u64 {
+    fn from(value: Beats) -> Self {
+        value.0
+    }
+}
+
+impl Add for Beats {
+    type Output = Beats;
+    fn add(self, rhs: Beats) -> Beats {
+        Beats(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Beats {
+    fn add_assign(&mut self, rhs: Beats) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Beats {
+    type Output = Beats;
+    fn sub(self, rhs: Beats) -> Beats {
+        Beats(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Beats {
+    fn sub_assign(&mut self, rhs: Beats) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for Beats {
+    type Output = Beats;
+    fn mul(self, rhs: u64) -> Beats {
+        Beats(self.0 * rhs)
+    }
+}
+
+impl Sum for Beats {
+    fn sum<I: Iterator<Item = Beats>>(iter: I) -> Beats {
+        iter.fold(Beats::ZERO, |acc, b| acc + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_u64() {
+        assert_eq!(Beats(2) + Beats(3), Beats(5));
+        assert_eq!(Beats(5) - Beats(3), Beats(2));
+        assert_eq!(Beats(5) * 3, Beats(15));
+        let mut t = Beats(1);
+        t += Beats(2);
+        assert_eq!(t, Beats(3));
+        t -= Beats(1);
+        assert_eq!(t, Beats(2));
+    }
+
+    #[test]
+    fn subtraction_saturates_at_zero() {
+        assert_eq!(Beats(2) - Beats(5), Beats::ZERO);
+        assert_eq!(Beats(2).saturating_sub(Beats(5)), Beats::ZERO);
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Beats = [Beats(1), Beats(2), Beats(3)].into_iter().sum();
+        assert_eq!(total, Beats(6));
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        assert!(Beats(3) < Beats(4));
+        assert_eq!(Beats(3).max(Beats(4)), Beats(4));
+        assert_eq!(Beats(3).min(Beats(4)), Beats(3));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let b = Beats::from(17u64);
+        assert_eq!(u64::from(b), 17);
+        assert_eq!(b.as_f64(), 17.0);
+        assert!(!b.is_zero());
+        assert!(Beats::ZERO.is_zero());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Beats(4).to_string(), "4 beats");
+    }
+}

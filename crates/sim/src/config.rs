@@ -1,0 +1,62 @@
+//! Simulation options.
+
+use serde::{Deserialize, Serialize};
+
+/// Options controlling one simulation run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Record a memory reference trace (one event per instruction touching a
+    /// SAM address). Needed for the Fig. 8 reproduction; costs memory
+    /// proportional to the instruction count.
+    pub record_trace: bool,
+    /// Assume magic states are always instantly available, as in the paper's
+    /// motivation study (Sec. III-B): "we assumed that magic states are
+    /// instantly prepared".
+    pub assume_infinite_magic: bool,
+}
+
+impl SimConfig {
+    /// Default configuration: no trace, realistic magic-state supply.
+    pub fn new() -> Self {
+        SimConfig::default()
+    }
+
+    /// Configuration used for the Sec. III-B motivation analysis: record the
+    /// reference trace and treat magic states as free.
+    pub fn motivation_study() -> Self {
+        SimConfig {
+            record_trace: true,
+            assume_infinite_magic: true,
+        }
+    }
+
+    /// Returns a copy with trace recording enabled.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_realistic() {
+        let c = SimConfig::new();
+        assert!(!c.record_trace);
+        assert!(!c.assume_infinite_magic);
+    }
+
+    #[test]
+    fn motivation_study_enables_trace_and_free_magic() {
+        let c = SimConfig::motivation_study();
+        assert!(c.record_trace);
+        assert!(c.assume_infinite_magic);
+    }
+
+    #[test]
+    fn with_trace_builder() {
+        assert!(SimConfig::new().with_trace().record_trace);
+    }
+}

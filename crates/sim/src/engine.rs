@@ -1,0 +1,627 @@
+//! The dependency-driven code-beat scheduler.
+
+use crate::config::SimConfig;
+use crate::metrics::ExecutionStats;
+use crate::trace::MemoryTrace;
+use lsqca_arch::{ArchConfig, MagicStateSupply, MemorySystem, MsfConfig};
+use lsqca_isa::{ClassicalId, Instruction, LatencyTable, MemAddr, Program, RegId};
+use lsqca_lattice::{Beats, LatticeError, QubitTag};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while executing a program (a malformed instruction stream,
+/// e.g. an in-memory operation on a qubit that is checked out to the CR).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// Index of the offending instruction in the program.
+    pub index: usize,
+    /// The offending instruction, rendered as text.
+    pub instruction: String,
+    /// The underlying memory-system error.
+    pub source: LatticeError,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "instruction {} (`{}`) failed: {}",
+            self.index, self.instruction, self.source
+        )
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Aggregate execution metrics.
+    pub stats: ExecutionStats,
+    /// The memory reference trace (empty unless trace recording was enabled).
+    pub trace: MemoryTrace,
+}
+
+/// The code-beat-accurate simulator.
+///
+/// A `Simulator` owns the architectural state (memory system, magic-state
+/// supply, resource ready-times) for one run; use [`simulate`] for the common
+/// one-shot case.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    memory: MemorySystem,
+    magic: MagicStateSupply,
+    config: SimConfig,
+    unbounded_registers: bool,
+    mem_ready: Vec<Beats>,
+    slot_ready: Vec<Beats>,
+    classical_ready: Vec<Beats>,
+    bank_ready: Vec<Beats>,
+    skip_guard: Option<Beats>,
+    latency_table: LatencyTable,
+}
+
+impl Simulator {
+    /// Builds a simulator for `num_qubits` data qubits on the given architecture.
+    ///
+    /// `hot_qubits` lists the qubits pinned into the conventional region of a
+    /// hybrid floorplan (see [`MemorySystem::new`]).
+    pub fn new(
+        arch: &ArchConfig,
+        num_qubits: u32,
+        hot_qubits: &[QubitTag],
+        config: SimConfig,
+    ) -> Self {
+        let memory = MemorySystem::new(arch, num_qubits, hot_qubits);
+        let magic = MagicStateSupply::new(MsfConfig {
+            factories: arch.factories,
+            beats_per_state: 15,
+            buffer_capacity: arch.magic_buffer_capacity(),
+        });
+        let bank_count = memory.bank_count();
+        let cr_slots = memory.cr_slots().max(2) as usize;
+        // The conventional baseline has no CR, so register slots impose no
+        // constraint; a hybrid floorplan whose hot set covers every qubit
+        // (f = 1) degenerates to the same baseline, matching the paper's
+        // statement that the f = 1 endpoint is the conventional floorplan.
+        let unbounded_registers = arch.floorplan.is_conventional() || bank_count == 0;
+        Simulator {
+            unbounded_registers,
+            memory,
+            magic,
+            config,
+            mem_ready: vec![Beats::ZERO; num_qubits as usize],
+            slot_ready: vec![Beats::ZERO; cr_slots],
+            classical_ready: Vec::new(),
+            bank_ready: vec![Beats::ZERO; bank_count],
+            skip_guard: None,
+            latency_table: LatencyTable::paper(),
+        }
+    }
+
+    /// The memory system being simulated (for density queries).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.memory
+    }
+
+    fn mem_ready(&self, m: MemAddr) -> Beats {
+        self.mem_ready
+            .get(m.index() as usize)
+            .copied()
+            .unwrap_or(Beats::ZERO)
+    }
+
+    fn set_mem_ready(&mut self, m: MemAddr, t: Beats) {
+        let idx = m.index() as usize;
+        if idx >= self.mem_ready.len() {
+            self.mem_ready.resize(idx + 1, Beats::ZERO);
+        }
+        self.mem_ready[idx] = t;
+    }
+
+    fn slot_ready(&self, r: RegId) -> Beats {
+        self.slot_ready
+            .get(r.index() as usize)
+            .copied()
+            .unwrap_or(Beats::ZERO)
+    }
+
+    fn set_slot_ready(&mut self, r: RegId, t: Beats) {
+        let idx = r.index() as usize;
+        if idx >= self.slot_ready.len() {
+            self.slot_ready.resize(idx + 1, Beats::ZERO);
+        }
+        self.slot_ready[idx] = t;
+    }
+
+    fn classical_ready(&self, v: ClassicalId) -> Beats {
+        self.classical_ready
+            .get(v.index() as usize)
+            .copied()
+            .unwrap_or(Beats::ZERO)
+    }
+
+    fn set_classical_ready(&mut self, v: ClassicalId, t: Beats) {
+        let idx = v.index() as usize;
+        if idx >= self.classical_ready.len() {
+            self.classical_ready.resize(idx + 1, Beats::ZERO);
+        }
+        self.classical_ready[idx] = t;
+    }
+
+    fn tag(m: MemAddr) -> QubitTag {
+        QubitTag(m.index())
+    }
+
+    /// True if the instruction occupies the SAM bank's scan cell / scan line.
+    fn needs_scan_resource(instr: &Instruction) -> bool {
+        matches!(
+            instr,
+            Instruction::Ld { .. }
+                | Instruction::St { .. }
+                | Instruction::HdM { .. }
+                | Instruction::PhM { .. }
+                | Instruction::MxxM { .. }
+                | Instruction::MzzM { .. }
+                | Instruction::Cx { .. }
+        )
+    }
+
+    /// Executes `program` and returns the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the instruction stream is inconsistent with the
+    /// memory state (for example, loading a qubit twice without storing it).
+    pub fn run(&mut self, program: &Program) -> Result<SimOutcome, SimError> {
+        let mut stats = ExecutionStats {
+            memory_density: self.memory.memory_density(),
+            total_cells: self.memory.total_cells(),
+            ..ExecutionStats::default()
+        };
+        let mut trace = MemoryTrace::new();
+        let mut makespan = Beats::ZERO;
+
+        for (index, instr) in program.iter().enumerate() {
+            let wrap = |source: LatticeError| SimError {
+                index,
+                instruction: instr.to_string(),
+                source,
+            };
+
+            // Dependency collection.
+            let mut start = self.skip_guard.take().unwrap_or(Beats::ZERO);
+            for m in instr.memory_operands() {
+                start = start.max(self.mem_ready(m));
+            }
+            if !self.unbounded_registers {
+                for r in instr.register_operands() {
+                    start = start.max(self.slot_ready(r));
+                }
+            }
+            if let Some(v) = instr.classical_input() {
+                start = start.max(self.classical_ready(v));
+            }
+
+            // Bank (scan-resource) serialization.
+            let mut banks: Vec<usize> = Vec::new();
+            if Self::needs_scan_resource(instr) {
+                for m in instr.memory_operands() {
+                    if let Some(b) = self.memory.bank_of(Self::tag(m)) {
+                        if !banks.contains(&b) {
+                            banks.push(b);
+                            start = start.max(self.bank_ready[b]);
+                        }
+                    }
+                }
+            }
+
+            // An optimized CX claims one CR slot for its surgery ancilla.
+            let mut cx_slot: Option<usize> = None;
+            if matches!(instr, Instruction::Cx { .. }) && !self.unbounded_registers {
+                let (slot, ready) = self
+                    .slot_ready
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .min_by_key(|&(_, t)| t)
+                    .expect("at least one CR slot");
+                start = start.max(ready);
+                cx_slot = Some(slot);
+            }
+
+            // Duration.
+            let duration = match *instr {
+                Instruction::Ld { mem, .. } => {
+                    stats.loads += 1;
+                    let cost = self.memory.load(Self::tag(mem)).map_err(wrap)?;
+                    stats.memory_access_beats += cost;
+                    cost
+                }
+                Instruction::St { mem, .. } => {
+                    stats.stores += 1;
+                    let cost = self.memory.store(Self::tag(mem)).map_err(wrap)?;
+                    stats.memory_access_beats += cost;
+                    cost
+                }
+                Instruction::PzC { .. } | Instruction::PpC { .. } => Beats::ZERO,
+                Instruction::Pm { .. } => {
+                    stats.magic_states += 1;
+                    let wait = if self.config.assume_infinite_magic {
+                        Beats::ZERO
+                    } else {
+                        let available = self.magic.acquire(start);
+                        available.saturating_sub(start)
+                    };
+                    stats.magic_wait_beats += wait;
+                    // One beat to move the state from the MSF port into the CR.
+                    wait + Beats(1)
+                }
+                Instruction::HdC { .. } => Beats(3),
+                Instruction::PhC { .. } => Beats(2),
+                Instruction::MxC { .. } | Instruction::MzC { .. } => Beats::ZERO,
+                Instruction::MxxC { .. } | Instruction::MzzC { .. } => Beats(1),
+                Instruction::Sk { .. } => Beats::ZERO,
+                Instruction::PzM { .. } | Instruction::PpM { .. } => Beats::ZERO,
+                Instruction::HdM { mem } => {
+                    let seek = self.memory.in_memory_seek(Self::tag(mem)).map_err(wrap)?;
+                    stats.memory_access_beats += seek;
+                    seek + Beats(3)
+                }
+                Instruction::PhM { mem } => {
+                    let seek = self.memory.in_memory_seek(Self::tag(mem)).map_err(wrap)?;
+                    stats.memory_access_beats += seek;
+                    seek + Beats(2)
+                }
+                Instruction::MxM { .. } | Instruction::MzM { .. } => Beats::ZERO,
+                Instruction::MxxM { mem, .. } | Instruction::MzzM { mem, .. } => {
+                    let access = self
+                        .memory
+                        .in_memory_two_qubit_access(Self::tag(mem))
+                        .map_err(wrap)?;
+                    stats.memory_access_beats += access;
+                    access + Beats(1)
+                }
+                Instruction::Cx { control, target } => {
+                    // Runtime optimization (Sec. VI-A): load whichever operand is
+                    // cheaper to fetch into the CR, access the other in memory,
+                    // perform the two lattice-surgery measurements of the CNOT,
+                    // and store the loaded operand back with the locality-aware
+                    // policy — which parks it next to its partner, so repeated
+                    // CNOTs over the same working set become cheap.
+                    let (qc, qt) = (Self::tag(control), Self::tag(target));
+                    let peek_c = self.memory.peek_load(qc).map_err(wrap)?;
+                    let peek_t = self.memory.peek_load(qt).map_err(wrap)?;
+                    let (loaded, other) = if peek_c <= peek_t { (qc, qt) } else { (qt, qc) };
+                    let load = self.memory.load(loaded).map_err(wrap)?;
+                    let access = self
+                        .memory
+                        .in_memory_two_qubit_access(other)
+                        .map_err(wrap)?;
+                    let store = self.memory.store(loaded).map_err(wrap)?;
+                    stats.memory_access_beats += load + access + store;
+                    // MZZ with the ancilla, then MXX with the target.
+                    load + access + Beats(2) + store
+                }
+            };
+
+            let finish = start + duration;
+
+            // Bookkeeping.
+            stats.instruction_count += 1;
+            if !self.latency_table.is_negligible(instr) {
+                stats.command_count += 1;
+            }
+            if instr.is_in_memory() {
+                stats.in_memory_ops += 1;
+            }
+            for m in instr.memory_operands() {
+                if self.config.record_trace {
+                    trace.record(m, start.as_u64());
+                }
+                self.set_mem_ready(m, finish);
+            }
+            for r in instr.register_operands() {
+                self.set_slot_ready(r, finish);
+            }
+            if let Some(slot) = cx_slot {
+                self.slot_ready[slot] = finish;
+            }
+            for b in banks {
+                self.bank_ready[b] = finish;
+            }
+            if let Some(v) = instr.classical_output() {
+                self.set_classical_ready(v, finish);
+            }
+            if matches!(instr, Instruction::Sk { .. }) {
+                self.skip_guard = Some(finish);
+            }
+            makespan = makespan.max(finish);
+        }
+
+        stats.total_beats = makespan;
+        Ok(SimOutcome { stats, trace })
+    }
+}
+
+/// Simulates `program` on the given architecture and returns the outcome.
+///
+/// `num_qubits` is the number of data qubits (SAM addresses) the program uses;
+/// if the program references a higher address, the larger value is used.
+/// `hot_qubits` lists qubits pinned into the conventional region of a hybrid
+/// floorplan.
+///
+/// # Panics
+///
+/// Panics if the program is malformed with respect to the memory model (for
+/// example, an in-memory operation on a qubit that is still checked out). Use
+/// [`Program::validate`] and the compiler to produce well-formed programs, or
+/// drive [`Simulator::run`] directly to handle the error.
+pub fn simulate(
+    program: &Program,
+    num_qubits: u32,
+    arch: &ArchConfig,
+    hot_qubits: &[QubitTag],
+    config: SimConfig,
+) -> SimOutcome {
+    let footprint = program
+        .iter()
+        .flat_map(|i| i.memory_operands())
+        .map(|m| m.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let qubits = num_qubits.max(footprint).max(1);
+    let mut simulator = Simulator::new(arch, qubits, hot_qubits, config);
+    match simulator.run(program) {
+        Ok(outcome) => outcome,
+        Err(err) => panic!("simulation of `{}` failed: {err}", program.name()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsqca_arch::FloorplanKind;
+    use lsqca_isa::Instruction;
+
+    fn point(factories: u32) -> ArchConfig {
+        ArchConfig::new(FloorplanKind::PointSam { banks: 1 }, factories)
+    }
+
+    fn line(banks: u32, factories: u32) -> ArchConfig {
+        ArchConfig::new(FloorplanKind::LineSam { banks }, factories)
+    }
+
+    #[test]
+    fn empty_program_finishes_instantly() {
+        let program = Program::new("empty");
+        let outcome = simulate(&program, 4, &point(1), &[], SimConfig::default());
+        assert_eq!(outcome.stats.total_beats, Beats::ZERO);
+        assert_eq!(outcome.stats.instruction_count, 0);
+        assert_eq!(outcome.stats.cpi(), 0.0);
+    }
+
+    #[test]
+    fn fixed_latency_instructions_accumulate_serially() {
+        let mut program = Program::new("serial");
+        // Three dependent in-memory gates on the same qubit in the conventional
+        // floorplan: 3 + 2 + 2 beats.
+        program.push(Instruction::HdM { mem: MemAddr(0) });
+        program.push(Instruction::PhM { mem: MemAddr(0) });
+        program.push(Instruction::PhM { mem: MemAddr(0) });
+        let outcome = simulate(
+            &program,
+            1,
+            &ArchConfig::conventional(1),
+            &[],
+            SimConfig::default(),
+        );
+        assert_eq!(outcome.stats.total_beats, Beats(7));
+        assert_eq!(outcome.stats.command_count, 3);
+    }
+
+    #[test]
+    fn independent_gates_overlap_on_the_conventional_floorplan() {
+        let mut program = Program::new("parallel");
+        for q in 0..8 {
+            program.push(Instruction::HdM { mem: MemAddr(q) });
+        }
+        let outcome = simulate(
+            &program,
+            8,
+            &ArchConfig::conventional(1),
+            &[],
+            SimConfig::default(),
+        );
+        // All eight Hadamards run concurrently.
+        assert_eq!(outcome.stats.total_beats, Beats(3));
+    }
+
+    #[test]
+    fn sam_bank_serializes_memory_accesses() {
+        let mut program = Program::new("serialized");
+        for q in 0..8 {
+            program.push(Instruction::HdM { mem: MemAddr(q) });
+        }
+        let outcome = simulate(&program, 8, &point(1), &[], SimConfig::default());
+        // A single scan cell forces the eight in-memory gates to take turns, so
+        // the total is at least 8 gates × 3 beats.
+        assert!(outcome.stats.total_beats >= Beats(24));
+    }
+
+    #[test]
+    fn multi_bank_sam_recovers_parallelism() {
+        let mut program = Program::new("banked");
+        for q in 0..8 {
+            program.push(Instruction::HdM { mem: MemAddr(q) });
+        }
+        let single = simulate(&program, 8, &line(1, 1), &[], SimConfig::default());
+        let quad = simulate(&program, 8, &line(4, 1), &[], SimConfig::default());
+        assert!(quad.stats.total_beats < single.stats.total_beats);
+    }
+
+    #[test]
+    fn magic_state_supply_throttles_t_gates() {
+        // Twenty magic-state requests with one factory: at least ~(20-3)*15 beats.
+        let mut program = Program::new("magic");
+        for i in 0..20u32 {
+            program.push(Instruction::Pm { reg: RegId(0) });
+            program.push(Instruction::MxC {
+                reg: RegId(0),
+                out: ClassicalId(i),
+            });
+        }
+        let outcome = simulate(&program, 1, &point(1), &[], SimConfig::default());
+        assert!(outcome.stats.total_beats >= Beats(250));
+        assert_eq!(outcome.stats.magic_states, 20);
+        assert!(outcome.stats.magic_wait_beats > Beats(100));
+
+        // Four factories are four times faster (up to buffering effects).
+        let four = simulate(&program, 1, &point(4), &[], SimConfig::default());
+        assert!(four.stats.total_beats.as_u64() < outcome.stats.total_beats.as_u64() / 2);
+
+        // The motivation-study mode removes the bottleneck entirely.
+        let free = simulate(
+            &program,
+            1,
+            &point(1),
+            &[],
+            SimConfig {
+                assume_infinite_magic: true,
+                ..SimConfig::default()
+            },
+        );
+        assert!(free.stats.total_beats < Beats(60));
+    }
+
+    #[test]
+    fn skip_waits_for_its_classical_value() {
+        let mut program = Program::new("skip");
+        program.push(Instruction::HdM { mem: MemAddr(0) }); // finishes at 3
+        program.push(Instruction::MzM {
+            mem: MemAddr(0),
+            out: ClassicalId(0),
+        }); // finishes at 3
+        program.push(Instruction::Sk {
+            cond: ClassicalId(0),
+        });
+        program.push(Instruction::PhM { mem: MemAddr(1) }); // independent qubit but guarded
+        let outcome = simulate(
+            &program,
+            2,
+            &ArchConfig::conventional(1),
+            &[],
+            SimConfig::default(),
+        );
+        // The guarded phase gate cannot start before beat 3 even though its
+        // operand is free, so the total is 3 + 2.
+        assert_eq!(outcome.stats.total_beats, Beats(5));
+    }
+
+    #[test]
+    fn load_store_round_trip_runs_on_sam() {
+        let mut program = Program::new("ldst");
+        program.push(Instruction::Ld {
+            mem: MemAddr(30),
+            reg: RegId(0),
+        });
+        program.push(Instruction::HdC { reg: RegId(0) });
+        program.push(Instruction::St {
+            reg: RegId(0),
+            mem: MemAddr(30),
+        });
+        let outcome = simulate(&program, 64, &point(1), &[], SimConfig::default());
+        assert_eq!(outcome.stats.loads, 1);
+        assert_eq!(outcome.stats.stores, 1);
+        assert!(outcome.stats.total_beats > Beats(3));
+        assert!(outcome.stats.memory_access_beats > Beats::ZERO);
+    }
+
+    #[test]
+    fn malformed_programs_report_errors() {
+        let mut program = Program::new("bad");
+        program.push(Instruction::Ld {
+            mem: MemAddr(0),
+            reg: RegId(0),
+        });
+        // Loading the same qubit again without storing it is inconsistent.
+        program.push(Instruction::Ld {
+            mem: MemAddr(0),
+            reg: RegId(1),
+        });
+        let mut simulator = Simulator::new(&point(1), 4, &[], SimConfig::default());
+        let err = simulator.run(&program).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(err.to_string().contains("LD"));
+    }
+
+    #[test]
+    fn trace_recording_captures_memory_references() {
+        let mut program = Program::new("trace");
+        program.push(Instruction::HdM { mem: MemAddr(0) });
+        program.push(Instruction::Cx {
+            control: MemAddr(0),
+            target: MemAddr(1),
+        });
+        let outcome = simulate(
+            &program,
+            2,
+            &ArchConfig::conventional(1),
+            &[],
+            SimConfig::default().with_trace(),
+        );
+        assert_eq!(outcome.trace.len(), 3);
+        assert_eq!(outcome.trace.access_counts()[&MemAddr(0)], 2);
+    }
+
+    #[test]
+    fn conventional_is_never_slower_than_point_sam() {
+        // A chain of dependent CX gates touching many distinct qubits.
+        let mut program = Program::new("chain");
+        for q in 0..30u32 {
+            program.push(Instruction::Cx {
+                control: MemAddr(q),
+                target: MemAddr(q + 1),
+            });
+        }
+        let conventional = simulate(
+            &program,
+            31,
+            &ArchConfig::conventional(1),
+            &[],
+            SimConfig::default(),
+        );
+        let sam = simulate(&program, 31, &point(1), &[], SimConfig::default());
+        assert!(conventional.stats.total_beats <= sam.stats.total_beats);
+        assert!(conventional.stats.memory_density <= sam.stats.memory_density);
+    }
+
+    #[test]
+    fn hybrid_hot_set_reduces_execution_time() {
+        // Repeatedly touch one hot qubit against many cold partners.
+        let mut program = Program::new("hot");
+        for q in 1..60u32 {
+            program.push(Instruction::Cx {
+                control: MemAddr(0),
+                target: MemAddr(q),
+            });
+        }
+        let arch = point(1);
+        let pure = simulate(&program, 60, &arch, &[], SimConfig::default());
+        let hybrid_arch = point(1).with_hybrid_fraction(0.02);
+        let hybrid = simulate(
+            &program,
+            60,
+            &hybrid_arch,
+            &[QubitTag(0)],
+            SimConfig::default(),
+        );
+        assert!(hybrid.stats.total_beats <= pure.stats.total_beats);
+        assert!(hybrid.stats.memory_density < pure.stats.memory_density);
+    }
+}

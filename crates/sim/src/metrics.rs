@@ -1,0 +1,126 @@
+//! Execution statistics reported by the simulator.
+
+use lsqca_lattice::Beats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result metrics of one simulation run.
+///
+/// The two headline numbers of the paper's evaluation are
+/// [`cpi`](ExecutionStats::cpi) (Fig. 13) and
+/// [`memory_density`](ExecutionStats::memory_density) (Figs. 14–15); the rest
+/// are supporting breakdowns.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionStats {
+    /// Total execution time in code beats.
+    pub total_beats: Beats,
+    /// Total number of instructions executed.
+    pub instruction_count: u64,
+    /// Number of non-negligible commands (the CPI denominator, Sec. VI-A).
+    pub command_count: u64,
+    /// Number of magic states consumed.
+    pub magic_states: u64,
+    /// Memory density of the simulated architecture (data qubits / cells).
+    pub memory_density: f64,
+    /// Total logical cells charged to the architecture (SAM + CR + conventional).
+    pub total_cells: u64,
+    /// Number of explicit `LD` instructions executed.
+    pub loads: u64,
+    /// Number of explicit `ST` instructions executed.
+    pub stores: u64,
+    /// Number of in-memory instructions executed.
+    pub in_memory_ops: u64,
+    /// Beats spent waiting for magic states (sum over `PM` instructions of the
+    /// gap between request and availability).
+    pub magic_wait_beats: Beats,
+    /// Beats spent on memory movement (loads, stores, seeks, in-memory access).
+    pub memory_access_beats: Beats,
+}
+
+impl ExecutionStats {
+    /// Code beats per instruction: execution time over the non-negligible
+    /// command count.
+    pub fn cpi(&self) -> f64 {
+        if self.command_count == 0 {
+            0.0
+        } else {
+            self.total_beats.as_f64() / self.command_count as f64
+        }
+    }
+
+    /// Execution-time overhead relative to a baseline run (e.g. the
+    /// conventional floorplan): `self/baseline`, so `1.0` means equal time and
+    /// `1.05` means 5% slower.
+    pub fn overhead_vs(&self, baseline: &ExecutionStats) -> f64 {
+        if baseline.total_beats.is_zero() {
+            return 1.0;
+        }
+        self.total_beats.as_f64() / baseline.total_beats.as_f64()
+    }
+
+    /// Average interval between magic-state requests in beats, if any.
+    pub fn beats_per_magic_state(&self) -> Option<f64> {
+        if self.magic_states == 0 {
+            None
+        } else {
+            Some(self.total_beats.as_f64() / self.magic_states as f64)
+        }
+    }
+}
+
+impl fmt::Display for ExecutionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} beats, {} commands, CPI {:.2}, density {:.1}%, {} magic states",
+            self.total_beats.as_u64(),
+            self.command_count,
+            self.cpi(),
+            100.0 * self.memory_density,
+            self.magic_states
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(beats: u64, commands: u64) -> ExecutionStats {
+        ExecutionStats {
+            total_beats: Beats(beats),
+            command_count: commands,
+            ..ExecutionStats::default()
+        }
+    }
+
+    #[test]
+    fn cpi_is_beats_over_commands() {
+        assert_eq!(stats(100, 50).cpi(), 2.0);
+        assert_eq!(stats(100, 0).cpi(), 0.0);
+    }
+
+    #[test]
+    fn overhead_is_a_ratio() {
+        let fast = stats(100, 10);
+        let slow = stats(110, 10);
+        assert!((slow.overhead_vs(&fast) - 1.1).abs() < 1e-12);
+        assert_eq!(slow.overhead_vs(&stats(0, 10)), 1.0);
+    }
+
+    #[test]
+    fn beats_per_magic_state() {
+        let mut s = stats(150, 10);
+        assert_eq!(s.beats_per_magic_state(), None);
+        s.magic_states = 50;
+        assert_eq!(s.beats_per_magic_state(), Some(3.0));
+    }
+
+    #[test]
+    fn display_mentions_cpi_and_density() {
+        let s = stats(10, 5);
+        let text = s.to_string();
+        assert!(text.contains("CPI"));
+        assert!(text.contains("density"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Registry of the paper's benchmark suite.
+
+use crate::adder::{ripple_carry_adder, AdderConfig};
+use crate::bv::{bernstein_vazirani, BvConfig};
+use crate::cat::{cat_state, CatConfig};
+use crate::ghz::{ghz_state, GhzConfig};
+use crate::multiplier::{shift_add_multiplier, MultiplierConfig};
+use crate::select::{select_heisenberg, SelectConfig};
+use crate::square_root::{square_root_search, SquareRootConfig};
+use lsqca_circuit::Circuit;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The seven benchmarks evaluated in Sec. VI-B of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// 433-qubit ripple-carry adder.
+    Adder,
+    /// 280-qubit Bernstein–Vazirani.
+    Bv,
+    /// 260-qubit cat-state preparation.
+    Cat,
+    /// 127-qubit GHZ-state preparation.
+    Ghz,
+    /// 400-qubit shift-and-add multiplier.
+    Multiplier,
+    /// 60-qubit square root via amplitude amplification.
+    SquareRoot,
+    /// SELECT for the 11×11 2-D Heisenberg model (143 qubits).
+    Select,
+}
+
+impl Benchmark {
+    /// All benchmarks in the order the paper lists them.
+    pub const ALL: [Benchmark; 7] = [
+        Benchmark::Adder,
+        Benchmark::Bv,
+        Benchmark::Cat,
+        Benchmark::Ghz,
+        Benchmark::Multiplier,
+        Benchmark::SquareRoot,
+        Benchmark::Select,
+    ];
+
+    /// The short name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Adder => "adder",
+            Benchmark::Bv => "bv",
+            Benchmark::Cat => "cat",
+            Benchmark::Ghz => "ghz",
+            Benchmark::Multiplier => "multiplier",
+            Benchmark::SquareRoot => "square_root",
+            Benchmark::Select => "SELECT",
+        }
+    }
+
+    /// Parses a benchmark from its figure name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        let lower = name.to_ascii_lowercase();
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().to_ascii_lowercase() == lower)
+    }
+
+    /// True for benchmarks that consume no magic states (purely Clifford), where
+    /// the paper expects LSQCA's overhead to be largest.
+    pub fn is_clifford_only(self) -> bool {
+        matches!(self, Benchmark::Bv | Benchmark::Cat | Benchmark::Ghz)
+    }
+
+    /// Generates the paper-sized instance of this benchmark.
+    pub fn paper_instance(self) -> Circuit {
+        match self {
+            Benchmark::Adder => ripple_carry_adder(AdderConfig::paper()),
+            Benchmark::Bv => bernstein_vazirani(BvConfig::paper()),
+            Benchmark::Cat => cat_state(CatConfig::paper()),
+            Benchmark::Ghz => ghz_state(GhzConfig::paper()),
+            Benchmark::Multiplier => shift_add_multiplier(MultiplierConfig::paper()),
+            Benchmark::SquareRoot => square_root_search(SquareRootConfig::paper()),
+            Benchmark::Select => select_heisenberg(SelectConfig::paper_benchmark()),
+        }
+    }
+
+    /// Generates a reduced instance with the same structure, suitable for unit
+    /// tests and quick benchmark runs (seconds instead of minutes).
+    pub fn reduced_instance(self) -> Circuit {
+        match self {
+            Benchmark::Adder => ripple_carry_adder(AdderConfig { operand_bits: 16 }),
+            Benchmark::Bv => bernstein_vazirani(BvConfig {
+                secret_bits: 31,
+                secret: None,
+                seed: 0x5eed,
+            }),
+            Benchmark::Cat => cat_state(CatConfig { qubits: 32 }),
+            Benchmark::Ghz => ghz_state(GhzConfig { qubits: 16 }),
+            Benchmark::Multiplier => shift_add_multiplier(MultiplierConfig {
+                operand_bits: 8,
+                partial_products: None,
+            }),
+            Benchmark::SquareRoot => square_root_search(SquareRootConfig {
+                candidate_bits: 5,
+                grover_rounds: 1,
+                target: 9,
+            }),
+            Benchmark::Select => select_heisenberg(SelectConfig::for_width(4)),
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Logical qubit count of the paper-sized instance (Sec. VI-B).
+pub fn paper_qubit_count(benchmark: Benchmark) -> u32 {
+    match benchmark {
+        Benchmark::Adder => 433,
+        Benchmark::Bv => 280,
+        Benchmark::Cat => 260,
+        Benchmark::Ghz => 127,
+        Benchmark::Multiplier => 400,
+        Benchmark::SquareRoot => 60,
+        Benchmark::Select => 143,
+    }
+}
+
+/// Generates the full paper benchmark suite as `(benchmark, circuit)` pairs.
+///
+/// Note that the multiplier and SELECT instances are large; generating the whole
+/// suite takes a few seconds.
+pub fn paper_suite() -> Vec<(Benchmark, Circuit)> {
+    Benchmark::ALL
+        .into_iter()
+        .map(|b| (b, b.paper_instance()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_instances_build_for_every_benchmark() {
+        for b in Benchmark::ALL {
+            let c = b.reduced_instance();
+            assert!(!c.is_empty(), "{b} reduced instance is empty");
+            assert!(c.num_qubits() > 0);
+        }
+    }
+
+    #[test]
+    fn paper_qubit_counts_match_the_generators() {
+        // The large generators are exercised for the cheaper benchmarks here;
+        // the expensive ones (multiplier, SELECT, adder) verify their counts in
+        // their own module tests and in integration tests.
+        assert_eq!(
+            Benchmark::Ghz.paper_instance().num_qubits(),
+            paper_qubit_count(Benchmark::Ghz)
+        );
+        assert_eq!(
+            Benchmark::Cat.paper_instance().num_qubits(),
+            paper_qubit_count(Benchmark::Cat)
+        );
+        assert_eq!(
+            Benchmark::Bv.paper_instance().num_qubits(),
+            paper_qubit_count(Benchmark::Bv)
+        );
+        assert_eq!(
+            Benchmark::SquareRoot.paper_instance().num_qubits(),
+            paper_qubit_count(Benchmark::SquareRoot)
+        );
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert_eq!(Benchmark::from_name("select"), Some(Benchmark::Select));
+        assert_eq!(Benchmark::from_name("nope"), None);
+    }
+
+    #[test]
+    fn clifford_only_classification() {
+        assert!(Benchmark::Bv.is_clifford_only());
+        assert!(Benchmark::Cat.is_clifford_only());
+        assert!(Benchmark::Ghz.is_clifford_only());
+        assert!(!Benchmark::Multiplier.is_clifford_only());
+        assert!(!Benchmark::Select.is_clifford_only());
+    }
+}

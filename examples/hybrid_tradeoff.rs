@@ -1,0 +1,62 @@
+//! Hybrid floorplans: sweep the conventional-region fraction `f` and print the
+//! memory-density / execution-time trade-off curve of Fig. 14 for one
+//! benchmark.
+//!
+//! ```text
+//! cargo run --release --example hybrid_tradeoff [benchmark] [factories]
+//! ```
+//!
+//! `benchmark` is one of `adder`, `bv`, `cat`, `ghz`, `multiplier`,
+//! `square_root`, `select` (reduced instances are used so the sweep finishes in
+//! seconds).
+
+use lsqca::experiment::{ExperimentConfig, Workload};
+use lsqca::prelude::*;
+
+fn main() {
+    let benchmark = std::env::args()
+        .nth(1)
+        .and_then(|name| Benchmark::from_name(&name))
+        .unwrap_or(Benchmark::Multiplier);
+    let factories: u32 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
+
+    let circuit = benchmark.reduced_instance();
+    println!(
+        "hybrid-floorplan sweep for `{benchmark}` ({} qubits, {} gates), {factories} MSF",
+        circuit.num_qubits(),
+        circuit.len()
+    );
+    let workload = Workload::from_circuit(circuit);
+    let baseline = workload.run(&ExperimentConfig::baseline(factories));
+
+    for floorplan in [
+        FloorplanKind::PointSam { banks: 1 },
+        FloorplanKind::LineSam { banks: 1 },
+        FloorplanKind::LineSam { banks: 4 },
+    ] {
+        println!("\n{}", floorplan.label());
+        println!("{:>6} {:>9} {:>10} {:>12}", "f", "density", "overhead", "hot qubits");
+        let mut f: f64 = 0.0;
+        while f <= 1.0 + 1e-9 {
+            let result = workload.run(
+                &ExperimentConfig::new(floorplan, factories).with_hybrid_fraction(f.min(1.0)),
+            );
+            println!(
+                "{:>6.2} {:>8.1}% {:>9.2}x {:>12}",
+                f,
+                100.0 * result.memory_density,
+                result.overhead_vs(&baseline),
+                result.hot_qubits
+            );
+            f += 0.1;
+        }
+    }
+
+    println!(
+        "\nreading the curve: f = 0 is pure LSQCA (highest density), f = 1 matches the \
+         conventional baseline (50% density, 1.00x time)."
+    );
+}

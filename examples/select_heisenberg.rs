@@ -1,0 +1,88 @@
+//! SELECT for a 2-D Heisenberg model: the paper's flagship workload.
+//!
+//! Synthesizes the SELECT circuit for a configurable lattice width, compiles
+//! it, and compares every paper floorplan (point/line SAM × bank counts and the
+//! conventional baseline) at one magic-state factory — a single column of
+//! Fig. 13 plus the density numbers behind Fig. 15.
+//!
+//! ```text
+//! cargo run --release --example select_heisenberg [lattice_width]
+//! ```
+
+use lsqca::experiment::{ExperimentConfig, HotSetStrategy, Workload};
+use lsqca::prelude::*;
+use lsqca::workloads::{select_heisenberg, SelectConfig};
+
+fn main() {
+    let width: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(6);
+    let config = SelectConfig::for_width(width);
+    println!(
+        "SELECT for a {width}x{width} Heisenberg model: {} Hamiltonian terms, {} logical qubits \
+         (control {}, temporal {}, system {})",
+        config.model.num_terms(),
+        config.total_qubits(),
+        config.control_bits(),
+        config.temporal_bits(),
+        config.model.num_sites()
+    );
+
+    let circuit = select_heisenberg(config);
+    println!("synthesized circuit: {}", circuit.stats());
+    let workload = Workload::from_circuit(circuit);
+
+    let baseline = workload.run(&ExperimentConfig::baseline(1));
+    println!(
+        "\n{:<22} {:>10} {:>8} {:>9} {:>10}",
+        "floorplan", "beats", "CPI", "density", "overhead"
+    );
+    println!(
+        "{:<22} {:>10} {:>8.2} {:>8.1}% {:>10}",
+        baseline.config_label,
+        baseline.total_beats.as_u64(),
+        baseline.cpi,
+        100.0 * baseline.memory_density,
+        "1.00x"
+    );
+
+    for floorplan in [
+        FloorplanKind::PointSam { banks: 1 },
+        FloorplanKind::PointSam { banks: 2 },
+        FloorplanKind::LineSam { banks: 1 },
+        FloorplanKind::LineSam { banks: 2 },
+        FloorplanKind::LineSam { banks: 4 },
+    ] {
+        let result = workload.run(&ExperimentConfig::new(floorplan, 1));
+        println!(
+            "{:<22} {:>10} {:>8.2} {:>8.1}% {:>9.2}x",
+            result.config_label,
+            result.total_beats.as_u64(),
+            result.cpi,
+            100.0 * result.memory_density,
+            result.overhead_vs(&baseline)
+        );
+    }
+
+    // Hybrid layout as in Fig. 15: pin the hot control/temporal registers.
+    let select_cfg = SelectConfig::for_width(width);
+    let fraction = (select_cfg.control_bits() + select_cfg.temporal_bits()) as f64
+        / select_cfg.total_qubits() as f64;
+    let hybrid = workload.run(
+        &ExperimentConfig::new(FloorplanKind::PointSam { banks: 1 }, 1)
+            .with_hybrid_fraction(fraction)
+            .with_hot_set(HotSetStrategy::ByRole(vec![
+                RegisterRole::Control,
+                RegisterRole::Temporal,
+            ])),
+    );
+    println!(
+        "{:<22} {:>10} {:>8.2} {:>8.1}% {:>9.2}x   (control+temporal pinned)",
+        "Hybrid Point #SAM=1",
+        hybrid.total_beats.as_u64(),
+        hybrid.cpi,
+        100.0 * hybrid.memory_density,
+        hybrid.overhead_vs(&baseline)
+    );
+}

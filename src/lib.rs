@@ -1,0 +1,9 @@
+//! Workspace-level package hosting the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`) of the LSQCA reproduction.
+//!
+//! The library surface lives in the [`lsqca`] facade crate; this package only
+//! re-exports it so examples and integration tests have a single dependency.
+
+#![forbid(unsafe_code)]
+
+pub use lsqca;

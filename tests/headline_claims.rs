@@ -1,0 +1,122 @@
+//! Shape checks for the paper's headline claims.
+//!
+//! The substrate here is a from-scratch simulator, not the authors' testbed, so
+//! exact numbers are not expected to match — but the qualitative shape must:
+//! LSQCA reaches ~85–100% memory density (vs the 50% baseline) while the
+//! execution-time overhead stays small whenever a magic-state bottleneck exists.
+
+use lsqca::experiment::{ExperimentConfig, HotSetStrategy, Workload};
+use lsqca::prelude::*;
+use lsqca::workloads::{select_heisenberg, shift_add_multiplier, MultiplierConfig, SelectConfig};
+
+/// Multiplier claim (Sec. VI-B): line SAM with one bank reaches ≈87% density
+/// (the paper computes 400/462) at a modest execution-time overhead with a
+/// single magic-state factory.
+#[test]
+fn multiplier_line_sam_headline_density_and_overhead() {
+    // Full 400-qubit register file; the partial-product cap shortens the
+    // circuit without changing the density accounting or the access structure.
+    let config = MultiplierConfig {
+        operand_bits: 100,
+        partial_products: Some(20),
+    };
+    let workload = Workload::from_circuit(shift_add_multiplier(config));
+    let lsqca_cfg = ExperimentConfig::new(FloorplanKind::LineSam { banks: 1 }, 1);
+    let (lsqca, baseline) = workload.run_with_baseline(&lsqca_cfg);
+
+    // Density: the paper reports 400/462 ≈ 86.6%.
+    assert!(
+        (lsqca.memory_density - 400.0 / 462.0).abs() < 0.02,
+        "multiplier line-SAM density {:.3} should be ≈ 0.866",
+        lsqca.memory_density
+    );
+    assert!((baseline.memory_density - 0.5).abs() < 1e-9);
+
+    // Overhead: the paper reports ≈6%; allow a generous band for the rebuilt
+    // substrate but insist it stays clearly below the Clifford-only penalties.
+    let overhead = lsqca.overhead_vs(&baseline);
+    assert!(overhead >= 1.0);
+    assert!(
+        overhead < 1.35,
+        "multiplier line-SAM overhead {overhead:.2}x should stay modest"
+    );
+}
+
+/// SELECT claim (Fig. 15): with the control and temporal registers pinned into
+/// a conventional region, the hybrid point SAM reaches ≈92% density at a small
+/// overhead for the width-21 instance.
+#[test]
+fn select_hybrid_point_sam_headline_density_and_overhead() {
+    let mut select_cfg = SelectConfig::for_width(21);
+    // Cap the number of iterated terms to keep the test fast; register widths
+    // (and therefore density) are unchanged, and the access structure repeats.
+    select_cfg.max_terms = Some(300);
+    let fraction = (select_cfg.control_bits() + select_cfg.temporal_bits()) as f64
+        / select_cfg.total_qubits() as f64;
+    let workload = Workload::from_circuit(select_heisenberg(select_cfg));
+
+    let hybrid_cfg = ExperimentConfig::new(FloorplanKind::PointSam { banks: 1 }, 1)
+        .with_hybrid_fraction(fraction)
+        .with_hot_set(HotSetStrategy::ByRole(vec![
+            RegisterRole::Control,
+            RegisterRole::Temporal,
+        ]));
+    let (hybrid, baseline) = workload.run_with_baseline(&hybrid_cfg);
+
+    assert!(
+        hybrid.memory_density > 0.88 && hybrid.memory_density < 1.0,
+        "hybrid point-SAM density {:.3} should be ≈ 0.92",
+        hybrid.memory_density
+    );
+    let overhead = hybrid.overhead_vs(&baseline);
+    assert!(overhead >= 1.0);
+    assert!(
+        overhead < 1.30,
+        "hybrid point-SAM overhead {overhead:.2}x should stay small"
+    );
+}
+
+/// The density limit argument of Sec. III: every LSQCA floorplan beats the 50%
+/// ceiling of unit-access floorplans for the paper-sized register files.
+#[test]
+fn lsqca_breaks_the_half_density_ceiling_for_every_paper_register_file() {
+    use lsqca::arch::MemorySystem;
+    for qubits in [60u32, 127, 143, 260, 280, 400, 433] {
+        for floorplan in [
+            FloorplanKind::PointSam { banks: 1 },
+            FloorplanKind::PointSam { banks: 2 },
+            FloorplanKind::LineSam { banks: 1 },
+            FloorplanKind::LineSam { banks: 2 },
+            FloorplanKind::LineSam { banks: 4 },
+        ] {
+            let arch = ArchConfig::new(floorplan, 1);
+            let memory = MemorySystem::new(&arch, qubits, &[]);
+            assert!(
+                memory.memory_density() > 0.5,
+                "{floorplan:?} with {qubits} qubits has density {:.2}",
+                memory.memory_density()
+            );
+        }
+    }
+}
+
+/// Magic-state demand outpaces a single factory for the arithmetic benchmarks
+/// (Sec. III-B: one magic state every ≈2.1 beats for the multiplier vs one per
+/// 15 beats from a single factory) — the bottleneck that hides LSQCA's latency.
+#[test]
+fn magic_state_demand_outpaces_a_single_factory() {
+    let workload = Workload::from_circuit(Benchmark::Multiplier.reduced_instance());
+    let ideal = workload.run(&ExperimentConfig::baseline(1).with_infinite_magic());
+    let demand_interval =
+        ideal.total_beats.as_f64() / ideal.stats.magic_states.max(1) as f64;
+    assert!(
+        demand_interval < 15.0,
+        "multiplier demands a magic state every {demand_interval:.1} beats, \
+         which should be faster than one factory's 15-beat production"
+    );
+
+    // Consequently the realistic single-factory run is much slower than the
+    // idealized one — the execution is magic-state bound, not memory bound.
+    let real = workload.run(&ExperimentConfig::baseline(1));
+    assert!(real.total_beats.as_f64() > 2.0 * ideal.total_beats.as_f64());
+}

@@ -1,0 +1,81 @@
+//! Checks that the paper-sized benchmark instances have exactly the logical
+//! qubit counts reported in Sec. VI-B and Fig. 15, and that their compiled
+//! programs are well-formed.
+
+use lsqca::prelude::*;
+use lsqca::workloads::{paper_qubit_count, SelectConfig};
+
+#[test]
+fn paper_benchmark_qubit_counts_match_section_vi() {
+    // adder 433, bv 280, cat 260, ghz 127, multiplier 400, square_root 60,
+    // SELECT (11x11) 143.
+    for benchmark in Benchmark::ALL {
+        let circuit = benchmark.paper_instance();
+        assert_eq!(
+            circuit.num_qubits(),
+            paper_qubit_count(benchmark),
+            "{benchmark} has the wrong paper qubit count"
+        );
+    }
+}
+
+#[test]
+fn select_instance_sizes_match_figure_15() {
+    let expected = [
+        (21u32, 467u32),
+        (41, 1711),
+        (61, 3753),
+        (81, 6595),
+        (101, 10235),
+    ];
+    for (width, qubits) in expected {
+        assert_eq!(
+            SelectConfig::for_width(width).total_qubits(),
+            qubits,
+            "SELECT width {width}"
+        );
+    }
+}
+
+#[test]
+fn paper_instances_compile_and_validate() {
+    // The cheap benchmarks are compiled at paper scale here; the expensive ones
+    // (multiplier, SELECT, adder) are covered by the reduced-instance pipeline
+    // test and by the experiments binary.
+    for benchmark in [Benchmark::Ghz, Benchmark::Cat, Benchmark::Bv, Benchmark::SquareRoot] {
+        let circuit = benchmark.paper_instance();
+        let compiled = compile(&circuit, CompilerConfig::default());
+        assert!(
+            compiled.program.validate().is_ok(),
+            "{benchmark} paper instance fails validation"
+        );
+        assert_eq!(compiled.num_qubits, paper_qubit_count(benchmark));
+    }
+}
+
+#[test]
+fn clifford_benchmarks_consume_no_magic_states() {
+    for benchmark in [Benchmark::Ghz, Benchmark::Cat, Benchmark::Bv] {
+        let circuit = benchmark.paper_instance();
+        let compiled = compile(&circuit, CompilerConfig::default());
+        assert_eq!(
+            compiled.program.stats().magic_state_count,
+            0,
+            "{benchmark} should be Clifford-only"
+        );
+    }
+}
+
+#[test]
+fn arithmetic_benchmarks_are_magic_state_hungry() {
+    for benchmark in [Benchmark::SquareRoot] {
+        let circuit = benchmark.paper_instance();
+        let compiled = compile(&circuit, CompilerConfig::default());
+        let stats = compiled.program.stats();
+        assert!(
+            stats.magic_state_count > 100,
+            "{benchmark} should consume many magic states, got {}",
+            stats.magic_state_count
+        );
+    }
+}
