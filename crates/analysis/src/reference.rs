@@ -1,12 +1,11 @@
 //! Reference-period distributions and locality metrics (Fig. 8).
 
 use lsqca_sim::MemoryTrace;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An empirical cumulative distribution over non-negative integer samples
 /// (reference periods in code beats).
-#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct CumulativeDistribution {
     samples: Vec<u64>,
 }
@@ -87,18 +86,16 @@ impl CumulativeDistribution {
 impl fmt::Display for CumulativeDistribution {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match (self.median(), self.mean()) {
-            (Some(median), Some(mean)) => write!(
-                f,
-                "{} samples, median {median}, mean {mean:.1}",
-                self.len()
-            ),
+            (Some(median), Some(mean)) => {
+                write!(f, "{} samples, median {median}, mean {mean:.1}", self.len())
+            }
             _ => write!(f, "empty distribution"),
         }
     }
 }
 
 /// Locality summary of one benchmark's memory reference trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccessLocalityReport {
     /// Number of distinct qubits referenced.
     pub referenced_qubits: usize,

@@ -1,10 +1,9 @@
 //! Architecture configuration.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which floorplan strategy the machine uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FloorplanKind {
     /// LSQCA with point-SAM banks (single scan cell per bank). The paper limits
     /// the bank count to 1 or 2 because every bank must touch the CR.
@@ -55,7 +54,7 @@ impl fmt::Display for FloorplanKind {
 }
 
 /// Full architectural configuration for one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArchConfig {
     /// The floorplan strategy.
     pub floorplan: FloorplanKind,
@@ -126,7 +125,10 @@ impl ArchConfig {
     }
 
     fn validate(&self) {
-        assert!(self.factories > 0, "at least one magic-state factory is required");
+        assert!(
+            self.factories > 0,
+            "at least one magic-state factory is required"
+        );
         match self.floorplan {
             FloorplanKind::PointSam { banks } => {
                 assert!(banks > 0, "point SAM needs at least one bank");
@@ -196,10 +198,7 @@ mod tests {
 
     #[test]
     fn labels() {
-        assert_eq!(
-            FloorplanKind::PointSam { banks: 2 }.label(),
-            "Point #SAM=2"
-        );
+        assert_eq!(FloorplanKind::PointSam { banks: 2 }.label(), "Point #SAM=2");
         assert_eq!(FloorplanKind::LineSam { banks: 4 }.label(), "Line #SAM=4");
         assert_eq!(FloorplanKind::Conventional.label(), "Conventional");
         assert_eq!(FloorplanKind::Conventional.bank_count(), 0);

@@ -16,11 +16,14 @@
 //! up sharing a row and later multi-qubit operations become cheap.
 
 use lsqca_lattice::{Beats, LatticeError, QubitTag};
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A single line-SAM bank.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Qubit tags are dense (`0..num_qubits` across the whole memory system), so
+/// the per-qubit row tables are plain `Vec`s indexed by `QubitTag::index()`
+/// instead of hash maps: every row lookup on the simulator's hot path is one
+/// array read.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LineSamBank {
     /// Number of storage rows (data rows plus the scan line's row).
     storage_rows: u32,
@@ -28,8 +31,11 @@ pub struct LineSamBank {
     cols: u32,
     /// Row the scan position is currently adjacent to.
     scan_row: u32,
-    /// Row each stored qubit currently occupies.
-    row_of: HashMap<QubitTag, u32>,
+    /// Row each stored qubit currently occupies, indexed by tag; `None` for
+    /// qubits that are checked out or belong to another bank.
+    row_of: Vec<Option<u32>>,
+    /// Number of qubits currently stored in the bank.
+    stored: usize,
     /// Number of occupied cells per row.
     occupancy: Vec<u32>,
     /// Exact cell count charged to this bank (data region + scan line).
@@ -37,8 +43,9 @@ pub struct LineSamBank {
     /// Park returning qubits in the most recently accessed row (true) or in
     /// their original row (false).
     locality_aware_store: bool,
-    /// Original home row of every qubit.
-    home_row: HashMap<QubitTag, u32>,
+    /// Original home row of every qubit, indexed by tag; `None` for qubits
+    /// that belong to another bank.
+    home_row: Vec<Option<u32>>,
 }
 
 impl LineSamBank {
@@ -50,7 +57,10 @@ impl LineSamBank {
     ///
     /// Panics if `qubits` is empty.
     pub fn new(qubits: &[QubitTag], locality_aware_store: bool) -> Self {
-        assert!(!qubits.is_empty(), "a line-SAM bank needs at least one qubit");
+        assert!(
+            !qubits.is_empty(),
+            "a line-SAM bank needs at least one qubit"
+        );
         let n = qubits.len() as u64;
         // Smallest R×C data region with C ∈ {R, R+1} and R·C ≥ n.
         let mut rows = (n as f64).sqrt().floor() as u32;
@@ -68,13 +78,14 @@ impl LineSamBank {
         let storage_rows = rows + 1;
         let scan_row = storage_rows / 2;
 
-        let mut row_of = HashMap::with_capacity(qubits.len());
+        let table_len = qubits.iter().map(|q| q.0 as usize + 1).max().unwrap_or(0);
+        let mut row_of = vec![None; table_len];
         let mut occupancy = vec![0u32; storage_rows as usize];
         for (i, &q) in qubits.iter().enumerate() {
             let raw = (i as u32) / cols;
             // Skip the (initially empty) scan row in the middle of the bank.
             let row = if raw >= scan_row { raw + 1 } else { raw };
-            row_of.insert(q, row);
+            row_of[q.0 as usize] = Some(row);
             occupancy[row as usize] += 1;
         }
 
@@ -84,6 +95,7 @@ impl LineSamBank {
             scan_row,
             home_row: row_of.clone(),
             row_of,
+            stored: qubits.len(),
             occupancy,
             cell_count: rows as u64 * cols as u64 + cols as u64,
             locality_aware_store,
@@ -102,23 +114,21 @@ impl LineSamBank {
 
     /// Number of qubits currently stored in the bank.
     pub fn stored_qubits(&self) -> usize {
-        self.row_of.len()
+        self.stored
     }
 
     /// True if `qubit` is currently stored in this bank.
     pub fn contains(&self, qubit: QubitTag) -> bool {
-        self.row_of.contains_key(&qubit)
+        self.row_of(qubit).is_some()
     }
 
     /// The row currently holding `qubit`.
     pub fn row_of(&self, qubit: QubitTag) -> Option<u32> {
-        self.row_of.get(&qubit).copied()
+        self.row_of.get(qubit.0 as usize).copied().flatten()
     }
 
     fn require_row(&self, qubit: QubitTag) -> Result<u32, LatticeError> {
-        self.row_of
-            .get(&qubit)
-            .copied()
+        self.row_of(qubit)
             .ok_or(LatticeError::QubitNotPresent { qubit })
     }
 
@@ -145,7 +155,8 @@ impl LineSamBank {
     pub fn load(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
         let row = self.require_row(qubit)?;
         let cost = self.distance(row) + Beats(1);
-        self.row_of.remove(&qubit);
+        self.row_of[qubit.0 as usize] = None;
+        self.stored -= 1;
         self.occupancy[row as usize] -= 1;
         self.scan_row = row;
         Ok(cost)
@@ -158,9 +169,10 @@ impl LineSamBank {
         let preferred = if self.locality_aware_store {
             self.scan_row
         } else {
-            *self
-                .home_row
-                .get(&qubit)
+            self.home_row
+                .get(qubit.0 as usize)
+                .copied()
+                .flatten()
                 .ok_or(LatticeError::QubitNotPresent { qubit })?
         };
         (0..self.storage_rows)
@@ -176,7 +188,7 @@ impl LineSamBank {
     /// Returns [`LatticeError::GridFull`] if every row is full, or
     /// [`LatticeError::QubitAlreadyPlaced`] if the qubit never left.
     pub fn store(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
-        if let Some(&row) = self.row_of.get(&qubit) {
+        if let Some(row) = self.row_of(qubit) {
             return Err(LatticeError::QubitAlreadyPlaced {
                 qubit,
                 at: lsqca_lattice::Coord::new(0, row),
@@ -184,7 +196,11 @@ impl LineSamBank {
         }
         let dest = self.store_row(qubit)?;
         let cost = self.distance(dest) + Beats(1);
-        self.row_of.insert(qubit, dest);
+        if qubit.0 as usize >= self.row_of.len() {
+            self.row_of.resize(qubit.0 as usize + 1, None);
+        }
+        self.row_of[qubit.0 as usize] = Some(dest);
+        self.stored += 1;
         self.occupancy[dest as usize] += 1;
         self.scan_row = dest;
         Ok(cost)
@@ -402,6 +418,48 @@ mod proptests {
                 for r in 0..bank.total_height() {
                     prop_assert!(bank.occupancy[r as usize] <= bank.cols);
                 }
+            }
+        }
+
+        /// The dense `row_of` table is observationally identical to the seed's
+        /// `HashMap<QubitTag, u32>` through random load/store/seek sequences.
+        #[test]
+        fn dense_row_table_matches_hashmap_semantics(
+            n in 4u32..150,
+            ops in proptest::collection::vec((0u32..200, 0u32..3), 1..100),
+        ) {
+            let qubits: Vec<QubitTag> = (0..n).map(QubitTag).collect();
+            let mut bank = LineSamBank::new(&qubits, true);
+            let mut mirror: std::collections::HashMap<QubitTag, u32> = qubits
+                .iter()
+                .map(|&q| (q, bank.row_of(q).unwrap()))
+                .collect();
+            for (tag, op) in ops {
+                let q = QubitTag(tag);
+                match op {
+                    0 => {
+                        if bank.load(q).is_ok() {
+                            mirror.remove(&q);
+                        }
+                    }
+                    1 => {
+                        if bank.store(q).is_ok() {
+                            mirror.insert(q, bank.row_of(q).unwrap());
+                        }
+                    }
+                    _ => {
+                        // Seeks move the scan line, never the stored rows.
+                        let _ = bank.in_memory_seek(q);
+                    }
+                }
+                prop_assert_eq!(bank.row_of(q), mirror.get(&q).copied());
+                prop_assert_eq!(bank.contains(q), mirror.contains_key(&q));
+                prop_assert_eq!(bank.stored_qubits(), mirror.len());
+            }
+            // Full-table agreement at the end, including never-touched tags.
+            for tag in 0..200 {
+                let q = QubitTag(tag);
+                prop_assert_eq!(bank.row_of(q), mirror.get(&q).copied());
             }
         }
     }

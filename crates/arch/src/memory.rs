@@ -15,12 +15,10 @@ use crate::config::{ArchConfig, FloorplanKind};
 use crate::line::LineSamBank;
 use crate::point::PointSamBank;
 use lsqca_lattice::{Beats, LatticeError, QubitTag};
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Where a qubit lives in the memory system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Residence {
     /// The qubit is pinned in the conventional (unit-latency) region.
     Conventional,
@@ -29,7 +27,7 @@ pub enum Residence {
 }
 
 /// One SAM bank of either flavour.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum Bank {
     Point(PointSamBank),
     Line(LineSamBank),
@@ -87,11 +85,15 @@ impl Bank {
 }
 
 /// The complete memory system for one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemorySystem {
     floorplan: FloorplanKind,
     cr_slots: u32,
-    residence: HashMap<QubitTag, Residence>,
+    /// Residence per qubit tag, indexed directly by `QubitTag::index()`.
+    /// Tags are contiguous `0..num_qubits`, so a dense table replaces the
+    /// former `HashMap<QubitTag, Residence>` and turns every lookup on the
+    /// simulator's hot path into one bounds-checked array read.
+    residence: Vec<Residence>,
     banks: Vec<Bank>,
     conventional_qubits: u64,
     num_qubits: u32,
@@ -111,27 +113,25 @@ impl MemorySystem {
     /// Panics if `num_qubits` is zero.
     pub fn new(config: &ArchConfig, num_qubits: u32, hot_qubits: &[QubitTag]) -> Self {
         assert!(num_qubits > 0, "the memory system needs at least one qubit");
-        let mut residence = HashMap::with_capacity(num_qubits as usize);
-        let all: Vec<QubitTag> = (0..num_qubits).map(QubitTag).collect();
 
-        let hot: Vec<QubitTag> = if config.floorplan.is_conventional() {
-            all.clone()
+        // Dense hot-set membership: tags are contiguous, so a bit per tag
+        // replaces the former `HashSet` dedup pass.
+        let mut is_hot = vec![config.floorplan.is_conventional(); num_qubits as usize];
+        let mut hot_count: u64 = 0;
+        if config.floorplan.is_conventional() {
+            hot_count = num_qubits as u64;
         } else {
-            let mut seen = std::collections::HashSet::new();
-            hot_qubits
-                .iter()
-                .copied()
-                .filter(|q| q.0 < num_qubits && seen.insert(*q))
-                .collect()
-        };
-        for &q in &hot {
-            residence.insert(q, Residence::Conventional);
+            for &q in hot_qubits {
+                if q.0 < num_qubits && !is_hot[q.0 as usize] {
+                    is_hot[q.0 as usize] = true;
+                    hot_count += 1;
+                }
+            }
         }
 
-        let cold: Vec<QubitTag> = all
-            .iter()
-            .copied()
-            .filter(|q| !residence.contains_key(q))
+        let cold: Vec<QubitTag> = (0..num_qubits)
+            .map(QubitTag)
+            .filter(|q| !is_hot[q.0 as usize])
             .collect();
 
         let bank_count = if cold.is_empty() {
@@ -139,10 +139,11 @@ impl MemorySystem {
         } else {
             config.floorplan.bank_count().max(1) as usize
         };
+        let mut residence = vec![Residence::Conventional; num_qubits as usize];
         let mut per_bank: Vec<Vec<QubitTag>> = vec![Vec::new(); bank_count];
         for (i, &q) in cold.iter().enumerate() {
             let bank = i % bank_count.max(1);
-            residence.insert(q, Residence::SamBank(bank));
+            residence[q.0 as usize] = Residence::SamBank(bank);
             per_bank[bank].push(q);
         }
 
@@ -165,7 +166,7 @@ impl MemorySystem {
             cr_slots: config.cr_slots,
             residence,
             banks,
-            conventional_qubits: hot.len() as u64,
+            conventional_qubits: hot_count,
             num_qubits,
         }
     }
@@ -190,9 +191,9 @@ impl MemorySystem {
         self.conventional_qubits
     }
 
-    /// Where `qubit` lives.
+    /// Where `qubit` lives. `None` for tags outside `0..num_qubits`.
     pub fn residence(&self, qubit: QubitTag) -> Option<Residence> {
-        self.residence.get(&qubit).copied()
+        self.residence.get(qubit.0 as usize).copied()
     }
 
     /// The SAM bank index holding `qubit`, or `None` for conventional residents.
@@ -527,6 +528,56 @@ mod proptests {
             for q in 0..n {
                 prop_assert!(mem.is_resident(QubitTag(q)));
                 prop_assert!(mem.bank_of(QubitTag(q)).unwrap() < mem.bank_count());
+            }
+        }
+
+        /// The dense residence table is observationally identical to the
+        /// seed's `HashMap<QubitTag, Residence>` semantics through random
+        /// load/store/seek sequences, including out-of-range and hot tags.
+        #[test]
+        fn dense_residence_matches_hashmap_semantics(
+            n in 8u32..200,
+            hot in proptest::collection::vec(0u32..200, 0..8),
+            ops in proptest::collection::vec((0u32..250, 0u32..3), 1..80),
+            line_sam in proptest::bool::ANY,
+        ) {
+            let floorplan = if line_sam {
+                FloorplanKind::LineSam { banks: 2 }
+            } else {
+                FloorplanKind::PointSam { banks: 2 }
+            };
+            let config = ArchConfig::new(floorplan, 1).with_hybrid_fraction(0.2);
+            let hot: Vec<QubitTag> = hot.into_iter().map(QubitTag).collect();
+            let mut mem = MemorySystem::new(&config, n, &hot);
+
+            // Shadow map with the legacy semantics: insert exactly what the
+            // constructor assigned, keyed by tag.
+            let mirror: std::collections::HashMap<QubitTag, Residence> = (0..n)
+                .map(QubitTag)
+                .filter_map(|q| mem.residence(q).map(|r| (q, r)))
+                .collect();
+            prop_assert_eq!(mirror.len(), n as usize, "every tag has a residence");
+
+            for (tag, op) in ops {
+                let q = QubitTag(tag);
+                // Residence answers must match the map at every point,
+                // including tags that were never assigned (tag >= n).
+                prop_assert_eq!(mem.residence(q), mirror.get(&q).copied());
+                prop_assert_eq!(mem.bank_of(q), match mirror.get(&q) {
+                    Some(Residence::SamBank(i)) => Some(*i),
+                    _ => None,
+                });
+                match op {
+                    0 => {
+                        if mem.is_resident(q) && mem.load(q).is_ok() {
+                            let _ = mem.store(q);
+                        }
+                    }
+                    1 => { let _ = mem.in_memory_seek(q); }
+                    _ => { let _ = mem.in_memory_two_qubit_access(q); }
+                }
+                // Mutating accesses never change where a qubit *belongs*.
+                prop_assert_eq!(mem.residence(q), mirror.get(&q).copied());
             }
         }
     }

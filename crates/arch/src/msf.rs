@@ -9,12 +9,11 @@
 //! latency behind.
 
 use lsqca_lattice::Beats;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 
 /// Static configuration of the magic-state supply.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MsfConfig {
     /// Number of factories distilling in parallel.
     pub factories: u32,
@@ -63,7 +62,7 @@ impl fmt::Display for MsfConfig {
 ///
 /// A `PM` instruction asks [`MagicStateSupply::acquire`] for the earliest beat at
 /// which a state is available; the state is consumed at that beat.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MagicStateSupply {
     config: MsfConfig,
     /// Delivery times of the last `factories` states (oldest first): a factory is
@@ -105,7 +104,10 @@ impl MagicStateSupply {
         let start = if self.recent_deliveries.len() < self.config.factories as usize {
             Beats::ZERO
         } else {
-            *self.recent_deliveries.front().expect("non-empty by length check")
+            *self
+                .recent_deliveries
+                .front()
+                .expect("non-empty by length check")
         };
         let distilled = start + Beats(self.config.beats_per_state);
         // The state can leave the factory once a buffer slot is guaranteed: the
@@ -218,8 +220,7 @@ mod tests {
         for factories in [1u32, 2, 4] {
             let mut supply = MagicStateSupply::new(MsfConfig::paper(factories));
             let last = (0..100).map(|_| supply.acquire(Beats(0))).max().unwrap();
-            let min_beats = (100 - 2 * factories as u64 - factories as u64)
-                .saturating_mul(15)
+            let min_beats = (100 - 2 * factories as u64 - factories as u64).saturating_mul(15)
                 / factories as u64;
             assert!(
                 last.as_u64() >= min_beats,

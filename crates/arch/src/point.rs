@@ -17,11 +17,9 @@
 //! into a register cell (Sec. V-C).
 
 use lsqca_lattice::{Beats, CellGrid, Coord, LatticeError, ProtocolLatencies, QubitTag};
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A single point-SAM bank.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PointSamBank {
     grid: CellGrid,
     /// The cell adjacent to the CR through which qubits enter and leave.
@@ -29,7 +27,8 @@ pub struct PointSamBank {
     /// Current position of the scan vacancy (approximate head tracking).
     scan: Coord,
     /// Original home cell of every qubit, for the non-locality-aware store.
-    home: HashMap<QubitTag, Coord>,
+    /// Indexed densely by `QubitTag::index()`; `None` for tags held elsewhere.
+    home: Vec<Option<Coord>>,
     /// Number of qubits currently checked out to the CR.
     checked_out: usize,
     latencies: ProtocolLatencies,
@@ -47,7 +46,10 @@ impl PointSamBank {
     ///
     /// Panics if `qubits` is empty.
     pub fn new(qubits: &[QubitTag], locality_aware_store: bool) -> Self {
-        assert!(!qubits.is_empty(), "a point-SAM bank needs at least one qubit");
+        assert!(
+            !qubits.is_empty(),
+            "a point-SAM bank needs at least one qubit"
+        );
         let n = qubits.len() as u64;
         // Grid shape: near-square rectangle with room for the scan cell.
         let width = ((n + 1) as f64).sqrt().ceil() as u32;
@@ -59,13 +61,15 @@ impl PointSamBank {
         let mut cells = (0..height)
             .flat_map(|y| (0..width).map(move |x| Coord::new(x, y)))
             .filter(|&c| c != port);
-        let mut home = HashMap::with_capacity(qubits.len());
+        let table_len = qubits.iter().map(|q| q.0 as usize + 1).max().unwrap_or(0);
+        let mut home = vec![None; table_len];
         for &q in qubits {
             let cell = cells
                 .next()
                 .expect("grid sized to hold every qubit plus the scan cell");
-            grid.place(q, cell).expect("cells are distinct and in bounds");
-            home.insert(q, cell);
+            grid.place(q, cell)
+                .expect("cells are distinct and in bounds");
+            home[q.0 as usize] = Some(cell);
         }
 
         PointSamBank {
@@ -119,9 +123,11 @@ impl PointSamBank {
 
     fn load_cost(&self, pos: Coord) -> Beats {
         let seek = Beats(self.scan.manhattan_distance(pos) as u64);
-        let transport =
-            self.latencies
-                .point_transport(pos.dx(self.port), pos.dy(self.port), self.has_second_vacancy());
+        let transport = self.latencies.point_transport(
+            pos.dx(self.port),
+            pos.dy(self.port),
+            self.has_second_vacancy(),
+        );
         // One final move from the port into a CR register cell.
         seek + transport + self.latencies.move_step
     }
@@ -152,13 +158,22 @@ impl PointSamBank {
     /// [`LatticeError::QubitAlreadyPlaced`] if the qubit never left.
     pub fn store(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
         let dest = if self.locality_aware_store {
-            self.grid.nearest_vacant(self.port).ok_or(LatticeError::GridFull)?
+            self.grid
+                .nearest_vacant(self.port)
+                .ok_or(LatticeError::GridFull)?
         } else {
-            let home = *self.home.get(&qubit).ok_or(LatticeError::QubitNotPresent { qubit })?;
+            let home = self
+                .home
+                .get(qubit.0 as usize)
+                .copied()
+                .flatten()
+                .ok_or(LatticeError::QubitNotPresent { qubit })?;
             if self.grid.is_vacant(home) {
                 home
             } else {
-                self.grid.nearest_vacant(home).ok_or(LatticeError::GridFull)?
+                self.grid
+                    .nearest_vacant(home)
+                    .ok_or(LatticeError::GridFull)?
             }
         };
         let transport = self.latencies.point_transport(
@@ -216,7 +231,9 @@ impl PointSamBank {
     /// Manhattan distance from the port to the qubit's current cell, a proxy for
     /// how "hot" its placement currently is (used in tests and diagnostics).
     pub fn distance_from_port(&self, qubit: QubitTag) -> Option<u32> {
-        self.grid.position_of(qubit).map(|p| p.manhattan_distance(self.port))
+        self.grid
+            .position_of(qubit)
+            .map(|p| p.manhattan_distance(self.port))
     }
 }
 
@@ -381,6 +398,41 @@ mod proptests {
                     prop_assert!(cost.as_f64() <= bound);
                 }
                 prop_assert_eq!(bank.stored_qubits(), n as usize);
+            }
+        }
+
+        /// Membership through the dense home/position tables matches a shadow
+        /// `HashSet` maintained with the legacy map semantics, across random
+        /// load/store/in-memory sequences (including the home-store policy,
+        /// which reads the dense `home` table).
+        #[test]
+        fn dense_membership_matches_set_semantics(
+            n in 4u32..120,
+            ops in proptest::collection::vec((0u32..150, 0u32..3), 1..80),
+            locality in proptest::bool::ANY,
+        ) {
+            let qubits: Vec<QubitTag> = (0..n).map(QubitTag).collect();
+            let mut bank = PointSamBank::new(&qubits, locality);
+            let mut mirror: std::collections::HashSet<QubitTag> =
+                qubits.iter().copied().collect();
+            for (tag, op) in ops {
+                let q = QubitTag(tag);
+                match op {
+                    0 => {
+                        if bank.load(q).is_ok() {
+                            mirror.remove(&q);
+                        }
+                    }
+                    1 => {
+                        if bank.store(q).is_ok() {
+                            mirror.insert(q);
+                        }
+                    }
+                    _ => { let _ = bank.in_memory_two_qubit_access(q); }
+                }
+                prop_assert_eq!(bank.contains(q), mirror.contains(&q));
+                prop_assert_eq!(bank.stored_qubits(), mirror.len());
+                prop_assert_eq!(bank.distance_from_port(q).is_some(), mirror.contains(&q));
             }
         }
     }

@@ -12,7 +12,12 @@ use lsqca_bench::{fig14, Scale};
 fn bench_fig14(c: &mut Criterion) {
     println!(
         "{}",
-        fig14::render(Scale::Quick, &[Benchmark::Multiplier, Benchmark::Select], &[1], 0.25)
+        fig14::render(
+            Scale::Quick,
+            &[Benchmark::Multiplier, Benchmark::Select],
+            &[1],
+            0.25
+        )
     );
     let mut group = c.benchmark_group("fig14_hybrid");
     group.sample_size(10);

@@ -18,7 +18,11 @@ fn bench_sam_latency(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_sam_latency");
 
     for locality in [true, false] {
-        let label = if locality { "locality_aware" } else { "home_store" };
+        let label = if locality {
+            "locality_aware"
+        } else {
+            "home_store"
+        };
         group.bench_function(format!("point_sam_400_{label}"), |b| {
             b.iter_batched(
                 || PointSamBank::new(&tags, locality),

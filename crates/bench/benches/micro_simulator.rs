@@ -1,21 +1,32 @@
-//! Microbenchmark: end-to-end simulator throughput.
+//! Microbenchmark: end-to-end simulator throughput and its hot-path pieces.
 //!
 //! Compiles a mid-sized multiplier once and measures how many code-beat
 //! simulations per second the engine sustains on the point-SAM, line-SAM, and
 //! conventional floorplans. This is the number that determines how long the
 //! paper-scale figure sweeps take.
+//!
+//! The `micro_hotpath` group additionally compares the allocation-free
+//! operand extraction and the dense-index residence table against the legacy
+//! `Vec`/`HashMap` reference implementations kept in
+//! [`lsqca_bench::hotpath::legacy`], so the speedup stays measurable in-repo.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lsqca::experiment::{ExperimentConfig, Workload};
 use lsqca::prelude::*;
 use lsqca::workloads::{shift_add_multiplier, MultiplierConfig};
+use lsqca_bench::hotpath::{
+    legacy, operand_walk, operand_walk_legacy, residence_sweep, residence_sweep_legacy,
+};
 
-fn bench_simulator(c: &mut Criterion) {
-    let circuit = shift_add_multiplier(MultiplierConfig {
+fn multiplier_workload() -> Workload {
+    Workload::from_circuit(shift_add_multiplier(MultiplierConfig {
         operand_bits: 16,
         partial_products: None,
-    });
-    let workload = Workload::from_circuit(circuit);
+    }))
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let workload = multiplier_workload();
     let instructions = workload.compiled().program.len();
     println!("simulating {instructions} instructions per iteration");
 
@@ -34,5 +45,36 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator);
+fn bench_hotpath(c: &mut Criterion) {
+    let workload = multiplier_workload();
+    let program = workload.compiled().program.clone();
+
+    let mut group = c.benchmark_group("micro_hotpath");
+    group.sample_size(20);
+
+    // Operand extraction: inline `Operands` vs the legacy `Vec` returns.
+    // The loop bodies are shared with `hotpath::generate` so the criterion
+    // numbers and the BENCH_hotpath.json baseline measure the same thing.
+    group.bench_function("operand_extraction_inline", |b| {
+        b.iter(|| black_box(operand_walk(&program)))
+    });
+    group.bench_function("operand_extraction_legacy_vec", |b| {
+        b.iter(|| black_box(operand_walk_legacy(&program)))
+    });
+
+    // Residence lookup: dense table vs the legacy hash map.
+    let arch = ArchConfig::new(FloorplanKind::PointSam { banks: 1 }, 1);
+    let memory = MemorySystem::new(&arch, workload.num_qubits().max(1), &[]);
+    let map = legacy::residence_map(&memory);
+    let tags: Vec<QubitTag> = (0..memory.num_qubits()).map(QubitTag).collect();
+    group.bench_function("residence_lookup_dense", |b| {
+        b.iter(|| black_box(residence_sweep(&memory, &tags)))
+    });
+    group.bench_function("residence_lookup_legacy_hashmap", |b| {
+        b.iter(|| black_box(residence_sweep_legacy(&map, &tags)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_hotpath);
 criterion_main!(benches);

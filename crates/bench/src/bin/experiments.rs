@@ -1,4 +1,4 @@
-//! Regenerates the paper's tables and figures as text tables.
+//! Regenerates the paper's tables and figures as text tables or JSON.
 //!
 //! ```text
 //! cargo run --release -p lsqca-bench --bin experiments -- <command> [--full] [--json]
@@ -10,30 +10,83 @@
 //!   fig14      hybrid-floorplan trade-off curves (density vs overhead)
 //!   fig15      SELECT scaling with hybrid layouts
 //!   headline   the headline density/overhead claims
-//!   all        everything above
+//!   ablation   store-policy × in-memory-ops ablation on the point SAM
+//!   hotpath    legacy-vs-optimized hot-path micro measurements
+//!   all        every deterministic generator above (excludes `hotpath`,
+//!              whose timing output differs run to run)
 //! ```
 //!
-//! `--full` runs the paper-sized instances (minutes); the default quick mode
-//! uses reduced instances with the same structure (seconds). `--json` prints
-//! machine-readable output instead of text tables.
+//! Flag matrix (any combination is valid; unknown flags are rejected):
+//!
+//! | flags            | behaviour                                              |
+//! |------------------|--------------------------------------------------------|
+//! | *(none)*         | quick-scale instances, human-readable text tables      |
+//! | `--full`         | paper-sized instances (minutes instead of seconds)     |
+//! | `--json`         | machine-readable JSON on stdout (stable schema: every  |
+//! |                  | generator emits an array of flat objects; `hotpath`    |
+//! |                  | emits the `lsqca-bench-hotpath-v1` document used as    |
+//! |                  | the `BENCH_hotpath.json` baseline)                     |
+//! | `--full --json`  | paper-sized instances, JSON output                     |
+//!
+//! The figure sweeps run in parallel across CPU cores; set `LSQCA_THREADS=1`
+//! to force serial execution.
 
-use lsqca_bench::{ablation, fig08, fig13, fig14, fig15, headline, table1, Scale, FACTORY_COUNTS};
+use lsqca_bench::{
+    ablation, fig08, fig13, fig14, fig15, headline, hotpath, table1, Scale, FACTORY_COUNTS,
+};
+use lsqca_json::ToJson;
 use std::process::ExitCode;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: experiments <table1|fig8|fig13|fig14|fig15|headline|ablation|all> [--full] [--json]"
-    );
+const COMMANDS: [&str; 9] = [
+    "table1", "fig8", "fig13", "fig14", "fig15", "headline", "ablation", "hotpath", "all",
+];
+
+fn usage_line() -> String {
+    format!(
+        "usage: experiments <{}> [--full] [--json]",
+        COMMANDS.join("|")
+    )
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    eprintln!("{}", usage_line());
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first() else {
-        return usage();
+
+    // Strict parsing: exactly one command, only the known flags.
+    let mut command: Option<&str> = None;
+    let mut full = false;
+    let mut json = false;
+    for arg in &args {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{}", usage_line());
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                return usage(&format!("unknown flag `{flag}`"));
+            }
+            name => {
+                if command.is_some() {
+                    return usage(&format!("unexpected extra argument `{name}`"));
+                }
+                let Some(&known) = COMMANDS.iter().find(|&&c| c == name) else {
+                    return usage(&format!("unknown experiment `{name}`"));
+                };
+                command = Some(known);
+            }
+        }
+    }
+    let Some(command) = command else {
+        return usage("missing command");
     };
-    let full = args.iter().any(|a| a == "--full");
-    let json = args.iter().any(|a| a == "--json");
+
     let scale = Scale::from_flag(full);
     let factories: Vec<u32> = if full {
         FACTORY_COUNTS.to_vec()
@@ -47,50 +100,46 @@ fn main() -> ExitCode {
         match name {
             "table1" => {
                 if json {
-                    serde_json::to_string_pretty(&table1::rows()).expect("serializable")
+                    table1::rows().to_json().pretty()
                 } else {
                     table1::render()
                 }
             }
             "fig8" => {
                 if json {
-                    serde_json::to_string_pretty(&fig08::generate(scale)).expect("serializable")
+                    fig08::generate(scale).to_json().pretty()
                 } else {
                     fig08::render(scale)
                 }
             }
             "fig13" => {
                 if json {
-                    serde_json::to_string_pretty(&fig13::generate(scale, &[], &factories))
-                        .expect("serializable")
+                    fig13::generate(scale, &[], &factories).to_json().pretty()
                 } else {
                     fig13::render(scale, &[], &factories)
                 }
             }
             "fig14" => {
                 if json {
-                    serde_json::to_string_pretty(&fig14::generate(
-                        scale,
-                        &[],
-                        &factories,
-                        fraction_step,
-                    ))
-                    .expect("serializable")
+                    fig14::generate(scale, &[], &factories, fraction_step)
+                        .to_json()
+                        .pretty()
                 } else {
                     fig14::render(scale, &[], &factories, fraction_step)
                 }
             }
             "fig15" => {
                 if json {
-                    serde_json::to_string_pretty(&fig15::generate(scale, &factories, fig15_terms))
-                        .expect("serializable")
+                    fig15::generate(scale, &factories, fig15_terms)
+                        .to_json()
+                        .pretty()
                 } else {
                     fig15::render(scale, &factories, fig15_terms)
                 }
             }
             "headline" => {
                 if json {
-                    serde_json::to_string_pretty(&headline::generate(scale)).expect("serializable")
+                    headline::generate(scale).to_json().pretty()
                 } else {
                     headline::render(scale)
                 }
@@ -98,30 +147,32 @@ fn main() -> ExitCode {
             "ablation" => {
                 let floorplan = lsqca::prelude::FloorplanKind::PointSam { banks: 1 };
                 if json {
-                    serde_json::to_string_pretty(&ablation::generate(scale, &[], floorplan))
-                        .expect("serializable")
+                    ablation::generate(scale, &[], floorplan).to_json().pretty()
                 } else {
                     ablation::render(scale, &[], floorplan)
                 }
             }
-            other => format!("unknown experiment `{other}`"),
+            "hotpath" => {
+                if json {
+                    hotpath::generate(scale).to_json().pretty()
+                } else {
+                    hotpath::render(scale)
+                }
+            }
+            other => unreachable!("command `{other}` is validated above"),
         }
     };
 
-    match command.as_str() {
-        "all" => {
-            for name in [
-                "table1", "fig8", "fig13", "fig14", "fig15", "headline", "ablation",
-            ] {
-                println!("==== {name} ====");
-                println!("{}", run(name));
-            }
-            ExitCode::SUCCESS
-        }
-        name @ ("table1" | "fig8" | "fig13" | "fig14" | "fig15" | "headline" | "ablation") => {
+    if command == "all" {
+        // `all` covers the deterministic figure/table generators only, so its
+        // output can be diffed across runs; the timing-dependent `hotpath`
+        // measurements must be requested explicitly.
+        for name in COMMANDS.iter().filter(|&&c| c != "all" && c != "hotpath") {
+            println!("==== {name} ====");
             println!("{}", run(name));
-            ExitCode::SUCCESS
         }
-        _ => usage(),
+    } else {
+        println!("{}", run(command));
     }
+    ExitCode::SUCCESS
 }

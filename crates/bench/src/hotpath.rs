@@ -1,0 +1,411 @@
+//! Hot-path micro measurements and the `BENCH_hotpath.json` baseline.
+//!
+//! The simulator's per-instruction loop used to heap-allocate a `Vec` for
+//! every operand-list query and hash every memory-residence lookup. This
+//! module keeps faithful *reference implementations* of those legacy code
+//! paths ([`legacy`]) and measures them against the allocation-free /
+//! dense-index replacements, so the speedup is tracked in-repo instead of
+//! relying on a historical build. `experiments hotpath --json` writes the
+//! resulting [`HotpathReport`] as the `BENCH_hotpath.json` baseline.
+
+use crate::{instance, Scale};
+use lsqca::experiment::{ExperimentConfig, Workload};
+use lsqca::prelude::*;
+use lsqca::workloads::Benchmark;
+use lsqca_json::{Json, ToJson};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Reference implementations of the pre-optimization hot path, kept verbatim
+/// (modulo the return-type rename) so micro benches can compare against them.
+pub mod legacy {
+    use lsqca::arch::Residence;
+    use lsqca::isa::{Instruction, MemAddr, OperandLocation, RegId};
+    use lsqca::lattice::QubitTag;
+    use lsqca::prelude::MemorySystem;
+    use std::collections::HashMap;
+
+    /// The seed's `Instruction::qubit_operands`: one `Vec` allocation per call.
+    pub fn qubit_operands(instr: &Instruction) -> Vec<OperandLocation> {
+        use Instruction::*;
+        use OperandLocation::{Memory, Register};
+        match *instr {
+            Ld { mem, reg } => vec![Memory(mem), Register(reg)],
+            St { reg, mem } => vec![Register(reg), Memory(mem)],
+            PzC { reg } | PpC { reg } | Pm { reg } | HdC { reg } | PhC { reg } => {
+                vec![Register(reg)]
+            }
+            MxC { reg, .. } | MzC { reg, .. } => vec![Register(reg)],
+            MxxC { reg1, reg2, .. } | MzzC { reg1, reg2, .. } => {
+                vec![Register(reg1), Register(reg2)]
+            }
+            Sk { .. } => vec![],
+            PzM { mem } | PpM { mem } | HdM { mem } | PhM { mem } => vec![Memory(mem)],
+            MxM { mem, .. } | MzM { mem, .. } => vec![Memory(mem)],
+            MxxM { reg, mem, .. } | MzzM { reg, mem, .. } => vec![Register(reg), Memory(mem)],
+            Cx { control, target } => vec![Memory(control), Memory(target)],
+        }
+    }
+
+    /// The seed's `Instruction::memory_operands`: filters a fresh `Vec`.
+    pub fn memory_operands(instr: &Instruction) -> Vec<MemAddr> {
+        qubit_operands(instr)
+            .into_iter()
+            .filter_map(|op| match op {
+                OperandLocation::Memory(m) => Some(m),
+                OperandLocation::Register(_) => None,
+            })
+            .collect()
+    }
+
+    /// The seed's `Instruction::register_operands`: filters a fresh `Vec`.
+    pub fn register_operands(instr: &Instruction) -> Vec<RegId> {
+        qubit_operands(instr)
+            .into_iter()
+            .filter_map(|op| match op {
+                OperandLocation::Register(r) => Some(r),
+                OperandLocation::Memory(_) => None,
+            })
+            .collect()
+    }
+
+    /// Rebuilds the seed's `HashMap<QubitTag, Residence>` residence table from
+    /// a (dense-index) memory system, for lookup-cost comparison.
+    pub fn residence_map(memory: &MemorySystem) -> HashMap<QubitTag, Residence> {
+        (0..memory.num_qubits())
+            .map(QubitTag)
+            .filter_map(|q| memory.residence(q).map(|r| (q, r)))
+            .collect()
+    }
+}
+
+/// How much wall time each measurement may spend.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureBudget {
+    /// Samples per measurement; the median is reported.
+    pub samples: usize,
+    /// Target duration of one sample.
+    pub sample_target: Duration,
+    /// Warm-up duration before sampling.
+    pub warmup: Duration,
+}
+
+impl MeasureBudget {
+    /// The budget used for the published `BENCH_hotpath.json` baseline.
+    pub fn baseline() -> Self {
+        MeasureBudget {
+            samples: 7,
+            sample_target: Duration::from_millis(20),
+            warmup: Duration::from_millis(20),
+        }
+    }
+
+    /// A near-zero budget for shape-only tests: one call per sample.
+    pub fn smoke() -> Self {
+        MeasureBudget {
+            samples: 1,
+            sample_target: Duration::ZERO,
+            warmup: Duration::ZERO,
+        }
+    }
+}
+
+/// Median-of-samples wall time per call of `f`, in nanoseconds.
+fn measure_ns(budget: MeasureBudget, mut f: impl FnMut()) -> f64 {
+    // Warm-up and per-call estimate.
+    let warmup = Instant::now();
+    let mut calls = 0u64;
+    loop {
+        f();
+        calls += 1;
+        if warmup.elapsed() >= budget.warmup {
+            break;
+        }
+    }
+    let per_call = warmup.elapsed().as_secs_f64() / calls as f64;
+    let calls_per_sample =
+        ((budget.sample_target.as_secs_f64() / per_call.max(1e-9)) as u64).max(1);
+
+    let mut samples = Vec::with_capacity(budget.samples);
+    for _ in 0..budget.samples.max(1) {
+        let start = Instant::now();
+        for _ in 0..calls_per_sample {
+            f();
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / calls_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// One walk of the engine's per-instruction operand queries over `program`
+/// with the current inline implementation. Shared by [`generate`] and the
+/// `micro_hotpath` criterion group so both measure the same loop.
+pub fn operand_walk(program: &lsqca::isa::Program) -> usize {
+    let mut acc = 0usize;
+    for instr in program.iter() {
+        acc += instr.memory_operands().len();
+        acc += instr.register_operands().len();
+    }
+    acc
+}
+
+/// The same walk through the legacy `Vec`-returning reference implementation.
+pub fn operand_walk_legacy(program: &lsqca::isa::Program) -> usize {
+    let mut acc = 0usize;
+    for instr in program.iter() {
+        acc += legacy::memory_operands(instr).len();
+        acc += legacy::register_operands(instr).len();
+    }
+    acc
+}
+
+/// One sweep of residence lookups over `tags` through the dense table.
+pub fn residence_sweep(memory: &MemorySystem, tags: &[QubitTag]) -> usize {
+    tags.iter()
+        .filter(|&&q| memory.residence(q).is_some())
+        .count()
+}
+
+/// The same sweep through a legacy hash-map residence table.
+pub fn residence_sweep_legacy(
+    map: &std::collections::HashMap<QubitTag, lsqca::arch::Residence>,
+    tags: &[QubitTag],
+) -> usize {
+    tags.iter().filter(|&&q| map.contains_key(&q)).count()
+}
+
+/// One legacy-vs-optimized comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// What was measured.
+    pub name: String,
+    /// Nanoseconds per operation for the legacy reference implementation.
+    pub legacy_ns: f64,
+    /// Nanoseconds per operation for the current implementation.
+    pub optimized_ns: f64,
+}
+
+impl Comparison {
+    /// Legacy over optimized time (>1 means the optimization wins).
+    pub fn speedup(&self) -> f64 {
+        self.legacy_ns / self.optimized_ns.max(1e-9)
+    }
+}
+
+impl ToJson for Comparison {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("legacy_ns_per_op", self.legacy_ns.to_json()),
+            ("optimized_ns_per_op", self.optimized_ns.to_json()),
+            ("speedup", self.speedup().to_json()),
+        ])
+    }
+}
+
+/// Absolute throughput of the end-to-end simulator on one floorplan.
+#[derive(Debug, Clone)]
+pub struct EndToEnd {
+    /// Floorplan label.
+    pub floorplan: String,
+    /// Instructions in the simulated program.
+    pub instructions: u64,
+    /// Nanoseconds per simulated instruction.
+    pub ns_per_instruction: f64,
+}
+
+impl ToJson for EndToEnd {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("floorplan", self.floorplan.to_json()),
+            ("instructions", self.instructions.to_json()),
+            ("ns_per_instruction", self.ns_per_instruction.to_json()),
+            (
+                "instructions_per_second",
+                (1e9 / self.ns_per_instruction.max(1e-9)).to_json(),
+            ),
+        ])
+    }
+}
+
+/// The `BENCH_hotpath.json` baseline: legacy-vs-optimized comparisons plus
+/// absolute end-to-end simulator throughput for trajectory tracking.
+#[derive(Debug, Clone)]
+pub struct HotpathReport {
+    /// Scale of the measured workload.
+    pub scale: Scale,
+    /// Legacy-vs-optimized micro comparisons.
+    pub comparisons: Vec<Comparison>,
+    /// Absolute end-to-end throughput per floorplan.
+    pub end_to_end: Vec<EndToEnd>,
+}
+
+impl ToJson for HotpathReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", "lsqca-bench-hotpath-v1".to_json()),
+            ("scale", self.scale.name().to_json()),
+            ("comparisons", self.comparisons.to_json()),
+            ("end_to_end", self.end_to_end.to_json()),
+        ])
+    }
+}
+
+/// The workload the hot-path measurements run on: the mid-sized multiplier of
+/// `micro_simulator` (Quick) or the paper-sized instance (Full).
+pub fn workload(scale: Scale) -> Workload {
+    Workload::from_circuit(instance(Benchmark::Multiplier, scale))
+}
+
+/// Runs every hot-path measurement with the baseline budget.
+pub fn generate(scale: Scale) -> HotpathReport {
+    generate_with(scale, MeasureBudget::baseline())
+}
+
+/// Runs every hot-path measurement under an explicit time budget.
+pub fn generate_with(scale: Scale, budget: MeasureBudget) -> HotpathReport {
+    let workload = workload(scale);
+    let program = &workload.compiled().program;
+    let instructions = program.len() as u64;
+
+    let mut comparisons = Vec::new();
+
+    // Operand extraction: the engine queries memory and register operands for
+    // every instruction; measure one full program walk per call.
+    let legacy_ns = measure_ns(budget, || {
+        black_box(operand_walk_legacy(program));
+    }) / instructions as f64;
+    let optimized_ns = measure_ns(budget, || {
+        black_box(operand_walk(program));
+    }) / instructions as f64;
+    comparisons.push(Comparison {
+        name: "operand_extraction".to_string(),
+        legacy_ns,
+        optimized_ns,
+    });
+
+    // Residence lookup: dense table vs the seed's hash map, one sweep over
+    // every qubit per call.
+    let arch = ArchConfig::new(FloorplanKind::PointSam { banks: 1 }, 1);
+    let memory = MemorySystem::new(&arch, workload.num_qubits().max(1), &[]);
+    let map = legacy::residence_map(&memory);
+    let tags: Vec<QubitTag> = (0..memory.num_qubits()).map(QubitTag).collect();
+    let legacy_ns = measure_ns(budget, || {
+        black_box(residence_sweep_legacy(&map, &tags));
+    }) / tags.len() as f64;
+    let optimized_ns = measure_ns(budget, || {
+        black_box(residence_sweep(&memory, &tags));
+    }) / tags.len() as f64;
+    comparisons.push(Comparison {
+        name: "residence_lookup".to_string(),
+        legacy_ns,
+        optimized_ns,
+    });
+
+    // End-to-end simulator throughput per floorplan (absolute numbers; the
+    // trajectory across PRs is what matters here).
+    let end_to_end = [
+        FloorplanKind::PointSam { banks: 1 },
+        FloorplanKind::LineSam { banks: 1 },
+        FloorplanKind::Conventional,
+    ]
+    .iter()
+    .map(|&floorplan| {
+        let config = ExperimentConfig::new(floorplan, 1);
+        let ns = measure_ns(budget, || {
+            black_box(workload.run(&config));
+        });
+        EndToEnd {
+            floorplan: floorplan.label(),
+            instructions,
+            ns_per_instruction: ns / instructions as f64,
+        }
+    })
+    .collect();
+
+    HotpathReport {
+        scale,
+        comparisons,
+        end_to_end,
+    }
+}
+
+/// Renders the report as a text table.
+pub fn render(scale: Scale) -> String {
+    let report = generate(scale);
+    let mut rows: Vec<Vec<String>> = report
+        .comparisons
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                format!("{:.2}", c.legacy_ns),
+                format!("{:.2}", c.optimized_ns),
+                format!("{:.2}x", c.speedup()),
+            ]
+        })
+        .collect();
+    for e in &report.end_to_end {
+        rows.push(vec![
+            format!("simulate {}", e.floorplan),
+            "-".to_string(),
+            format!("{:.2}", e.ns_per_instruction),
+            "-".to_string(),
+        ]);
+    }
+    crate::render_table(&["measurement", "legacy ns/op", "ns/op", "speedup"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_operand_extraction_matches_the_optimized_one() {
+        let workload = workload(Scale::Quick);
+        for instr in workload.compiled().program.iter() {
+            assert_eq!(
+                instr.memory_operands().as_slice(),
+                legacy::memory_operands(instr).as_slice()
+            );
+            assert_eq!(
+                instr.register_operands().as_slice(),
+                legacy::register_operands(instr).as_slice()
+            );
+            assert_eq!(
+                instr.qubit_operands().as_slice(),
+                legacy::qubit_operands(instr).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn residence_map_mirrors_the_dense_table() {
+        let arch = ArchConfig::new(FloorplanKind::LineSam { banks: 2 }, 1);
+        let memory = MemorySystem::new(&arch, 50, &[]);
+        let map = legacy::residence_map(&memory);
+        assert_eq!(map.len(), 50);
+        for q in 0..50 {
+            assert_eq!(
+                map.get(&QubitTag(q)).copied(),
+                memory.residence(QubitTag(q))
+            );
+        }
+    }
+
+    #[test]
+    fn report_has_the_expected_shape() {
+        // Shape-only with a near-zero time budget: timing assertions live in
+        // the benches, not unit tests.
+        let report = generate_with(Scale::Quick, MeasureBudget::smoke());
+        assert_eq!(report.comparisons.len(), 2);
+        assert_eq!(report.end_to_end.len(), 3);
+        let json = report.to_json().pretty();
+        assert!(json.contains("lsqca-bench-hotpath-v1"));
+        assert!(json.contains("operand_extraction"));
+        for c in &report.comparisons {
+            assert!(c.legacy_ns > 0.0 && c.optimized_ns > 0.0);
+        }
+    }
+}

@@ -19,10 +19,13 @@
 
 use lsqca::prelude::*;
 use lsqca::workloads::Benchmark;
-use serde::{Deserialize, Serialize};
+use lsqca_json::{Json, ToJson};
+
+pub mod hotpath;
+pub mod par;
 
 /// How large the workload instances should be.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Reduced instances with the same structure; suitable for CI and benches.
     Quick,
@@ -37,6 +40,14 @@ impl Scale {
             Scale::Full
         } else {
             Scale::Quick
+        }
+    }
+
+    /// The lowercase name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
         }
     }
 }
@@ -97,7 +108,7 @@ pub mod table1 {
     use lsqca::isa::LatencyTable;
 
     /// One row of Table I.
-    #[derive(Debug, Clone, Serialize, Deserialize)]
+    #[derive(Debug, Clone)]
     pub struct Row {
         /// Instruction category.
         pub kind: String,
@@ -105,6 +116,16 @@ pub mod table1 {
         pub syntax: String,
         /// Latency column.
         pub latency: String,
+    }
+
+    impl ToJson for Row {
+        fn to_json(&self) -> Json {
+            Json::obj([
+                ("kind", self.kind.to_json()),
+                ("syntax", self.syntax.to_json()),
+                ("latency", self.latency.to_json()),
+            ])
+        }
     }
 
     /// Generates every row of Table I from the ISA definition itself.
@@ -140,7 +161,7 @@ pub mod fig08 {
     };
 
     /// The locality analysis of one benchmark.
-    #[derive(Debug, Clone, Serialize, Deserialize)]
+    #[derive(Debug, Clone)]
     pub struct BenchmarkLocality {
         /// Benchmark name.
         pub name: String,
@@ -152,6 +173,43 @@ pub mod fig08 {
         pub cdf_points: Vec<(u64, f64)>,
         /// Average beats between magic-state demands.
         pub beats_per_magic_state: Option<f64>,
+    }
+
+    impl ToJson for BenchmarkLocality {
+        fn to_json(&self) -> Json {
+            Json::obj([
+                ("name", self.name.to_json()),
+                ("qubits", self.qubits.to_json()),
+                (
+                    "report",
+                    Json::obj([
+                        ("referenced_qubits", self.report.referenced_qubits.to_json()),
+                        ("total_references", self.report.total_references.to_json()),
+                        (
+                            "short_period_fraction",
+                            self.report.short_period_fraction.to_json(),
+                        ),
+                        (
+                            "sequential_fraction",
+                            self.report.sequential_fraction.to_json(),
+                        ),
+                        (
+                            "reference_period_median",
+                            self.report.reference_periods.median().to_json(),
+                        ),
+                        (
+                            "reference_period_mean",
+                            self.report.reference_periods.mean().to_json(),
+                        ),
+                    ]),
+                ),
+                ("cdf_points", self.cdf_points.to_json()),
+                (
+                    "beats_per_magic_state",
+                    self.beats_per_magic_state.to_json(),
+                ),
+            ])
+        }
     }
 
     fn analyze(name: &str, circuit: Circuit) -> BenchmarkLocality {
@@ -236,7 +294,7 @@ pub mod fig13 {
     use lsqca::experiment::{ExperimentConfig, Workload};
 
     /// One bar of Fig. 13.
-    #[derive(Debug, Clone, Serialize, Deserialize)]
+    #[derive(Debug, Clone)]
     pub struct Point {
         /// Benchmark name.
         pub benchmark: String,
@@ -252,33 +310,54 @@ pub mod fig13 {
         pub density: f64,
     }
 
+    impl ToJson for Point {
+        fn to_json(&self) -> Json {
+            Json::obj([
+                ("benchmark", self.benchmark.to_json()),
+                ("floorplan", self.floorplan.to_json()),
+                ("factories", self.factories.to_json()),
+                ("cpi", self.cpi.to_json()),
+                ("beats", self.beats.to_json()),
+                ("density", self.density.to_json()),
+            ])
+        }
+    }
+
     /// Generates every bar of Fig. 13 for the given benchmarks (defaults to all
-    /// seven when `benchmarks` is empty).
+    /// seven when `benchmarks` is empty). The `(benchmark × factories ×
+    /// floorplan)` grid is simulated in parallel (see [`crate::par`]); output
+    /// order matches the serial nesting of the paper's figure.
     pub fn generate(scale: Scale, benchmarks: &[Benchmark], factories: &[u32]) -> Vec<Point> {
         let list: Vec<Benchmark> = if benchmarks.is_empty() {
             Benchmark::ALL.to_vec()
         } else {
             benchmarks.to_vec()
         };
-        let mut points = Vec::new();
-        for benchmark in list {
-            let workload = Workload::from_circuit(instance(benchmark, scale));
+        // Compile each benchmark once, in parallel.
+        let workloads = crate::par::par_map(&list, |&benchmark| {
+            Workload::from_circuit(instance(benchmark, scale))
+        });
+
+        let mut jobs = Vec::new();
+        for (i, &benchmark) in list.iter().enumerate() {
             for &factories in factories {
                 for floorplan in ArchConfig::paper_floorplans() {
-                    let config = ExperimentConfig::new(floorplan, factories);
-                    let result = workload.run(&config);
-                    points.push(Point {
-                        benchmark: benchmark.name().to_string(),
-                        floorplan: floorplan.label(),
-                        factories,
-                        cpi: result.cpi,
-                        beats: result.total_beats.as_u64(),
-                        density: result.memory_density,
-                    });
+                    jobs.push((i, benchmark, factories, floorplan));
                 }
             }
         }
-        points
+        crate::par::par_map(&jobs, |&(i, benchmark, factories, floorplan)| {
+            let config = ExperimentConfig::new(floorplan, factories);
+            let result = workloads[i].run(&config);
+            Point {
+                benchmark: benchmark.name().to_string(),
+                floorplan: floorplan.label(),
+                factories,
+                cpi: result.cpi,
+                beats: result.total_beats.as_u64(),
+                density: result.memory_density,
+            }
+        })
     }
 
     /// Renders Fig. 13 as a text table.
@@ -309,7 +388,7 @@ pub mod fig14 {
     use lsqca::experiment::{ExperimentConfig, Workload};
 
     /// One point of a Fig. 14 curve.
-    #[derive(Debug, Clone, Serialize, Deserialize)]
+    #[derive(Debug, Clone)]
     pub struct Point {
         /// Benchmark name.
         pub benchmark: String,
@@ -325,6 +404,19 @@ pub mod fig14 {
         pub overhead: f64,
     }
 
+    impl ToJson for Point {
+        fn to_json(&self) -> Json {
+            Json::obj([
+                ("benchmark", self.benchmark.to_json()),
+                ("floorplan", self.floorplan.to_json()),
+                ("factories", self.factories.to_json()),
+                ("fraction", self.fraction.to_json()),
+                ("density", self.density.to_json()),
+                ("overhead", self.overhead.to_json()),
+            ])
+        }
+    }
+
     /// The LSQCA floorplans swept in Fig. 14.
     pub fn floorplans() -> Vec<FloorplanKind> {
         vec![
@@ -336,6 +428,9 @@ pub mod fig14 {
     }
 
     /// Generates the trade-off curves. `fraction_step` is 0.05 in the paper.
+    /// Compilation, the per-`(benchmark, factories)` baselines, and the full
+    /// `(floorplan × fraction)` grid all run in parallel; output order matches
+    /// the serial nesting.
     pub fn generate(
         scale: Scale,
         benchmarks: &[Benchmark],
@@ -348,30 +443,49 @@ pub mod fig14 {
             benchmarks.to_vec()
         };
         let steps = (1.0 / fraction_step).round() as u32;
-        let mut points = Vec::new();
-        for benchmark in list {
-            let workload = Workload::from_circuit(instance(benchmark, scale));
+        let workloads = crate::par::par_map(&list, |&benchmark| {
+            Workload::from_circuit(instance(benchmark, scale))
+        });
+
+        // Baselines per (benchmark, factories), indexed by position.
+        let mut baseline_keys = Vec::new();
+        for i in 0..list.len() {
             for &factories in factories {
-                let baseline = workload.run(&ExperimentConfig::baseline(factories));
+                baseline_keys.push((i, factories));
+            }
+        }
+        let baselines = crate::par::par_map(&baseline_keys, |&(i, factories)| {
+            workloads[i].run(&ExperimentConfig::baseline(factories))
+        });
+        let baseline_of = |i: usize, f_idx: usize| &baselines[i * factories.len() + f_idx];
+
+        let mut jobs = Vec::new();
+        for (i, &benchmark) in list.iter().enumerate() {
+            for (f_idx, &factories) in factories.iter().enumerate() {
                 for floorplan in floorplans() {
                     for step in 0..=steps {
-                        let fraction = (step as f64 * fraction_step).min(1.0);
-                        let config = ExperimentConfig::new(floorplan, factories)
-                            .with_hybrid_fraction(fraction);
-                        let result = workload.run(&config);
-                        points.push(Point {
-                            benchmark: benchmark.name().to_string(),
-                            floorplan: floorplan.label(),
-                            factories,
-                            fraction,
-                            density: result.memory_density,
-                            overhead: result.overhead_vs(&baseline),
-                        });
+                        jobs.push((i, benchmark, f_idx, factories, floorplan, step));
                     }
                 }
             }
         }
-        points
+        crate::par::par_map(
+            &jobs,
+            |&(i, benchmark, f_idx, factories, floorplan, step)| {
+                let fraction = (step as f64 * fraction_step).min(1.0);
+                let config =
+                    ExperimentConfig::new(floorplan, factories).with_hybrid_fraction(fraction);
+                let result = workloads[i].run(&config);
+                Point {
+                    benchmark: benchmark.name().to_string(),
+                    floorplan: floorplan.label(),
+                    factories,
+                    fraction,
+                    density: result.memory_density,
+                    overhead: result.overhead_vs(baseline_of(i, f_idx)),
+                }
+            },
+        )
     }
 
     /// Geometric-mean overhead and density across benchmarks for each
@@ -444,7 +558,7 @@ pub mod fig15 {
     use lsqca::workloads::{select_heisenberg, SelectConfig};
 
     /// One point of Fig. 15.
-    #[derive(Debug, Clone, Serialize, Deserialize)]
+    #[derive(Debug, Clone)]
     pub struct Point {
         /// Width of the Heisenberg lattice.
         pub instance_width: u32,
@@ -460,6 +574,19 @@ pub mod fig15 {
         pub overhead: f64,
     }
 
+    impl ToJson for Point {
+        fn to_json(&self) -> Json {
+            Json::obj([
+                ("instance_width", self.instance_width.to_json()),
+                ("qubits", self.qubits.to_json()),
+                ("floorplan", self.floorplan.to_json()),
+                ("factories", self.factories.to_json()),
+                ("density", self.density.to_json()),
+                ("overhead", self.overhead.to_json()),
+            ])
+        }
+    }
+
     /// Lattice widths used by the paper (Fig. 15) and by the quick mode.
     pub fn widths(scale: Scale) -> Vec<u32> {
         match scale {
@@ -470,51 +597,74 @@ pub mod fig15 {
 
     /// Generates the Fig. 15 points. For hybrid variants the control and
     /// temporal registers are pinned into the conventional region, as in the
-    /// paper.
+    /// paper. Instance compilation, the per-`(width, factories)` baselines,
+    /// and the plain/hybrid simulations all run in parallel; output order
+    /// matches the serial nesting.
     pub fn generate(scale: Scale, factories: &[u32], max_terms: Option<u64>) -> Vec<Point> {
-        let mut points = Vec::new();
-        for width in widths(scale) {
+        let widths = widths(scale);
+        // Compile each SELECT instance once, in parallel.
+        let instances = crate::par::par_map(&widths, |&width| {
             let mut select_cfg = SelectConfig::for_width(width);
             select_cfg.max_terms = max_terms;
-            let circuit = select_heisenberg(select_cfg);
             let qubits = select_cfg.total_qubits();
-            let hybrid_fraction = (select_cfg.control_bits() + select_cfg.temporal_bits()) as f64
-                / qubits as f64;
-            let workload = Workload::from_circuit(circuit);
+            let hybrid_fraction =
+                (select_cfg.control_bits() + select_cfg.temporal_bits()) as f64 / qubits as f64;
+            let workload = Workload::from_circuit(select_heisenberg(select_cfg));
+            (qubits, hybrid_fraction, workload)
+        });
+
+        let mut baseline_keys = Vec::new();
+        for i in 0..widths.len() {
             for &factories in factories {
-                let baseline = workload.run(&ExperimentConfig::baseline(factories));
+                baseline_keys.push((i, factories));
+            }
+        }
+        let baselines = crate::par::par_map(&baseline_keys, |&(i, factories)| {
+            instances[i].2.run(&ExperimentConfig::baseline(factories))
+        });
+
+        let mut jobs = Vec::new();
+        for (i, &width) in widths.iter().enumerate() {
+            for (f_idx, &factories) in factories.iter().enumerate() {
                 for floorplan in super::fig14::floorplans() {
-                    // Plain LSQCA.
-                    let plain = workload.run(&ExperimentConfig::new(floorplan, factories));
-                    points.push(Point {
-                        instance_width: width,
-                        qubits,
-                        floorplan: floorplan.label(),
-                        factories,
-                        density: plain.memory_density,
-                        overhead: plain.overhead_vs(&baseline),
-                    });
-                    // Hybrid: pin control + temporal registers.
-                    let hybrid = workload.run(
-                        &ExperimentConfig::new(floorplan, factories)
-                            .with_hybrid_fraction(hybrid_fraction)
-                            .with_hot_set(HotSetStrategy::ByRole(vec![
-                                RegisterRole::Control,
-                                RegisterRole::Temporal,
-                            ])),
-                    );
-                    points.push(Point {
-                        instance_width: width,
-                        qubits,
-                        floorplan: format!("Hybrid {}", floorplan.label()),
-                        factories,
-                        density: hybrid.memory_density,
-                        overhead: hybrid.overhead_vs(&baseline),
-                    });
+                    jobs.push((i, width, f_idx, factories, floorplan));
                 }
             }
         }
-        points
+        let factory_count = factories.len();
+        crate::par::par_flat_map(&jobs, |&(i, width, f_idx, factories, floorplan)| {
+            let (qubits, hybrid_fraction, ref workload) = instances[i];
+            let baseline = &baselines[i * factory_count + f_idx];
+            // Plain LSQCA.
+            let plain = workload.run(&ExperimentConfig::new(floorplan, factories));
+            // Hybrid: pin control + temporal registers.
+            let hybrid = workload.run(
+                &ExperimentConfig::new(floorplan, factories)
+                    .with_hybrid_fraction(hybrid_fraction)
+                    .with_hot_set(HotSetStrategy::ByRole(vec![
+                        RegisterRole::Control,
+                        RegisterRole::Temporal,
+                    ])),
+            );
+            vec![
+                Point {
+                    instance_width: width,
+                    qubits,
+                    floorplan: floorplan.label(),
+                    factories,
+                    density: plain.memory_density,
+                    overhead: plain.overhead_vs(baseline),
+                },
+                Point {
+                    instance_width: width,
+                    qubits,
+                    floorplan: format!("Hybrid {}", floorplan.label()),
+                    factories,
+                    density: hybrid.memory_density,
+                    overhead: hybrid.overhead_vs(baseline),
+                },
+            ]
+        })
     }
 
     /// Renders Fig. 15 as a text table.
@@ -546,7 +696,7 @@ pub mod ablation {
     use lsqca::experiment::{ExperimentConfig, Workload};
 
     /// One ablation configuration and its measured cost.
-    #[derive(Debug, Clone, Serialize, Deserialize)]
+    #[derive(Debug, Clone)]
     pub struct Point {
         /// Benchmark name.
         pub benchmark: String,
@@ -562,11 +712,32 @@ pub mod ablation {
         pub overhead: f64,
     }
 
+    impl ToJson for Point {
+        fn to_json(&self) -> Json {
+            Json::obj([
+                ("benchmark", self.benchmark.to_json()),
+                ("floorplan", self.floorplan.to_json()),
+                ("locality_aware_store", self.locality_aware_store.to_json()),
+                ("in_memory_ops", self.in_memory_ops.to_json()),
+                ("beats", self.beats.to_json()),
+                ("overhead", self.overhead.to_json()),
+            ])
+        }
+    }
+
     /// Runs the 2×2 ablation (store policy × in-memory ops) for each benchmark
     /// on the given floorplan with one magic-state factory.
-    pub fn generate(scale: Scale, benchmarks: &[Benchmark], floorplan: FloorplanKind) -> Vec<Point> {
+    pub fn generate(
+        scale: Scale,
+        benchmarks: &[Benchmark],
+        floorplan: FloorplanKind,
+    ) -> Vec<Point> {
         let list: Vec<Benchmark> = if benchmarks.is_empty() {
-            vec![Benchmark::Multiplier, Benchmark::Select, Benchmark::SquareRoot]
+            vec![
+                Benchmark::Multiplier,
+                Benchmark::Select,
+                Benchmark::SquareRoot,
+            ]
         } else {
             benchmarks.to_vec()
         };
@@ -639,7 +810,7 @@ pub mod headline {
 
     /// One headline claim: what the paper reports vs what this reproduction
     /// measures.
-    #[derive(Debug, Clone, Serialize, Deserialize)]
+    #[derive(Debug, Clone)]
     pub struct Claim {
         /// Description of the claim.
         pub description: String,
@@ -651,6 +822,18 @@ pub mod headline {
         pub measured_density: f64,
         /// Measured overhead.
         pub measured_overhead: f64,
+    }
+
+    impl ToJson for Claim {
+        fn to_json(&self) -> Json {
+            Json::obj([
+                ("description", self.description.to_json()),
+                ("paper_density", self.paper_density.to_json()),
+                ("paper_overhead", self.paper_overhead.to_json()),
+                ("measured_density", self.measured_density.to_json()),
+                ("measured_overhead", self.measured_overhead.to_json()),
+            ])
+        }
     }
 
     /// Evaluates the headline claims. `Quick` uses reduced instances, so only
@@ -781,7 +964,11 @@ mod tests {
         let points = fig14::generate(Scale::Quick, &[Benchmark::SquareRoot], &[1], 0.5);
         // f = 1.0 must match the baseline: density 0.5 and overhead ~1.
         for p in points.iter().filter(|p| (p.fraction - 1.0).abs() < 1e-9) {
-            assert!((p.density - 0.5).abs() < 0.02, "density {} at f=1", p.density);
+            assert!(
+                (p.density - 0.5).abs() < 0.02,
+                "density {} at f=1",
+                p.density
+            );
             assert!(
                 (p.overhead - 1.0).abs() < 0.05,
                 "overhead {} at f=1",
@@ -834,8 +1021,10 @@ mod tests {
         assert!(best <= beats(false, true));
         assert!(best <= beats(true, false));
         assert!(best <= beats(false, false));
-        assert!(ablation::render(Scale::Quick, &[Benchmark::SquareRoot], floorplan)
-            .contains("locality store"));
+        assert!(
+            ablation::render(Scale::Quick, &[Benchmark::SquareRoot], floorplan)
+                .contains("locality store")
+        );
     }
 
     #[test]

@@ -3,7 +3,6 @@
 use crate::gate::{Gate, Qubit};
 use crate::register::{RegisterMap, RegisterRole};
 use crate::stats::CircuitStats;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Range;
 
@@ -14,7 +13,7 @@ use std::ops::Range;
 /// what the workload generators use; they panic on out-of-range qubits because a
 /// generator that emits such a gate is a programming error, not a runtime
 /// condition.
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Circuit {
     name: String,
     num_qubits: u32,

@@ -9,12 +9,11 @@
 
 use crate::circuit::Circuit;
 use crate::gate::Qubit;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// The gate dependency DAG of a circuit.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CircuitDag {
     /// `predecessors[i]` lists the indices of gates that must finish before gate `i`.
     predecessors: Vec<Vec<usize>>,
@@ -92,7 +91,7 @@ impl CircuitDag {
 /// An ASAP layering of a circuit: each layer holds gates that can execute
 /// concurrently because no two of them share a qubit with an earlier unfinished
 /// gate.
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct LayerSchedule {
     layers: Vec<Vec<usize>>,
 }

@@ -14,10 +14,9 @@
 use crate::circuit::Circuit;
 use crate::gate::{Gate, Qubit};
 use crate::register::RegisterRole;
-use serde::{Deserialize, Serialize};
 
 /// Options controlling the lowering pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DecomposeConfig {
     /// Expand Toffoli gates into the seven-T Clifford+T network. When `false`,
     /// Toffolis produced by the multi-controlled-X ladder are kept as-is (useful
@@ -219,7 +218,11 @@ pub fn lower_to_clifford_t(circuit: &Circuit, config: DecomposeConfig) -> Circui
         );
     }
     if max_mcx_ancillas > 0 {
-        rebuilt.add_register("mcx_ancilla", RegisterRole::Ancilla, max_mcx_ancillas as u32);
+        rebuilt.add_register(
+            "mcx_ancilla",
+            RegisterRole::Ancilla,
+            max_mcx_ancillas as u32,
+        );
     }
     rebuilt.extend(lowered.gates().iter().cloned());
     rebuilt
@@ -234,7 +237,13 @@ mod tests {
         let gates = toffoli_gates(0, 1, 2);
         let t_count = gates.iter().filter(|g| g.is_t_like()).count();
         assert_eq!(t_count, 7);
-        assert_eq!(gates.iter().filter(|g| matches!(g, Gate::Cnot { .. })).count(), 6);
+        assert_eq!(
+            gates
+                .iter()
+                .filter(|g| matches!(g, Gate::Cnot { .. }))
+                .count(),
+            6
+        );
         assert_eq!(gates.iter().filter(|g| matches!(g, Gate::H(_))).count(), 2);
         assert!(gates.iter().all(Gate::is_base_gate));
     }
@@ -321,10 +330,7 @@ mod tests {
         c.add_register("system", RegisterRole::System, 2);
         c.mcx(vec![0, 1, 2, 3], 4);
         let lowered = lower_to_clifford_t(&c, DecomposeConfig::default());
-        assert_eq!(
-            lowered.registers().role_of(0),
-            Some(RegisterRole::Control)
-        );
+        assert_eq!(lowered.registers().role_of(0), Some(RegisterRole::Control));
         assert_eq!(lowered.registers().role_of(4), Some(RegisterRole::System));
         assert_eq!(
             lowered.registers().by_name("mcx_ancilla").map(|r| r.len()),

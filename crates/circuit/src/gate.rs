@@ -1,6 +1,5 @@
 //! Logical gates.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a logical qubit within a circuit.
@@ -11,7 +10,7 @@ pub type Qubit = u32;
 /// The set covers everything the benchmark generators need: the Clifford+T base
 /// set the compiler consumes plus the composite gates (Toffoli, multi-controlled
 /// X) that the decomposition passes lower.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Gate {
     /// Prepare a qubit in |0⟩.
     PrepZ(Qubit),

@@ -6,14 +6,13 @@
 //! A [`RegisterMap`] attaches that structure to a flat qubit index space.
 
 use crate::gate::Qubit;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Range;
 
 /// The architectural role of a register, used by locality analysis and hybrid
 /// floorplan placement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RegisterRole {
     /// SELECT control register (the index being iterated).
     Control,
@@ -47,7 +46,7 @@ impl fmt::Display for RegisterRole {
 }
 
 /// One named, contiguous register of qubits.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Register {
     /// Human-readable register name.
     pub name: String,
@@ -86,7 +85,7 @@ impl Register {
 /// assert_eq!(map.role_of(6), Some(RegisterRole::System));
 /// assert_eq!(map.total_qubits(), 12);
 /// ```
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct RegisterMap {
     registers: Vec<Register>,
     next: Qubit,

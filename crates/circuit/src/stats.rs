@@ -2,7 +2,6 @@
 
 use crate::circuit::Circuit;
 use crate::gate::Gate;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -11,7 +10,7 @@ use std::fmt;
 /// The T-count is the key cost driver for FTQC (each T consumes a distilled
 /// magic state); the Toffoli count matters because each Toffoli lowers to seven
 /// T gates in the standard decomposition.
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct CircuitStats {
     /// Total number of gates, including preparations and measurements.
     pub total_gates: u64,

@@ -40,10 +40,9 @@
 
 use lsqca_circuit::{lower_to_clifford_t, Circuit, DecomposeConfig, Gate};
 use lsqca_isa::{ClassicalId, Instruction, MemAddr, Program, RegId};
-use serde::{Deserialize, Serialize};
 
 /// Options controlling compilation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompilerConfig {
     /// Emit in-memory instructions for single-qubit gates and T-gate surgery
     /// (the paper's default). When disabled, every gate loads its operands into
@@ -63,7 +62,7 @@ impl Default for CompilerConfig {
 }
 
 /// The result of compiling a circuit.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledProgram {
     /// The LSQCA instruction stream.
     pub program: Program,
@@ -116,7 +115,10 @@ impl Lowering {
                 out: zz,
             });
         } else {
-            self.program.push(Instruction::Ld { mem, reg: self.other_slot(slot) });
+            self.program.push(Instruction::Ld {
+                mem,
+                reg: self.other_slot(slot),
+            });
             self.program.push(Instruction::MzzC {
                 reg1: slot,
                 reg2: self.other_slot(slot),
@@ -289,11 +291,7 @@ mod tests {
         let mut c = Circuit::new("t", 1);
         c.t(0);
         let compiled = compile(&c, in_memory());
-        let mnemonics: Vec<_> = compiled
-            .program
-            .iter()
-            .map(|i| i.mnemonic())
-            .collect();
+        let mnemonics: Vec<_> = compiled.program.iter().map(|i| i.mnemonic()).collect();
         assert_eq!(mnemonics, vec!["PM", "MZZ.M", "MX.C", "SK", "PH.M"]);
         assert_eq!(compiled.t_gates, 1);
         assert!(compiled.program.validate().is_ok());
@@ -350,9 +348,7 @@ mod tests {
         let stats = compiled.program.stats();
         assert_eq!(stats.magic_state_count, 7);
         // 6 CNOTs become 6 CX instructions.
-        assert_eq!(
-            stats.kind_counts[&InstructionKind::OptimizedUnitary], 6
-        );
+        assert_eq!(stats.kind_counts[&InstructionKind::OptimizedUnitary], 6);
         assert!(compiled.program.validate().is_ok());
     }
 

@@ -14,14 +14,14 @@ use lsqca_circuit::{Circuit, RegisterRole};
 use lsqca_compiler::{compile, CompiledProgram, CompilerConfig};
 use lsqca_lattice::{Beats, QubitTag};
 use lsqca_sim::{simulate, ExecutionStats, MemoryTrace, SimConfig};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How the hot set of a hybrid floorplan is chosen.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum HotSetStrategy {
     /// Pick the most frequently referenced qubits of the compiled program
     /// (the paper's default for Fig. 14).
+    #[default]
     ByAccessCount,
     /// Pin every qubit whose register has one of these roles (Fig. 15 pins the
     /// SELECT control and temporal registers).
@@ -30,14 +30,8 @@ pub enum HotSetStrategy {
     Explicit(Vec<QubitTag>),
 }
 
-impl Default for HotSetStrategy {
-    fn default() -> Self {
-        HotSetStrategy::ByAccessCount
-    }
-}
-
 /// Configuration of one experiment run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// The floorplan to simulate.
     pub floorplan: FloorplanKind,
@@ -169,9 +163,7 @@ impl Workload {
         }
         let count = hot_set_size(self.num_qubits(), config.hybrid_fraction);
         match &config.hot_set {
-            HotSetStrategy::ByAccessCount => {
-                hot_set_by_access_count(&self.compiled.program, count)
-            }
+            HotSetStrategy::ByAccessCount => hot_set_by_access_count(&self.compiled.program, count),
             HotSetStrategy::ByRole(roles) => {
                 let mut hot = hot_set_by_role(&self.circuit, roles);
                 hot.truncate(count.max(hot.len().min(count)).max(count));
@@ -229,7 +221,7 @@ impl Workload {
 }
 
 /// The outcome of one experiment run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentResult {
     /// Name of the workload circuit.
     pub workload: String,

@@ -1,0 +1,353 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment of this repository has no access to a crate registry,
+//! so this in-workspace crate provides the subset of the criterion API the
+//! workspace's benches use: `Criterion`, benchmark groups, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up for ~100 ms, then
+//! `sample_size` samples are collected, each long enough to amortize timer
+//! overhead. The harness prints a `min / median / mean` summary per benchmark
+//! and, when the `CRITERION_JSON` environment variable names a file, appends
+//! one JSON object per benchmark (newline-delimited) so scripts can build
+//! `BENCH_*.json` baselines without parsing human-oriented output.
+//!
+//! Command line: a single optional positional argument is treated as a
+//! substring filter on `group/name`; `--bench`/`--exact` style flags that
+//! `cargo bench` forwards are ignored.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported from `std::hint`.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// How `iter_batched` sizes its input batches. The stand-in runs one routine
+/// call per setup call regardless of the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: setup cost comparable to the routine.
+    SmallInput,
+    /// Large inputs: setup dominates; batches would be smaller upstream.
+    LargeInput,
+    /// One routine call per setup call.
+    PerIteration,
+}
+
+/// One measured benchmark, as recorded in the JSON output.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name (from [`Criterion::benchmark_group`]).
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Mean time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Median time per iteration in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample in nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Total iterations measured across all samples.
+    pub iterations: u64,
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.ends_with(".rs"));
+        Criterion {
+            filter,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parses command-line arguments (already done by `default`; kept for API
+    /// compatibility with upstream's builder style).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(name, f);
+        group.finish();
+    }
+
+    fn record(&mut self, result: BenchResult) {
+        self.results.push(result);
+    }
+
+    /// Prints the summary and writes the JSON records; called by
+    /// `criterion_main!` after all groups have run.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                if let Err(err) = self.append_json(&path) {
+                    eprintln!("warning: could not write CRITERION_JSON={path}: {err}");
+                }
+            }
+        }
+    }
+
+    fn append_json(&self, path: &str) -> std::io::Result<()> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        for r in &self.results {
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                r#"{{"group":"{}","name":"{}","mean_ns":{},"median_ns":{},"min_ns":{},"iterations":{}}}"#,
+                r.group, r.name, r.mean_ns, r.median_ns, r.min_ns, r.iterations
+            );
+            writeln!(file, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Runs one benchmark. `f` receives a [`Bencher`] and must call one of its
+    /// `iter*` methods.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let id = format!("{}/{}", self.name, name);
+        if let Some(filter) = &self.criterion.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let Some(result) = bencher.summarize(&self.name, &name) else {
+            eprintln!("{id}: no measurement taken");
+            return;
+        };
+        println!(
+            "{id}  time: [{} {} {}]  ({} iterations)",
+            format_ns(result.min_ns),
+            format_ns(result.median_ns),
+            format_ns(result.mean_ns),
+            result.iterations
+        );
+        self.criterion.record(result);
+    }
+
+    /// Ends the group (upstream flushes reports here; the stand-in records
+    /// eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Target duration for one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+/// Target duration of the warm-up phase.
+const WARMUP_TARGET: Duration = Duration::from_millis(100);
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < WARMUP_TARGET {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+        let iters_per_sample =
+            ((SAMPLE_TARGET.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / iters_per_sample as f64);
+            self.iterations += iters_per_sample;
+        }
+    }
+
+    /// Measures `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Warm-up.
+        let warmup_start = Instant::now();
+        let mut measured = Duration::ZERO;
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < WARMUP_TARGET {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            warmup_iters += 1;
+        }
+        let per_iter = measured.as_secs_f64() / warmup_iters.max(1) as f64;
+        let iters_per_sample =
+            ((SAMPLE_TARGET.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        for _ in 0..self.sample_size {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                elapsed += start.elapsed();
+            }
+            self.samples
+                .push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+            self.iterations += iters_per_sample;
+        }
+    }
+
+    fn summarize(&self, group: &str, name: &str) -> Option<BenchResult> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Some(BenchResult {
+            group: group.to_string(),
+            name: name.to_string(),
+            mean_ns: mean,
+            median_ns: sorted[sorted.len() / 2],
+            min_ns: sorted[0],
+            iterations: self.iterations,
+        })
+    }
+}
+
+/// Declares a benchmark group function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_the_requested_samples() {
+        let mut c = Criterion {
+            filter: None,
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 2);
+        for r in &c.results {
+            assert!(r.mean_ns > 0.0);
+            assert!(r.min_ns <= r.mean_ns * 1.5);
+            assert!(r.iterations >= 3);
+        }
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("match_me".into()),
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("skipped", |b| b.iter(|| 0));
+        group.bench_function("match_me", |b| b.iter(|| 0));
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].name, "match_me");
+    }
+}

@@ -74,17 +74,16 @@ fn parse_line(line: &str) -> Result<Instruction, String> {
     let mut parts = line.split_whitespace();
     let mnemonic = parts.next().ok_or_else(|| "empty line".to_string())?;
     let operands: Vec<&str> = parts.collect();
-    let expect =
-        |n: usize| -> Result<(), String> {
-            if operands.len() == n {
-                Ok(())
-            } else {
-                Err(format!(
-                    "{mnemonic} expects {n} operand(s), found {}",
-                    operands.len()
-                ))
-            }
-        };
+    let expect = |n: usize| -> Result<(), String> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(format!(
+                "{mnemonic} expects {n} operand(s), found {}",
+                operands.len()
+            ))
+        }
+    };
 
     let instr = match mnemonic.to_ascii_uppercase().as_str() {
         "LD" => {
@@ -237,7 +236,11 @@ fn parse_index(token: &str, prefix: char, space: &str) -> Result<u32, String> {
     let mut chars = token.chars();
     match chars.next() {
         Some(c) if c.eq_ignore_ascii_case(&prefix) => {}
-        _ => return Err(format!("expected {space} operand like `{prefix}3`, found `{token}`")),
+        _ => {
+            return Err(format!(
+                "expected {space} operand like `{prefix}3`, found `{token}`"
+            ))
+        }
     }
     chars
         .as_str()

@@ -1,13 +1,10 @@
 //! The LSQCA instructions (Table I).
 
-use crate::operand::{ClassicalId, MemAddr, RegId};
-use serde::{Deserialize, Serialize};
+use crate::operand::{ClassicalId, MemAddr, Operands, RegId};
 use std::fmt;
 
 /// The instruction categories of Table I.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum InstructionKind {
     /// `LD` / `ST` data movement between SAM and CR.
     Memory,
@@ -47,12 +44,18 @@ impl fmt::Display for InstructionKind {
 }
 
 /// The location of a logical-qubit operand: a CR register slot or a SAM address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OperandLocation {
     /// Operand lives in the computational register.
     Register(RegId),
     /// Operand lives in scan-access memory.
     Memory(MemAddr),
+}
+
+impl Default for OperandLocation {
+    fn default() -> Self {
+        OperandLocation::Register(RegId(0))
+    }
 }
 
 impl fmt::Display for OperandLocation {
@@ -69,7 +72,7 @@ impl fmt::Display for OperandLocation {
 /// Variants ending in `C` act on CR register slots, variants ending in `M` act on
 /// SAM addresses in place, and `Cx` is the locally-optimized CNOT whose operand
 /// placement is decided at runtime by the controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instruction {
     /// `LD M C` — load a logical qubit from SAM into a CR register slot.
     Ld {
@@ -256,48 +259,75 @@ impl Instruction {
     }
 
     /// All logical-qubit operands (registers and memory addresses) of this
-    /// instruction, in syntactic order.
-    pub fn qubit_operands(&self) -> Vec<OperandLocation> {
+    /// instruction, in syntactic order. Allocation-free: the list is returned
+    /// inline (see [`Operands`]).
+    pub fn qubit_operands(&self) -> Operands<OperandLocation> {
         use Instruction::*;
         use OperandLocation::{Memory, Register};
         match *self {
-            Ld { mem, reg } => vec![Memory(mem), Register(reg)],
-            St { reg, mem } => vec![Register(reg), Memory(mem)],
+            Ld { mem, reg } => Operands::two(Memory(mem), Register(reg)),
+            St { reg, mem } => Operands::two(Register(reg), Memory(mem)),
             PzC { reg } | PpC { reg } | Pm { reg } | HdC { reg } | PhC { reg } => {
-                vec![Register(reg)]
+                Operands::one(Register(reg))
             }
-            MxC { reg, .. } | MzC { reg, .. } => vec![Register(reg)],
+            MxC { reg, .. } | MzC { reg, .. } => Operands::one(Register(reg)),
             MxxC { reg1, reg2, .. } | MzzC { reg1, reg2, .. } => {
-                vec![Register(reg1), Register(reg2)]
+                Operands::two(Register(reg1), Register(reg2))
             }
-            Sk { .. } => vec![],
-            PzM { mem } | PpM { mem } | HdM { mem } | PhM { mem } => vec![Memory(mem)],
-            MxM { mem, .. } | MzM { mem, .. } => vec![Memory(mem)],
-            MxxM { reg, mem, .. } | MzzM { reg, mem, .. } => vec![Register(reg), Memory(mem)],
-            Cx { control, target } => vec![Memory(control), Memory(target)],
+            Sk { .. } => Operands::none(),
+            PzM { mem } | PpM { mem } | HdM { mem } | PhM { mem } => Operands::one(Memory(mem)),
+            MxM { mem, .. } | MzM { mem, .. } => Operands::one(Memory(mem)),
+            MxxM { reg, mem, .. } | MzzM { reg, mem, .. } => {
+                Operands::two(Register(reg), Memory(mem))
+            }
+            Cx { control, target } => Operands::two(Memory(control), Memory(target)),
         }
     }
 
-    /// The SAM addresses referenced by this instruction.
-    pub fn memory_operands(&self) -> Vec<MemAddr> {
-        self.qubit_operands()
-            .into_iter()
-            .filter_map(|op| match op {
-                OperandLocation::Memory(m) => Some(m),
-                OperandLocation::Register(_) => None,
-            })
-            .collect()
+    /// The SAM addresses referenced by this instruction, in syntactic order.
+    /// Allocation-free: one direct match per variant, returned inline.
+    pub fn memory_operands(&self) -> Operands<MemAddr> {
+        use Instruction::*;
+        match *self {
+            Ld { mem, .. } | St { mem, .. } => Operands::one(mem),
+            PzM { mem } | PpM { mem } | HdM { mem } | PhM { mem } => Operands::one(mem),
+            MxM { mem, .. } | MzM { mem, .. } => Operands::one(mem),
+            MxxM { mem, .. } | MzzM { mem, .. } => Operands::one(mem),
+            Cx { control, target } => Operands::two(control, target),
+            PzC { .. }
+            | PpC { .. }
+            | Pm { .. }
+            | HdC { .. }
+            | PhC { .. }
+            | MxC { .. }
+            | MzC { .. }
+            | MxxC { .. }
+            | MzzC { .. }
+            | Sk { .. } => Operands::none(),
+        }
     }
 
-    /// The CR slots referenced by this instruction.
-    pub fn register_operands(&self) -> Vec<RegId> {
-        self.qubit_operands()
-            .into_iter()
-            .filter_map(|op| match op {
-                OperandLocation::Register(r) => Some(r),
-                OperandLocation::Memory(_) => None,
-            })
-            .collect()
+    /// The CR slots referenced by this instruction, in syntactic order.
+    /// Allocation-free: one direct match per variant, returned inline.
+    pub fn register_operands(&self) -> Operands<RegId> {
+        use Instruction::*;
+        match *self {
+            Ld { reg, .. } | St { reg, .. } => Operands::one(reg),
+            PzC { reg } | PpC { reg } | Pm { reg } | HdC { reg } | PhC { reg } => {
+                Operands::one(reg)
+            }
+            MxC { reg, .. } | MzC { reg, .. } => Operands::one(reg),
+            MxxC { reg1, reg2, .. } | MzzC { reg1, reg2, .. } => Operands::two(reg1, reg2),
+            MxxM { reg, .. } | MzzM { reg, .. } => Operands::one(reg),
+            Sk { .. }
+            | PzM { .. }
+            | PpM { .. }
+            | HdM { .. }
+            | PhM { .. }
+            | MxM { .. }
+            | MzM { .. }
+            | Cx { .. } => Operands::none(),
+        }
     }
 
     /// The classical value written by this instruction, if any.
@@ -602,6 +632,15 @@ mod tests {
     }
 
     #[test]
+    fn operands_fit_the_inline_capacity_for_every_variant() {
+        for instr in example_instructions() {
+            assert!(instr.qubit_operands().len() <= crate::MAX_OPERANDS);
+            assert!(instr.memory_operands().len() <= crate::MAX_OPERANDS);
+            assert!(instr.register_operands().len() <= crate::MAX_OPERANDS);
+        }
+    }
+
+    #[test]
     fn display_round_trips_mnemonic() {
         for instr in example_instructions() {
             let text = instr.to_string();
@@ -620,5 +659,103 @@ mod tests {
             .to_string(),
             "MZZ.M c1 m5 v3"
         );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A strategy covering every one of the 21 instruction variants.
+    fn any_instruction() -> impl Strategy<Value = Instruction> {
+        use Instruction::*;
+        (
+            0u32..21,
+            0u32..10_000,
+            0u32..10_000,
+            0u32..64,
+            0u32..64,
+            0u32..10_000,
+        )
+            .prop_map(|(variant, m1, m2, r1, r2, v)| {
+                let (mem, mem2) = (MemAddr(m1), MemAddr(m2));
+                let (reg, reg2) = (RegId(r1), RegId(r2));
+                let out = ClassicalId(v);
+                match variant {
+                    0 => Ld { mem, reg },
+                    1 => St { reg, mem },
+                    2 => PzC { reg },
+                    3 => PpC { reg },
+                    4 => Pm { reg },
+                    5 => HdC { reg },
+                    6 => PhC { reg },
+                    7 => MxC { reg, out },
+                    8 => MzC { reg, out },
+                    9 => MxxC {
+                        reg1: reg,
+                        reg2,
+                        out,
+                    },
+                    10 => MzzC {
+                        reg1: reg,
+                        reg2,
+                        out,
+                    },
+                    11 => Sk { cond: out },
+                    12 => PzM { mem },
+                    13 => PpM { mem },
+                    14 => HdM { mem },
+                    15 => PhM { mem },
+                    16 => MxM { mem, out },
+                    17 => MzM { mem, out },
+                    18 => MxxM { reg, mem, out },
+                    19 => MzzM { reg, mem, out },
+                    _ => Cx {
+                        control: mem,
+                        target: mem2,
+                    },
+                }
+            })
+    }
+
+    proptest! {
+        /// The inline `Operands` extraction is observationally identical to the
+        /// seed's `Vec` semantics: filtering `qubit_operands` by location gives
+        /// exactly `memory_operands` / `register_operands`, in syntactic order.
+        #[test]
+        fn operand_extraction_matches_the_vec_semantics(instr in any_instruction()) {
+            let qubits: Vec<OperandLocation> = instr.qubit_operands().into_iter().collect();
+            let legacy_mems: Vec<MemAddr> = qubits
+                .iter()
+                .filter_map(|op| match op {
+                    OperandLocation::Memory(m) => Some(*m),
+                    OperandLocation::Register(_) => None,
+                })
+                .collect();
+            let legacy_regs: Vec<RegId> = qubits
+                .iter()
+                .filter_map(|op| match op {
+                    OperandLocation::Register(r) => Some(*r),
+                    OperandLocation::Memory(_) => None,
+                })
+                .collect();
+            prop_assert_eq!(instr.memory_operands(), legacy_mems);
+            prop_assert_eq!(instr.register_operands(), legacy_regs);
+            prop_assert_eq!(instr.touches_memory(), !instr.memory_operands().is_empty());
+        }
+
+        /// `Operands` iteration agrees with its slice view, and the by-value
+        /// iterator is exact-size.
+        #[test]
+        fn operands_iteration_matches_the_slice_view(instr in any_instruction()) {
+            let mems = instr.memory_operands();
+            let collected: Vec<MemAddr> = mems.into_iter().collect();
+            prop_assert_eq!(collected.as_slice(), mems.as_slice());
+            prop_assert_eq!(mems.into_iter().len(), mems.len());
+            let regs = instr.register_operands();
+            let collected: Vec<RegId> = regs.into_iter().collect();
+            prop_assert_eq!(collected.as_slice(), regs.as_slice());
+        }
     }
 }

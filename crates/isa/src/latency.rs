@@ -7,11 +7,10 @@
 //! entries against a concrete SAM model.
 
 use crate::instruction::Instruction;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Code-beat latency of one instruction as specified by the ISA.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InstructionLatency {
     /// The instruction always takes exactly this many code beats.
     Fixed(u64),
@@ -53,7 +52,7 @@ impl fmt::Display for InstructionLatency {
 ///     InstructionLatency::Fixed(3)
 /// );
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyTable {
     _private: (),
 }

@@ -46,6 +46,6 @@ pub mod validate;
 
 pub use instruction::{Instruction, InstructionKind, OperandLocation};
 pub use latency::{InstructionLatency, LatencyTable};
-pub use operand::{ClassicalId, MemAddr, RegId};
+pub use operand::{ClassicalId, MemAddr, Operands, RegId, MAX_OPERANDS};
 pub use program::{Program, ProgramStats};
 pub use validate::{ValidationError, ValidationReport};

@@ -1,6 +1,5 @@
 //! Operand spaces of the LSQCA instruction set.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An abstract memory qubit address (`M` operand).
@@ -8,9 +7,7 @@ use std::fmt;
 /// Addresses name logical qubits stored in SAM; the controller maintains the map
 /// from address to the physical cell currently holding the qubit, so the same
 /// compiled program runs on any SAM geometry (the paper's portability argument).
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MemAddr(pub u32);
 
 impl MemAddr {
@@ -37,9 +34,7 @@ impl From<u32> for MemAddr {
 /// With the minimal CR of the paper there are two register slots; a hybrid
 /// floorplan extends the identifier space to cover the attached conventional
 /// region as well.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RegId(pub u32);
 
 impl RegId {
@@ -61,10 +56,145 @@ impl From<u32> for RegId {
     }
 }
 
+/// Maximum number of operands of one kind a single instruction can reference
+/// (two: the joint measurements and the optimized `CX`).
+pub const MAX_OPERANDS: usize = 2;
+
+/// A fixed-capacity, inline operand list.
+///
+/// [`Instruction::memory_operands`](crate::Instruction::memory_operands) and
+/// friends are called several times per instruction on the simulator's hot
+/// path; returning a `Vec` there costs one heap allocation per call.
+/// `Operands` stores up to [`MAX_OPERANDS`] values inline (array plus length),
+/// is `Copy`, and iterates by value, so operand extraction performs zero heap
+/// allocations.
+///
+/// ```
+/// use lsqca_isa::{Instruction, MemAddr, RegId};
+///
+/// let ld = Instruction::Ld { mem: MemAddr(3), reg: RegId(1) };
+/// let mems = ld.memory_operands(); // Copy, no allocation
+/// assert_eq!(mems.len(), 1);
+/// assert_eq!(mems[0], MemAddr(3));
+/// assert!(mems.iter().eq([MemAddr(3)].iter()));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Operands<T> {
+    items: [T; MAX_OPERANDS],
+    len: u8,
+}
+
+impl<T: Copy + Default> Operands<T> {
+    /// The empty operand list.
+    pub fn none() -> Self {
+        Operands {
+            items: [T::default(); MAX_OPERANDS],
+            len: 0,
+        }
+    }
+
+    /// A single-operand list.
+    pub fn one(a: T) -> Self {
+        Operands {
+            items: [a, T::default()],
+            len: 1,
+        }
+    }
+
+    /// A two-operand list, in syntactic order.
+    pub fn two(a: T, b: T) -> Self {
+        Operands {
+            items: [a, b],
+            len: 2,
+        }
+    }
+}
+
+impl<T> Operands<T> {
+    /// The operands as a slice, in syntactic order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl<T> std::ops::Deref for Operands<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy> IntoIterator for Operands<T> {
+    type Item = T;
+    type IntoIter = OperandsIter<T>;
+    fn into_iter(self) -> OperandsIter<T> {
+        OperandsIter { ops: self, pos: 0 }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Operands<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// By-value iterator over an [`Operands`] list.
+#[derive(Debug, Clone)]
+pub struct OperandsIter<T> {
+    ops: Operands<T>,
+    pos: u8,
+}
+
+impl<T: Copy> Iterator for OperandsIter<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        if self.pos < self.ops.len {
+            let item = self.ops.items[self.pos as usize];
+            self.pos += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.ops.len - self.pos) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl<T: Copy> ExactSizeIterator for OperandsIter<T> {}
+
+impl<T: PartialEq> PartialEq for Operands<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq> Eq for Operands<T> {}
+
+impl<T: PartialEq> PartialEq<Vec<T>> for Operands<T> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: PartialEq> PartialEq<Operands<T>> for Vec<T> {
+    fn eq(&self, other: &Operands<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq<[T; N]> for Operands<T> {
+    fn eq(&self, other: &[T; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
 /// A classical value identifier (`V` operand) holding a measurement outcome.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClassicalId(pub u32);
 
 impl ClassicalId {
@@ -102,6 +232,43 @@ mod tests {
         assert_eq!(MemAddr::from(4u32).index(), 4);
         assert_eq!(RegId::from(2u32).index(), 2);
         assert_eq!(ClassicalId::from(9u32).index(), 9);
+    }
+
+    #[test]
+    fn operands_are_inline_and_iterate_in_order() {
+        let none: Operands<MemAddr> = Operands::none();
+        assert!(none.is_empty());
+        assert_eq!(none.into_iter().count(), 0);
+
+        let one = Operands::one(MemAddr(7));
+        assert_eq!(one.len(), 1);
+        assert_eq!(one, vec![MemAddr(7)]);
+
+        let two = Operands::two(RegId(1), RegId(2));
+        assert_eq!(two.as_slice(), &[RegId(1), RegId(2)]);
+        assert_eq!(
+            two.into_iter().collect::<Vec<_>>(),
+            vec![RegId(1), RegId(2)]
+        );
+        let mut it = two.into_iter();
+        assert_eq!(it.len(), 2);
+        it.next();
+        assert_eq!(it.len(), 1);
+
+        // By-reference iteration and slice equality.
+        assert!((&two).into_iter().eq([RegId(1), RegId(2)].iter()));
+        assert_eq!(two, [RegId(1), RegId(2)]);
+        assert_eq!(vec![RegId(1), RegId(2)], two);
+    }
+
+    #[test]
+    fn operands_are_copy() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Operands<MemAddr>>();
+        assert_copy::<Operands<RegId>>();
+        let a = Operands::two(MemAddr(0), MemAddr(1));
+        let b = a; // copies
+        assert_eq!(a, b);
     }
 
     #[test]

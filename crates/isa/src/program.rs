@@ -4,7 +4,6 @@ use crate::instruction::{Instruction, InstructionKind};
 use crate::latency::LatencyTable;
 use crate::operand::{ClassicalId, MemAddr, RegId};
 use crate::validate::{validate_program, ValidationReport};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -13,7 +12,7 @@ use std::fmt;
 /// A program is the unit the compiler produces and the simulator executes. The
 /// paper counts "commands" excluding negligible-latency instructions when
 /// computing CPI; [`ProgramStats`] exposes both counts.
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Program {
     name: String,
     instructions: Vec<Instruction>,
@@ -138,7 +137,7 @@ impl<'a> IntoIterator for &'a Program {
 }
 
 /// Summary statistics of a [`Program`].
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ProgramStats {
     /// Total number of instructions, including negligible-latency ones.
     pub instruction_count: u64,

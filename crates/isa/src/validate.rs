@@ -14,13 +14,12 @@
 use crate::instruction::Instruction;
 use crate::operand::{ClassicalId, MemAddr, RegId};
 use crate::program::Program;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 
 /// A violation detected by [`validate_program`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ValidationError {
     /// `SK` reads a classical value never written before it.
@@ -71,10 +70,16 @@ impl fmt::Display for ValidationError {
                 write!(f, "instruction {index}: register {reg} is used while empty")
             }
             ValidationError::RegisterOverwrite { index, reg } => {
-                write!(f, "instruction {index}: register {reg} is loaded while occupied")
+                write!(
+                    f,
+                    "instruction {index}: register {reg} is loaded while occupied"
+                )
             }
             ValidationError::DoubleLoad { index, mem } => {
-                write!(f, "instruction {index}: memory qubit {mem} is already loaded")
+                write!(
+                    f,
+                    "instruction {index}: memory qubit {mem} is already loaded"
+                )
             }
         }
     }
@@ -83,7 +88,7 @@ impl fmt::Display for ValidationError {
 impl Error for ValidationError {}
 
 /// Summary of a successful validation.
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ValidationReport {
     /// Distinct register slots used by the program.
     pub registers_used: BTreeSet<RegId>,
@@ -282,7 +287,10 @@ mod tests {
         });
         p.push(Instruction::PzC { reg: RegId(0) });
         let err = validate_program(&p).unwrap_err();
-        assert!(matches!(err, ValidationError::UndefinedClassicalValue { .. }));
+        assert!(matches!(
+            err,
+            ValidationError::UndefinedClassicalValue { .. }
+        ));
         assert!(err.to_string().contains("undefined"));
     }
 

@@ -1,0 +1,300 @@
+//! Dependency-free JSON output for the experiment harness.
+//!
+//! The build environment of this repository is fully offline, so the harness
+//! cannot pull `serde`/`serde_json` from a registry. The `--json` output of the
+//! `experiments` binary and the `BENCH_*.json` baselines only need one-way
+//! *serialization* of a handful of result types, which this small crate covers:
+//! a [`Json`] value tree, a [`ToJson`] conversion trait, and a deterministic
+//! pretty printer whose output is stable across runs (object keys keep
+//! insertion order; floats use Rust's shortest round-trip formatting).
+//!
+//! ```
+//! use lsqca_json::{Json, ToJson};
+//!
+//! let value = Json::obj([
+//!     ("name", "fig13".to_json()),
+//!     ("points", vec![1u64, 2, 3].to_json()),
+//! ]);
+//! assert_eq!(value.compact(), r#"{"name":"fig13","points":[1,2,3]}"#);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (emitted without a decimal point).
+    U64(u64),
+    /// A signed integer (emitted without a decimal point).
+    I64(i64),
+    /// A double-precision float (shortest round-trip formatting; non-finite
+    /// values are emitted as `null`, as `serde_json` does).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order for deterministic output.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn arr(values: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(values.into_iter().collect())
+    }
+
+    /// Renders the value with two-space indentation (like
+    /// `serde_json::to_string_pretty`).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out
+    }
+
+    /// Renders the value without any whitespace.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) => {
+                if x.is_finite() {
+                    if *x == x.trunc() && x.abs() < 1e15 {
+                        // Keep a trailing `.0` so the value reads as a float.
+                        let _ = write!(out, "{x:.1}");
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, '[', ']', items.len(), |out, i, ind| {
+                items[i].write(out, ind);
+            }),
+            Json::Obj(pairs) => write_seq(out, indent, '{', '}', pairs.len(), |out, i, ind| {
+                let (key, value) = &pairs[i];
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                value.write(out, ind);
+            }),
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, Option<usize>),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    let inner = indent.map(|d| d + 1);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(depth) = inner {
+            out.push('\n');
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        }
+        item(out, i, inner);
+    }
+    if let Some(depth) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// Converts `self` into a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+macro_rules! impl_to_json_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::U64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_to_json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::I64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_to_json_int!(i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_like_serde_json() {
+        assert_eq!(Json::Null.compact(), "null");
+        assert_eq!(Json::Bool(true).compact(), "true");
+        assert_eq!(Json::U64(42).compact(), "42");
+        assert_eq!(Json::I64(-7).compact(), "-7");
+        assert_eq!(Json::F64(1.5).compact(), "1.5");
+        assert_eq!(Json::F64(2.0).compact(), "2.0");
+        assert_eq!(Json::F64(f64::NAN).compact(), "null");
+        assert_eq!(Json::Str("a\"b\n".into()).compact(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn collections_preserve_order() {
+        let v = Json::obj([
+            ("b", 1u32.to_json()),
+            ("a", vec![true, false].to_json()),
+            ("c", Json::Null),
+        ]);
+        assert_eq!(v.compact(), r#"{"b":1,"a":[true,false],"c":null}"#);
+    }
+
+    #[test]
+    fn pretty_printing_indents_two_spaces() {
+        let v = Json::obj([("xs", Json::arr([Json::U64(1), Json::U64(2)]))]);
+        assert_eq!(v.pretty(), "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).pretty(), "{}");
+    }
+
+    #[test]
+    fn to_json_covers_the_primitive_types() {
+        assert_eq!(3u64.to_json(), Json::U64(3));
+        assert_eq!((-3i32).to_json(), Json::I64(-3));
+        assert_eq!(None::<u32>.to_json(), Json::Null);
+        assert_eq!(Some(1u32).to_json(), Json::U64(1));
+        assert_eq!((5u64, 0.5f64).to_json().compact(), "[5,0.5]");
+        assert_eq!("s".to_json(), Json::Str("s".into()));
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(Json::Str("\u{1}".into()).compact(), "\"\\u0001\"");
+        assert_eq!(Json::Str("t\tr\r".into()).compact(), "\"t\\tr\\r\"");
+    }
+}

@@ -4,16 +4,13 @@
 //! assigns every cell a role ([`CellKind`]) and tracks whether a logical qubit is
 //! currently stored in it ([`CellState`]).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identity of a logical data qubit stored on the lattice.
 ///
 /// The tag is assigned by the compiler / memory controller and stays with the
 /// qubit as it moves between cells, banks, and the computational register.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct QubitTag(pub u32);
 
 impl QubitTag {
@@ -40,7 +37,7 @@ impl From<u32> for QubitTag {
 /// The LSQCA floorplans (Fig. 9, 10) use every one of these roles: SAM data
 /// cells, the scan cell / scan line, CR register and auxiliary cells, ports
 /// between regions, and magic-state-factory cells.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CellKind {
     /// Stores a logical data qubit in a SAM bank or conventional floorplan.
     Data,
@@ -81,7 +78,7 @@ impl fmt::Display for CellKind {
 }
 
 /// Occupancy state of a single cell.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CellState {
     /// No logical qubit is stored here; the cell can act as surgery ancilla.
     #[default]

@@ -60,10 +60,7 @@ impl fmt::Display for LatticeError {
                 coord,
                 width,
                 height,
-            } => write!(
-                f,
-                "coordinate {coord} is outside the {width}x{height} grid"
-            ),
+            } => write!(f, "coordinate {coord} is outside the {width}x{height} grid"),
             LatticeError::CellOccupied { coord, occupant } => {
                 write!(f, "cell {coord} is already occupied by {occupant}")
             }

@@ -6,7 +6,6 @@
 //! diagonal-capable moves, per-axis distances for scan-line seeks), which live
 //! here next to the coordinate type.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A cell coordinate on the 2D grid: `x` grows to the right, `y` grows downward.
@@ -18,9 +17,7 @@ use std::fmt;
 /// assert_eq!(a.manhattan_distance(b), 7);
 /// assert_eq!(a.chebyshev_distance(b), 4);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Coord {
     /// Horizontal position in cells, growing to the right.
     pub x: u32,
@@ -90,7 +87,7 @@ impl From<(u32, u32)> for Coord {
 }
 
 /// One of the four lattice directions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Towards negative `y`.
     North,
@@ -159,7 +156,7 @@ impl fmt::Display for Direction {
 /// assert!(r.contains(Coord::new(3, 2)));
 /// assert!(!r.contains(Coord::new(4, 2)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rect {
     /// Top-left (minimum-x, minimum-y) corner, inclusive.
     pub origin: Coord,
@@ -199,7 +196,8 @@ impl Rect {
             width,
             height,
         } = self;
-        (0..height).flat_map(move |dy| (0..width).map(move |dx| Coord::new(origin.x + dx, origin.y + dy)))
+        (0..height)
+            .flat_map(move |dy| (0..width).map(move |dx| Coord::new(origin.x + dx, origin.y + dy)))
     }
 
     /// The exclusive maximum x coordinate.
@@ -246,10 +244,7 @@ mod tests {
     fn step_stays_in_quadrant() {
         assert_eq!(Coord::ORIGIN.step(Direction::North), None);
         assert_eq!(Coord::ORIGIN.step(Direction::West), None);
-        assert_eq!(
-            Coord::ORIGIN.step(Direction::South),
-            Some(Coord::new(0, 1))
-        );
+        assert_eq!(Coord::ORIGIN.step(Direction::South), Some(Coord::new(0, 1)));
         assert_eq!(Coord::ORIGIN.step(Direction::East), Some(Coord::new(1, 0)));
     }
 

@@ -10,7 +10,6 @@
 use crate::cell::{CellState, QubitTag};
 use crate::error::LatticeError;
 use crate::geom::Coord;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
@@ -29,12 +28,18 @@ use std::fmt;
 /// grid.remove(QubitTag(0)).unwrap();
 /// assert_eq!(grid.occupied_count(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellGrid {
     width: u32,
     height: u32,
     cells: Vec<CellState>,
-    positions: HashMap<QubitTag, Coord>,
+    /// Position per qubit tag, indexed directly by `QubitTag::index()` (tags
+    /// are dense). Grown on demand; `None` for tags not on this grid. This
+    /// replaces the former `HashMap<QubitTag, Coord>` so hot-path position
+    /// lookups are single array reads.
+    positions: Vec<Option<Coord>>,
+    /// Number of occupied cells (`Some` entries in `positions`).
+    occupied: usize,
 }
 
 impl CellGrid {
@@ -49,7 +54,8 @@ impl CellGrid {
             width,
             height,
             cells: vec![CellState::Vacant; (width * height) as usize],
-            positions: HashMap::new(),
+            positions: Vec::new(),
+            occupied: 0,
         }
     }
 
@@ -70,12 +76,12 @@ impl CellGrid {
 
     /// Number of occupied cells.
     pub fn occupied_count(&self) -> usize {
-        self.positions.len()
+        self.occupied
     }
 
     /// Number of vacant cells.
     pub fn vacant_count(&self) -> usize {
-        self.cell_count() as usize - self.positions.len()
+        self.cell_count() as usize - self.occupied
     }
 
     /// True if `coord` lies inside the grid.
@@ -124,12 +130,12 @@ impl CellGrid {
 
     /// The current position of `qubit`, if it is on this grid.
     pub fn position_of(&self, qubit: QubitTag) -> Option<Coord> {
-        self.positions.get(&qubit).copied()
+        self.positions.get(qubit.0 as usize).copied().flatten()
     }
 
     /// True if the qubit is stored on this grid.
     pub fn contains(&self, qubit: QubitTag) -> bool {
-        self.positions.contains_key(&qubit)
+        self.position_of(qubit).is_some()
     }
 
     /// Places `qubit` on the vacant cell at `coord`.
@@ -141,7 +147,7 @@ impl CellGrid {
     /// * [`LatticeError::QubitAlreadyPlaced`] if the qubit is already on the grid.
     pub fn place(&mut self, qubit: QubitTag, coord: Coord) -> Result<(), LatticeError> {
         self.check_bounds(coord)?;
-        if let Some(&at) = self.positions.get(&qubit) {
+        if let Some(at) = self.position_of(qubit) {
             return Err(LatticeError::QubitAlreadyPlaced { qubit, at });
         }
         let idx = self.index(coord);
@@ -149,8 +155,29 @@ impl CellGrid {
             return Err(LatticeError::CellOccupied { coord, occupant });
         }
         self.cells[idx] = CellState::Occupied(qubit);
-        self.positions.insert(qubit, coord);
+        self.set_position(qubit, Some(coord));
         Ok(())
+    }
+
+    fn set_position(&mut self, qubit: QubitTag, coord: Option<Coord>) {
+        let idx = qubit.0 as usize;
+        if idx >= self.positions.len() {
+            if coord.is_none() {
+                return;
+            }
+            self.positions.resize(idx + 1, None);
+        }
+        match (self.positions[idx], coord) {
+            (None, Some(_)) => self.occupied += 1,
+            (Some(_), None) => self.occupied -= 1,
+            _ => {}
+        }
+        self.positions[idx] = coord;
+        // Keep the table in canonical form (no trailing vacancies) so the
+        // derived equality compares logical content, not growth history.
+        while self.positions.last() == Some(&None) {
+            self.positions.pop();
+        }
     }
 
     /// Removes `qubit` from the grid and returns the cell it occupied.
@@ -160,9 +187,9 @@ impl CellGrid {
     /// Returns [`LatticeError::QubitNotPresent`] if the qubit is not on the grid.
     pub fn remove(&mut self, qubit: QubitTag) -> Result<Coord, LatticeError> {
         let coord = self
-            .positions
-            .remove(&qubit)
+            .position_of(qubit)
             .ok_or(LatticeError::QubitNotPresent { qubit })?;
+        self.set_position(qubit, None);
         let idx = self.index(coord);
         self.cells[idx] = CellState::Vacant;
         Ok(coord)
@@ -177,27 +204,31 @@ impl CellGrid {
     pub fn relocate(&mut self, qubit: QubitTag, to: Coord) -> Result<(), LatticeError> {
         self.check_bounds(to)?;
         let from = self
-            .positions
-            .get(&qubit)
-            .copied()
+            .position_of(qubit)
             .ok_or(LatticeError::QubitNotPresent { qubit })?;
         if from == to {
             return Ok(());
         }
         let to_idx = self.index(to);
         if let Some(occupant) = self.cells[to_idx].occupant() {
-            return Err(LatticeError::CellOccupied { coord: to, occupant });
+            return Err(LatticeError::CellOccupied {
+                coord: to,
+                occupant,
+            });
         }
         let from_idx = self.index(from);
         self.cells[from_idx] = CellState::Vacant;
         self.cells[to_idx] = CellState::Occupied(qubit);
-        self.positions.insert(qubit, to);
+        self.positions[qubit.0 as usize] = Some(to);
         Ok(())
     }
 
-    /// Iterates over all `(qubit, position)` pairs in unspecified order.
+    /// Iterates over all `(qubit, position)` pairs in ascending tag order.
     pub fn iter(&self) -> impl Iterator<Item = (QubitTag, Coord)> + '_ {
-        self.positions.iter().map(|(&q, &c)| (q, c))
+        self.positions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (QubitTag(i as u32), c)))
     }
 
     /// Iterates over all vacant cell coordinates in row-major order.
@@ -219,8 +250,8 @@ impl CellGrid {
     /// Finds the occupied cell closest (Manhattan metric) to `target`.
     pub fn nearest_occupied(&self, target: Coord) -> Option<Coord> {
         self.positions
-            .values()
-            .copied()
+            .iter()
+            .filter_map(|c| *c)
             .min_by_key(|&c| (c.manhattan_distance(target), c.y, c.x))
     }
 
@@ -375,7 +406,10 @@ mod tests {
     #[test]
     fn nearest_vacant_prefers_closest() {
         let grid = filled_grid(3, 3, 8); // only (2,2) vacant
-        assert_eq!(grid.nearest_vacant(Coord::new(0, 0)), Some(Coord::new(2, 2)));
+        assert_eq!(
+            grid.nearest_vacant(Coord::new(0, 0)),
+            Some(Coord::new(2, 2))
+        );
         let full = filled_grid(2, 2, 4);
         assert_eq!(full.nearest_vacant(Coord::new(0, 0)), None);
     }
@@ -458,20 +492,32 @@ mod proptests {
             ops in proptest::collection::vec((0u32..30, 0u32..6, 0u32..6, proptest::bool::ANY), 1..80)
         ) {
             let mut grid = CellGrid::new(6, 6);
+            // Shadow map with the seed's `HashMap<QubitTag, Coord>` semantics;
+            // the dense position table must stay observationally identical.
+            let mut mirror: HashMap<QubitTag, Coord> = HashMap::new();
             for (q, x, y, place) in ops {
                 let qubit = QubitTag(q);
                 if place {
-                    let _ = grid.place(qubit, Coord::new(x, y));
-                } else {
-                    let _ = grid.remove(qubit);
+                    if grid.place(qubit, Coord::new(x, y)).is_ok() {
+                        mirror.insert(qubit, Coord::new(x, y));
+                    }
+                } else if grid.remove(qubit).is_ok() {
+                    mirror.remove(&qubit);
                 }
                 // Invariants hold after every step.
                 prop_assert_eq!(
                     grid.occupied_count() + grid.vacant_count(),
                     grid.cell_count() as usize
                 );
+                prop_assert_eq!(grid.occupied_count(), mirror.len());
                 for (qubit, pos) in grid.iter() {
                     prop_assert_eq!(grid.occupant(pos), Some(qubit));
+                }
+                // Dense table answers equal map answers for every tag ever used.
+                for tag in 0..30 {
+                    let qubit = QubitTag(tag);
+                    prop_assert_eq!(grid.position_of(qubit), mirror.get(&qubit).copied());
+                    prop_assert_eq!(grid.contains(qubit), mirror.contains_key(&qubit));
                 }
             }
         }

@@ -11,13 +11,10 @@
 
 use crate::cell::QubitTag;
 use crate::geom::{Coord, Direction};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a logical patch tracked by a floorplan controller.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PatchId(pub u32);
 
 impl fmt::Display for PatchId {
@@ -31,7 +28,7 @@ impl fmt::Display for PatchId {
 /// In the paper's drawing convention (Fig. 2) the left/right sides are the
 /// Z-boundaries and the top/bottom sides the X-boundaries; a patch rotation
 /// (realized by expand + contract, one beat each) swaps them.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BoundaryOrientation {
     /// Z-boundaries face east/west, X-boundaries face north/south (paper default).
     #[default]
@@ -73,7 +70,7 @@ impl fmt::Display for BoundaryOrientation {
 }
 
 /// A logical patch: which qubit it encodes, where it sits, how it is oriented.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Patch {
     /// Identifier of the patch.
     pub id: PatchId,
@@ -129,7 +126,7 @@ impl fmt::Display for Patch {
 }
 
 /// Which boundary participates in a lattice-surgery merge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MergeBoundary {
     /// Merge through the Z-boundaries (logical ZZ measurement).
     Z,

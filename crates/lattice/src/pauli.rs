@@ -6,12 +6,11 @@
 //! Hamiltonian terms it applies, so a small sparse [`PauliProduct`] type lives
 //! here.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A single-qubit Pauli operator (identity excluded unless stated).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Pauli {
     /// The identity operator.
     I,
@@ -78,7 +77,7 @@ impl fmt::Display for Pauli {
 /// assert_eq!(zz.weight(), 2);
 /// assert_eq!(zz.to_string(), "Z0*Z1");
 /// ```
-#[derive(Debug, Default, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq, Hash)]
 pub struct PauliProduct {
     factors: BTreeMap<u32, Pauli>,
 }
@@ -159,7 +158,7 @@ impl PauliProduct {
                 anticommuting += 1;
             }
         }
-        anticommuting % 2 == 0
+        anticommuting.is_multiple_of(2)
     }
 }
 

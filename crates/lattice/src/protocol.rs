@@ -9,11 +9,10 @@
 
 use crate::patch::MergeBoundary;
 use crate::timing::Beats;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A primitive operation on surface-code patches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PrimitiveOp {
     /// Lattice-surgery merge + split across the given boundary type: a logical
     /// two-qubit Pauli measurement (ZZ for [`MergeBoundary::Z`], XX for X).
@@ -85,7 +84,7 @@ impl fmt::Display for PrimitiveOp {
 ///
 /// The struct is plain data so alternative device assumptions can be explored by
 /// constructing a different instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ProtocolLatencies {
     /// Lattice surgery merge+split.
     pub lattice_surgery: Beats,
@@ -172,7 +171,8 @@ impl ProtocolLatencies {
         let diagonal = dx.min(dy) as u64;
         let straight = dx.abs_diff(dy) as u64;
         if two_vacancies {
-            self.diagonal_move_two_vacancies * diagonal + self.straight_move_two_vacancies * straight
+            self.diagonal_move_two_vacancies * diagonal
+                + self.straight_move_two_vacancies * straight
         } else {
             self.diagonal_move * diagonal + self.straight_move * straight
         }

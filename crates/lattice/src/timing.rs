@@ -6,7 +6,6 @@
 //! For realistic code distances (11–31) a beat is roughly 10–50 µs, but the whole
 //! evaluation is distance-independent, so we keep time as an integer beat count.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
@@ -22,9 +21,7 @@ use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
 /// assert_eq!(t, Beats(7));
 /// assert_eq!(t * 2, Beats(14));
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Beats(pub u64);
 
 impl Beats {

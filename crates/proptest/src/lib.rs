@@ -1,0 +1,199 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment of this repository has no access to a crate registry,
+//! so this in-workspace crate provides the subset of the proptest API the
+//! workspace's property tests use: the [`Strategy`] trait with `prop_map`,
+//! range/tuple/collection strategies, `prop_oneof!`, and the `proptest!` test
+//! macro with `name in strategy` bindings.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test PRNG (seeded from the test name), there is no shrinking, and
+//! `prop_assert!`-style macros panic directly instead of returning a
+//! `TestCaseError`. The number of cases per test defaults to 64 and can be
+//! overridden with the `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over `bool`.
+pub mod bool {
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    /// The any-`bool` strategy (`proptest::bool::ANY`).
+    pub const ANY: AnyBool = AnyBool;
+
+    impl crate::strategy::Strategy for AnyBool {
+        type Value = bool;
+        fn sample(&self, rng: &mut crate::test_runner::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of values with a length drawn from `sizes`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    /// Builds a strategy for `Vec`s of `element` values (`collection::vec`).
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.in_range(self.sizes.start as u64, self.sizes.end as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `HashSet`s with up to `sizes.end - 1` elements.
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    /// Builds a strategy for `HashSet`s of `element` values
+    /// (`collection::hash_set`). Duplicate draws are dropped, so the set may
+    /// come out smaller than the drawn size, like upstream under a low element
+    /// cardinality.
+    pub fn hash_set<S>(element: S, sizes: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { element, sizes }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let len = rng.in_range(self.sizes.start as u64, self.sizes.end as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The commonly used exports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Unconditional property-test assertion; panics (fails the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }` item
+/// becomes a `#[test]`-style function running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::test_runner::cases();
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for _case in 0..cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in crate::collection::vec(0u32..10, 2..6),
+            s in crate::collection::hash_set((0u32..4, 0u32..4), 0..20),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert!(s.len() <= 16, "at most 16 distinct pairs exist");
+        }
+    }
+
+    #[test]
+    fn oneof_draws_every_arm_and_map_applies() {
+        let strat = prop_oneof![
+            (0u32..1).prop_map(|_| 0u8),
+            (0u32..1).prop_map(|_| 1u8),
+            Just(2u8),
+        ];
+        let mut rng = TestRng::deterministic("oneof");
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[strat.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn deterministic_rng_reproduces_sequences() {
+        let mut a = TestRng::deterministic("seed");
+        let mut b = TestRng::deterministic("seed");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

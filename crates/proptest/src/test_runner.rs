@@ -1,0 +1,71 @@
+//! Deterministic case generation for the `proptest!` macro.
+
+/// Number of cases each property test runs, from `PROPTEST_CASES` (default 64).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// A small, fast, deterministic PRNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds an RNG whose seed is derived from `name` (typically the test
+    /// function name), so every test draws an independent but reproducible
+    /// sequence.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, folded into a fixed offset.
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            state: hash ^ 0x9e3779b97f4a7c15,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi)`; returns `lo` when the range is empty.
+    pub fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn different_names_give_different_streams() {
+        let mut a = TestRng::deterministic("a");
+        let mut b = TestRng::deterministic("b");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn in_range_is_inclusive_exclusive() {
+        let mut rng = TestRng::deterministic("range");
+        for _ in 0..1000 {
+            let x = rng.in_range(5, 8);
+            assert!((5..8).contains(&x));
+        }
+        assert_eq!(rng.in_range(3, 3), 3);
+    }
+}

@@ -1,9 +1,7 @@
 //! Simulation options.
 
-use serde::{Deserialize, Serialize};
-
 /// Options controlling one simulation run.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     /// Record a memory reference trace (one event per instruction touching a
     /// SAM address). Needed for the Fig. 8 reproduction; costs memory

@@ -6,7 +6,6 @@ use crate::trace::MemoryTrace;
 use lsqca_arch::{ArchConfig, MagicStateSupply, MemorySystem, MsfConfig};
 use lsqca_isa::{ClassicalId, Instruction, LatencyTable, MemAddr, Program, RegId};
 use lsqca_lattice::{Beats, LatticeError, QubitTag};
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -39,7 +38,7 @@ impl Error for SimError {
 }
 
 /// The result of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimOutcome {
     /// Aggregate execution metrics.
     pub stats: ExecutionStats,
@@ -194,13 +193,19 @@ impl Simulator {
                 source,
             };
 
+            // One-pass operand extraction: both lists are `Copy` and inline
+            // (no heap allocation), computed once and reused for dependency
+            // collection, bank serialization, and the ready-time updates below.
+            let mems = instr.memory_operands();
+            let regs = instr.register_operands();
+
             // Dependency collection.
             let mut start = self.skip_guard.take().unwrap_or(Beats::ZERO);
-            for m in instr.memory_operands() {
+            for m in mems {
                 start = start.max(self.mem_ready(m));
             }
             if !self.unbounded_registers {
-                for r in instr.register_operands() {
+                for r in regs {
                     start = start.max(self.slot_ready(r));
                 }
             }
@@ -208,13 +213,17 @@ impl Simulator {
                 start = start.max(self.classical_ready(v));
             }
 
-            // Bank (scan-resource) serialization.
-            let mut banks: Vec<usize> = Vec::new();
+            // Bank (scan-resource) serialization. An instruction references at
+            // most `MAX_OPERANDS` banks, so the scratch list lives inline on
+            // the stack instead of in a per-instruction `Vec`.
+            let mut banks = [0usize; lsqca_isa::MAX_OPERANDS];
+            let mut bank_count = 0usize;
             if Self::needs_scan_resource(instr) {
-                for m in instr.memory_operands() {
+                for m in mems {
                     if let Some(b) = self.memory.bank_of(Self::tag(m)) {
-                        if !banks.contains(&b) {
-                            banks.push(b);
+                        if !banks[..bank_count].contains(&b) {
+                            banks[bank_count] = b;
+                            bank_count += 1;
                             start = start.max(self.bank_ready[b]);
                         }
                     }
@@ -320,19 +329,19 @@ impl Simulator {
             if instr.is_in_memory() {
                 stats.in_memory_ops += 1;
             }
-            for m in instr.memory_operands() {
+            for m in mems {
                 if self.config.record_trace {
                     trace.record(m, start.as_u64());
                 }
                 self.set_mem_ready(m, finish);
             }
-            for r in instr.register_operands() {
+            for r in regs {
                 self.set_slot_ready(r, finish);
             }
             if let Some(slot) = cx_slot {
                 self.slot_ready[slot] = finish;
             }
-            for b in banks {
+            for &b in &banks[..bank_count] {
                 self.bank_ready[b] = finish;
             }
             if let Some(v) = instr.classical_output() {

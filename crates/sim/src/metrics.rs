@@ -1,7 +1,6 @@
 //! Execution statistics reported by the simulator.
 
 use lsqca_lattice::Beats;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Result metrics of one simulation run.
@@ -10,7 +9,7 @@ use std::fmt;
 /// [`cpi`](ExecutionStats::cpi) (Fig. 13) and
 /// [`memory_density`](ExecutionStats::memory_density) (Figs. 14–15); the rest
 /// are supporting breakdowns.
-#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct ExecutionStats {
     /// Total execution time in code beats.
     pub total_beats: Beats,

@@ -1,11 +1,10 @@
 //! Memory reference traces (the raw data behind Fig. 8).
 
 use lsqca_isa::MemAddr;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One memory reference: an instruction touched `qubit` at `beat`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// The referenced SAM address (logical qubit).
     pub qubit: MemAddr,
@@ -14,7 +13,7 @@ pub struct TraceEvent {
 }
 
 /// A full memory reference trace of one simulation run.
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct MemoryTrace {
     events: Vec<TraceEvent>,
 }

@@ -10,10 +10,9 @@
 
 use lsqca_circuit::register::RegisterRole;
 use lsqca_circuit::{Circuit, Qubit};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the adder benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdderConfig {
     /// Width of each operand in bits; the circuit uses `2 * operand_bits + 1`
     /// logical qubits.
@@ -67,7 +66,9 @@ pub fn ripple_carry_adder(config: AdderConfig) -> Circuit {
     let mut circuit = Circuit::with_registers(format!("adder_n{}", config.total_qubits()));
     let a = circuit.add_register("a", RegisterRole::Operand, n);
     let b = circuit.add_register("b", RegisterRole::Result, n);
-    let carry = circuit.add_register("carry", RegisterRole::Ancilla, 1).start;
+    let carry = circuit
+        .add_register("carry", RegisterRole::Ancilla, 1)
+        .start;
 
     for q in a.clone().chain(b.clone()) {
         circuit.prep_z(q);

@@ -8,12 +8,26 @@
 
 use lsqca_circuit::register::RegisterRole;
 use lsqca_circuit::Circuit;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+/// Deterministic seed-expanded bit stream (splitmix64), replacing the external
+/// `rand` dependency for secret generation. Note: this produces a *different*
+/// bit-string for a given seed than the previous `StdRng`-based stream, so the
+/// generated BV oracle (and its CNOT count) changed once at this switch; it is
+/// stable from here on. Pass an explicit `secret` to pin an exact oracle.
+fn seeded_bits(seed: u64, count: u32) -> Vec<bool> {
+    let mut state = seed;
+    (0..count)
+        .map(|_| {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            (z ^ (z >> 31)) & 1 == 1
+        })
+        .collect()
+}
 
 /// Parameters of the Bernstein–Vazirani benchmark.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BvConfig {
     /// Number of input (secret) bits; the circuit uses one extra target qubit.
     pub secret_bits: u32,
@@ -58,16 +72,15 @@ pub fn bernstein_vazirani(config: BvConfig) -> Circuit {
             );
             s.clone()
         }
-        None => {
-            let mut rng = StdRng::seed_from_u64(config.seed);
-            (0..config.secret_bits).map(|_| rng.gen_bool(0.5)).collect()
-        }
+        None => seeded_bits(config.seed, config.secret_bits),
     };
 
     let total = config.secret_bits + 1;
     let mut circuit = Circuit::with_registers(format!("bv_n{total}"));
     let inputs = circuit.add_register("input", RegisterRole::Operand, config.secret_bits);
-    let target = circuit.add_register("target", RegisterRole::Ancilla, 1).start;
+    let target = circuit
+        .add_register("target", RegisterRole::Ancilla, 1)
+        .start;
 
     for q in inputs.clone() {
         circuit.prep_z(q);

@@ -9,10 +9,9 @@
 
 use lsqca_circuit::register::RegisterRole;
 use lsqca_circuit::Circuit;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the cat-state benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CatConfig {
     /// Number of qubits in the cat state.
     pub qubits: u32,

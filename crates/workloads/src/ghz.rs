@@ -8,10 +8,9 @@
 
 use lsqca_circuit::register::RegisterRole;
 use lsqca_circuit::Circuit;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the GHZ benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GhzConfig {
     /// Number of qubits in the GHZ state.
     pub qubits: u32,

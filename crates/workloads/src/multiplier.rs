@@ -17,10 +17,9 @@
 
 use lsqca_circuit::register::RegisterRole;
 use lsqca_circuit::{Circuit, Qubit};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the multiplier benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MultiplierConfig {
     /// Width of each operand in bits; the circuit uses `4 * operand_bits` qubits.
     pub operand_bits: u32,
@@ -79,7 +78,9 @@ pub fn shift_add_multiplier(config: MultiplierConfig) -> Circuit {
     let a = circuit.add_register("a", RegisterRole::Operand, n);
     let b = circuit.add_register("b", RegisterRole::Operand, n);
     let p = circuit.add_register("p", RegisterRole::Result, 2 * n - 1);
-    let carry = circuit.add_register("carry", RegisterRole::Ancilla, 1).start;
+    let carry = circuit
+        .add_register("carry", RegisterRole::Ancilla, 1)
+        .start;
 
     for q in 0..circuit.num_qubits() {
         circuit.prep_z(q);

@@ -8,11 +8,10 @@ use crate::multiplier::{shift_add_multiplier, MultiplierConfig};
 use crate::select::{select_heisenberg, SelectConfig};
 use crate::square_root::{square_root_search, SquareRootConfig};
 use lsqca_circuit::Circuit;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The seven benchmarks evaluated in Sec. VI-B of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Benchmark {
     /// 433-qubit ripple-carry adder.
     Adder,

@@ -30,10 +30,9 @@
 use lsqca_circuit::register::RegisterRole;
 use lsqca_circuit::{Circuit, Qubit};
 use lsqca_lattice::Pauli;
-use serde::{Deserialize, Serialize};
 
 /// A nearest-neighbour 2-D Heisenberg model on an `L×L` square lattice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HeisenbergModel {
     /// Side length `L` of the square spin lattice.
     pub width: u32,
@@ -92,7 +91,7 @@ impl HeisenbergModel {
 }
 
 /// Parameters of the SELECT benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SelectConfig {
     /// The target Heisenberg model.
     pub model: HeisenbergModel,
@@ -336,7 +335,14 @@ mod tests {
     #[test]
     fn register_widths_match_the_paper_instances() {
         // (lattice width, expected total qubits) from Sec. VI-B and Fig. 15.
-        let expected = [(11u32, 143u32), (21, 467), (41, 1711), (61, 3753), (81, 6595), (101, 10235)];
+        let expected = [
+            (11u32, 143u32),
+            (21, 467),
+            (41, 1711),
+            (61, 3753),
+            (81, 6595),
+            (101, 10235),
+        ];
         for (width, qubits) in expected {
             let cfg = SelectConfig::for_width(width);
             assert_eq!(
@@ -416,9 +422,9 @@ mod tests {
             let writes = c
                 .gates()
                 .iter()
-                .filter(|g| {
-                    matches!(g, lsqca_circuit::Gate::Toffoli { target, .. } if *target == q)
-                })
+                .filter(
+                    |g| matches!(g, lsqca_circuit::Gate::Toffoli { target, .. } if *target == q),
+                )
                 .count();
             assert_eq!(writes % 2, 0, "temporal qubit {q} left dirty");
         }

@@ -17,10 +17,9 @@
 
 use lsqca_circuit::register::RegisterRole;
 use lsqca_circuit::{Circuit, Qubit};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the square-root benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SquareRootConfig {
     /// Width of the candidate register in bits. The total qubit count is
     /// `6 * candidate_bits` (candidate, square, squaring scratch, comparator
@@ -110,10 +109,12 @@ fn squaring_network(circuit: &mut Circuit, layout: &Layout, m: u32, inverse: boo
 
 /// Compares the square register against the classical target with a
 /// borrow-ripple comparator and flips the flag qubit when they match.
+type GateThunk<'a> = Box<dyn Fn(&mut Circuit) + 'a>;
+
 fn comparator(circuit: &mut Circuit, layout: &Layout, m: u32, target: u64, inverse: bool) {
     let sq = |k: u32| layout.square.start + k;
     let borrow = |j: u32| layout.borrow.start + j;
-    let mut gates: Vec<Box<dyn Fn(&mut Circuit)>> = Vec::new();
+    let mut gates: Vec<GateThunk<'_>> = Vec::new();
     for j in 0..m {
         let bit = (target >> j) & 1 == 1;
         let s = sq(j);
@@ -177,8 +178,14 @@ fn diffusion(circuit: &mut Circuit, layout: &Layout) {
 /// three bits) or `grover_rounds` is zero.
 pub fn square_root_search(config: SquareRootConfig) -> Circuit {
     let m = config.candidate_bits;
-    assert!(m >= 3, "square_root needs at least a 3-bit candidate register");
-    assert!(config.grover_rounds > 0, "square_root needs at least one round");
+    assert!(
+        m >= 3,
+        "square_root needs at least a 3-bit candidate register"
+    );
+    assert!(
+        config.grover_rounds > 0,
+        "square_root needs at least one round"
+    );
 
     let mut circuit = Circuit::with_registers(format!("square_root_n{}", config.total_qubits()));
     let layout = build_layout(&mut circuit, m);

@@ -38,12 +38,14 @@ fn main() {
         FloorplanKind::LineSam { banks: 4 },
     ] {
         println!("\n{}", floorplan.label());
-        println!("{:>6} {:>9} {:>10} {:>12}", "f", "density", "overhead", "hot qubits");
+        println!(
+            "{:>6} {:>9} {:>10} {:>12}",
+            "f", "density", "overhead", "hot qubits"
+        );
         let mut f: f64 = 0.0;
         while f <= 1.0 + 1e-9 {
-            let result = workload.run(
-                &ExperimentConfig::new(floorplan, factories).with_hybrid_fraction(f.min(1.0)),
-            );
+            let result = workload
+                .run(&ExperimentConfig::new(floorplan, factories).with_hybrid_fraction(f.min(1.0)));
             println!(
                 "{:>6.2} {:>8.1}% {:>9.2}x {:>12}",
                 f,

@@ -52,7 +52,7 @@ fn main() {
 
     println!("\nhottest qubits (by reference count):");
     let mut counts: Vec<_> = result.trace.access_counts().into_iter().collect();
-    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    counts.sort_by_key(|c| std::cmp::Reverse(c.1));
     for (addr, count) in counts.iter().take(10) {
         let role = workload
             .circuit()

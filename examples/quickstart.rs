@@ -36,7 +36,10 @@ fn main() {
     let lsqca_cfg = ExperimentConfig::new(FloorplanKind::PointSam { banks: 1 }, 1);
     let (lsqca, baseline) = workload.run_with_baseline(&lsqca_cfg);
 
-    println!("\n{:<28} {:>10} {:>8} {:>9}", "floorplan", "beats", "CPI", "density");
+    println!(
+        "\n{:<28} {:>10} {:>8} {:>9}",
+        "floorplan", "beats", "CPI", "density"
+    );
     for result in [&baseline, &lsqca] {
         println!(
             "{:<28} {:>10} {:>8.2} {:>8.1}%",

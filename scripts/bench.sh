@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Benchmark runner: criterion micro benches plus the hot-path JSON baseline.
+#
+# Usage:
+#   scripts/bench.sh [criterion-args...]
+#
+# Examples:
+#   scripts/bench.sh                       # all benches + BENCH_hotpath.json
+#   scripts/bench.sh micro_hotpath         # only benchmarks matching the filter
+#   CRITERION_JSON=out.ndjson scripts/bench.sh   # also dump raw ndjson records
+#
+# Outputs:
+#   BENCH_hotpath.json   stable-schema (lsqca-bench-hotpath-v1) baseline with
+#                        legacy-vs-optimized speedups and absolute simulator
+#                        throughput, written at the repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== building (release) =="
+cargo build --release --workspace
+
+echo "== criterion micro benches =="
+# Forward any arguments (e.g. a name filter) to the bench harness.
+cargo bench -p lsqca-bench "$@"
+
+echo "== hot-path baseline =="
+./target/release/experiments hotpath --json > BENCH_hotpath.json
+echo "wrote BENCH_hotpath.json:"
+./target/release/experiments hotpath

@@ -7,3 +7,4 @@
 #![forbid(unsafe_code)]
 
 pub use lsqca;
+pub use lsqca_bench;

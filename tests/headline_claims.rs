@@ -107,8 +107,7 @@ fn lsqca_breaks_the_half_density_ceiling_for_every_paper_register_file() {
 fn magic_state_demand_outpaces_a_single_factory() {
     let workload = Workload::from_circuit(Benchmark::Multiplier.reduced_instance());
     let ideal = workload.run(&ExperimentConfig::baseline(1).with_infinite_magic());
-    let demand_interval =
-        ideal.total_beats.as_f64() / ideal.stats.magic_states.max(1) as f64;
+    let demand_interval = ideal.total_beats.as_f64() / ideal.stats.magic_states.max(1) as f64;
     assert!(
         demand_interval < 15.0,
         "multiplier demands a magic state every {demand_interval:.1} beats, \

@@ -16,11 +16,14 @@ fn select_control_and_temporal_registers_are_the_hot_set() {
     let workload = Workload::from_circuit(circuit);
     let hot = hot_set_by_access_count(
         &workload.compiled().program,
-        (registers.by_name("control").unwrap().len() + registers.by_name("temporal").unwrap().len())
+        (registers.by_name("control").unwrap().len()
+            + registers.by_name("temporal").unwrap().len())
             / 2,
     );
     for qubit in hot {
-        let role = registers.role_of(qubit.0).expect("hot qubit has a register");
+        let role = registers
+            .role_of(qubit.0)
+            .expect("hot qubit has a register");
         assert!(
             matches!(role, RegisterRole::Control | RegisterRole::Temporal),
             "hot qubit {qubit:?} unexpectedly belongs to the {role} register"
@@ -77,13 +80,20 @@ fn compiled_workloads_round_trip_through_assembly_text() {
         let program = &workload.compiled().program;
         let text = format_program(program);
         let parsed = parse_program(program.name(), &text).expect("assembly parses");
-        assert_eq!(&parsed, program, "{benchmark}: assembly round trip changed the program");
+        assert_eq!(
+            &parsed, program,
+            "{benchmark}: assembly round trip changed the program"
+        );
     }
 }
 
 #[test]
 fn compiled_t_gate_counts_match_the_magic_state_demand() {
-    for benchmark in [Benchmark::SquareRoot, Benchmark::Multiplier, Benchmark::Adder] {
+    for benchmark in [
+        Benchmark::SquareRoot,
+        Benchmark::Multiplier,
+        Benchmark::Adder,
+    ] {
         let workload = Workload::from_circuit(benchmark.reduced_instance());
         let compiled = workload.compiled();
         assert_eq!(

@@ -42,7 +42,12 @@ fn paper_instances_compile_and_validate() {
     // The cheap benchmarks are compiled at paper scale here; the expensive ones
     // (multiplier, SELECT, adder) are covered by the reduced-instance pipeline
     // test and by the experiments binary.
-    for benchmark in [Benchmark::Ghz, Benchmark::Cat, Benchmark::Bv, Benchmark::SquareRoot] {
+    for benchmark in [
+        Benchmark::Ghz,
+        Benchmark::Cat,
+        Benchmark::Bv,
+        Benchmark::SquareRoot,
+    ] {
         let circuit = benchmark.paper_instance();
         let compiled = compile(&circuit, CompilerConfig::default());
         assert!(
@@ -68,14 +73,13 @@ fn clifford_benchmarks_consume_no_magic_states() {
 
 #[test]
 fn arithmetic_benchmarks_are_magic_state_hungry() {
-    for benchmark in [Benchmark::SquareRoot] {
-        let circuit = benchmark.paper_instance();
-        let compiled = compile(&circuit, CompilerConfig::default());
-        let stats = compiled.program.stats();
-        assert!(
-            stats.magic_state_count > 100,
-            "{benchmark} should consume many magic states, got {}",
-            stats.magic_state_count
-        );
-    }
+    let benchmark = Benchmark::SquareRoot;
+    let circuit = benchmark.paper_instance();
+    let compiled = compile(&circuit, CompilerConfig::default());
+    let stats = compiled.program.stats();
+    assert!(
+        stats.magic_state_count > 100,
+        "{benchmark} should consume many magic states, got {}",
+        stats.magic_state_count
+    );
 }

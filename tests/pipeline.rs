@@ -77,7 +77,11 @@ fn clifford_only_benchmarks_pay_the_largest_lsqca_penalty() {
 
 #[test]
 fn more_factories_never_slow_execution_down() {
-    for benchmark in [Benchmark::Multiplier, Benchmark::Select, Benchmark::SquareRoot] {
+    for benchmark in [
+        Benchmark::Multiplier,
+        Benchmark::Select,
+        Benchmark::SquareRoot,
+    ] {
         let workload = Workload::from_circuit(benchmark.reduced_instance());
         for floorplan in [
             FloorplanKind::LineSam { banks: 1 },
@@ -97,8 +101,14 @@ fn more_factories_never_slow_execution_down() {
 fn multi_bank_sam_is_not_slower_than_single_bank() {
     for benchmark in [Benchmark::Multiplier, Benchmark::Adder] {
         let workload = Workload::from_circuit(benchmark.reduced_instance());
-        let single = workload.run(&ExperimentConfig::new(FloorplanKind::LineSam { banks: 1 }, 4));
-        let quad = workload.run(&ExperimentConfig::new(FloorplanKind::LineSam { banks: 4 }, 4));
+        let single = workload.run(&ExperimentConfig::new(
+            FloorplanKind::LineSam { banks: 1 },
+            4,
+        ));
+        let quad = workload.run(&ExperimentConfig::new(
+            FloorplanKind::LineSam { banks: 4 },
+            4,
+        ));
         assert!(
             quad.total_beats <= single.total_beats,
             "{benchmark}: 4-bank line SAM slower than 1 bank"
@@ -113,8 +123,14 @@ fn line_sam_is_not_slower_than_point_sam() {
     // should never be slower on memory-bound workloads.
     for benchmark in [Benchmark::Ghz, Benchmark::Cat, Benchmark::Adder] {
         let workload = Workload::from_circuit(benchmark.reduced_instance());
-        let point = workload.run(&ExperimentConfig::new(FloorplanKind::PointSam { banks: 1 }, 1));
-        let line = workload.run(&ExperimentConfig::new(FloorplanKind::LineSam { banks: 1 }, 1));
+        let point = workload.run(&ExperimentConfig::new(
+            FloorplanKind::PointSam { banks: 1 },
+            1,
+        ));
+        let line = workload.run(&ExperimentConfig::new(
+            FloorplanKind::LineSam { banks: 1 },
+            1,
+        ));
         assert!(
             line.total_beats <= point.total_beats,
             "{benchmark}: line SAM ({}) slower than point SAM ({})",
