@@ -43,6 +43,6 @@ pub mod point;
 
 pub use config::{ArchConfig, FloorplanKind};
 pub use line::LineSamBank;
-pub use memory::{MemorySystem, Residence};
+pub use memory::{BankPort, MemorySystem, Residence};
 pub use msf::{MagicStateSupply, MsfConfig};
 pub use point::PointSamBank;

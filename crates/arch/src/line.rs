@@ -107,6 +107,13 @@ impl LineSamBank {
         self.cell_count
     }
 
+    /// The row the scan line starts adjacent to (the middle of the bank). The
+    /// line-SAM CR spans the full bank height, so every storage row faces a
+    /// port cell; this is the anchor row analogous to the point-SAM port.
+    pub fn port_row(&self) -> u32 {
+        self.storage_rows / 2
+    }
+
     /// Bank height including the scan line; the CR column must span this height.
     pub fn total_height(&self) -> u32 {
         self.storage_rows
@@ -265,6 +272,9 @@ mod tests {
         assert_eq!(bank.cell_count(), 420);
         assert_eq!(bank.total_height(), 21);
         assert_eq!(bank.stored_qubits(), 400);
+        // The scan line starts at the anchor (port) row in the middle.
+        assert_eq!(bank.port_row(), 10);
+        assert_eq!(bank.scan_row, bank.port_row());
     }
 
     #[test]

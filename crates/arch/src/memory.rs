@@ -26,6 +26,19 @@ pub enum Residence {
     SamBank(usize),
 }
 
+/// The CR-facing port of one SAM bank, in bank-local coordinates.
+///
+/// Point-SAM banks register this as the anchor of their grid's vacancy index
+/// at construction; line-SAM banks expose the anchor row their scan line
+/// starts at (the CR column spans the full bank height).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BankPort {
+    /// A point-SAM port: the single cell adjacent to the CR.
+    Cell(lsqca_lattice::Coord),
+    /// A line-SAM port: the anchor row facing the full-height CR column.
+    Row(u32),
+}
+
 /// One SAM bank of either flavour.
 #[derive(Debug, Clone, PartialEq)]
 enum Bank {
@@ -202,6 +215,15 @@ impl MemorySystem {
             Some(Residence::SamBank(i)) => Some(i),
             _ => None,
         }
+    }
+
+    /// The CR-facing port of bank `bank`, registered as the bank's vacancy
+    /// anchor at construction. `None` for out-of-range bank indices.
+    pub fn bank_port(&self, bank: usize) -> Option<BankPort> {
+        self.banks.get(bank).map(|b| match b {
+            Bank::Point(p) => BankPort::Cell(p.port()),
+            Bank::Line(l) => BankPort::Row(l.port_row()),
+        })
     }
 
     /// True if the qubit is currently held by the memory system (conventional
@@ -466,6 +488,22 @@ mod tests {
         assert!(mem.peek_load(QubitTag(99)).is_err());
         assert_eq!(mem.residence(QubitTag(10)), None);
         assert!(!mem.is_resident(QubitTag(10)));
+    }
+
+    #[test]
+    fn bank_ports_are_exposed_per_flavour() {
+        let mem = MemorySystem::new(&point(2), 60, &[]);
+        for bank in 0..mem.bank_count() {
+            assert!(matches!(mem.bank_port(bank), Some(BankPort::Cell(_))));
+        }
+        let mem = MemorySystem::new(&line(2), 60, &[]);
+        for bank in 0..mem.bank_count() {
+            assert!(matches!(mem.bank_port(bank), Some(BankPort::Row(_))));
+        }
+        assert_eq!(mem.bank_port(99), None);
+        // The conventional baseline has no banks, hence no ports.
+        let mem = MemorySystem::new(&ArchConfig::conventional(1), 10, &[]);
+        assert_eq!(mem.bank_port(0), None);
     }
 
     #[test]

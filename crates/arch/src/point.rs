@@ -71,6 +71,11 @@ impl PointSamBank {
                 .expect("cells are distinct and in bounds");
             home[q.0 as usize] = Some(cell);
         }
+        // Register the port as the grid's vacancy anchor so the per-store
+        // `nearest_vacant(port)` query is an O(1) index read instead of an
+        // O(cells) scan (the dominant cost of point-SAM simulation).
+        grid.register_anchor(port)
+            .expect("the port lies inside the bank grid");
 
         PointSamBank {
             grid,
@@ -87,6 +92,12 @@ impl PointSamBank {
     /// Exact number of cells charged to this bank (data qubits + one scan cell).
     pub fn cell_count(&self) -> u64 {
         self.cell_count
+    }
+
+    /// The bank-local cell adjacent to the CR through which qubits enter and
+    /// leave; also the anchor of the grid's vacancy index.
+    pub fn port(&self) -> Coord {
+        self.port
     }
 
     /// Number of qubits currently stored in the bank.
@@ -252,6 +263,14 @@ mod tests {
         assert_eq!(bank.stored_qubits(), 400);
         assert!(bank.contains(QubitTag(123)));
         assert!(!bank.contains(QubitTag(400)));
+    }
+
+    #[test]
+    fn port_is_registered_as_the_vacancy_anchor() {
+        let bank = PointSamBank::new(&qubits(100), true);
+        assert_eq!(bank.grid.anchor(), Some(bank.port()));
+        // The initial vacancy is the scan cell at the port itself.
+        assert_eq!(bank.grid.nearest_vacant(bank.port()), Some(bank.port()));
     }
 
     #[test]

@@ -12,10 +12,13 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lsqca::experiment::{ExperimentConfig, Workload};
+use lsqca::isa::LatencyTable;
+use lsqca::lattice::{CellGrid, Coord, PathScratch};
 use lsqca::prelude::*;
 use lsqca::workloads::{shift_add_multiplier, MultiplierConfig};
 use lsqca_bench::hotpath::{
-    legacy, operand_walk, operand_walk_legacy, residence_sweep, residence_sweep_legacy,
+    bank_grid, command_count_classes, legacy, operand_walk, operand_walk_legacy, residence_sweep,
+    residence_sweep_legacy,
 };
 
 fn multiplier_workload() -> Workload {
@@ -72,6 +75,37 @@ fn bench_hotpath(c: &mut Criterion) {
     });
     group.bench_function("residence_lookup_legacy_hashmap", |b| {
         b.iter(|| black_box(residence_sweep_legacy(&map, &tags)))
+    });
+
+    // Nearest-vacant query: anchor-registered VacancyIndex vs linear scan.
+    let (grid, port) = bank_grid(workload.num_qubits().max(64));
+    group.bench_function("nearest_vacant_indexed", |b| {
+        b.iter(|| black_box(black_box(&grid).nearest_vacant(port)))
+    });
+    group.bench_function("nearest_vacant_legacy_scan", |b| {
+        b.iter(|| black_box(legacy::nearest_vacant(black_box(&grid), port)))
+    });
+
+    // Vacant-path BFS: dense PathScratch vs the legacy HashMap frontier.
+    let route = CellGrid::new(grid.width(), grid.height());
+    let from = Coord::new(0, route.height() / 2);
+    let to = Coord::new(route.width() - 1, route.height() - 1);
+    let mut scratch = PathScratch::new();
+    group.bench_function("vacant_path_dense", |b| {
+        b.iter(|| black_box(route.vacant_path_len_in(from, to, &mut scratch).unwrap()))
+    });
+    group.bench_function("vacant_path_legacy_hashmap", |b| {
+        b.iter(|| black_box(legacy::vacant_path_len(&route, from, to).unwrap()))
+    });
+
+    // CPI command count: precompiled class vector vs per-instruction match.
+    let table = LatencyTable::paper();
+    let classes = table.classify_program(&program);
+    group.bench_function("latency_class_precompiled", |b| {
+        b.iter(|| black_box(command_count_classes(black_box(&classes))))
+    });
+    group.bench_function("latency_class_legacy_match", |b| {
+        b.iter(|| black_box(legacy::command_count(&table, black_box(&program))))
     });
     group.finish();
 }

@@ -1,15 +1,20 @@
 //! Hot-path micro measurements and the `BENCH_hotpath.json` baseline.
 //!
 //! The simulator's per-instruction loop used to heap-allocate a `Vec` for
-//! every operand-list query and hash every memory-residence lookup. This
-//! module keeps faithful *reference implementations* of those legacy code
-//! paths ([`legacy`]) and measures them against the allocation-free /
-//! dense-index replacements, so the speedup is tracked in-repo instead of
-//! relying on a historical build. `experiments hotpath --json` writes the
-//! resulting [`HotpathReport`] as the `BENCH_hotpath.json` baseline.
+//! every operand-list query, hash every memory-residence lookup, scan every
+//! grid cell to find the vacancy nearest the bank port, run its vacant-path
+//! BFS through a `HashMap` frontier, and re-match on the instruction variant
+//! for the CPI command count. This module keeps faithful *reference
+//! implementations* of those legacy code paths ([`legacy`]) and measures them
+//! against the allocation-free / dense-index / vacancy-indexed replacements,
+//! so the speedup is tracked in-repo instead of relying on a historical
+//! build. `experiments hotpath --json` writes the resulting [`HotpathReport`]
+//! as the `BENCH_hotpath.json` baseline.
 
 use crate::{instance, Scale};
 use lsqca::experiment::{ExperimentConfig, Workload};
+use lsqca::isa::{LatencyClass, LatencyTable};
+use lsqca::lattice::{CellGrid, Coord, PathScratch};
 use lsqca::prelude::*;
 use lsqca::workloads::Benchmark;
 use lsqca_json::{Json, ToJson};
@@ -20,10 +25,10 @@ use std::time::{Duration, Instant};
 /// (modulo the return-type rename) so micro benches can compare against them.
 pub mod legacy {
     use lsqca::arch::Residence;
-    use lsqca::isa::{Instruction, MemAddr, OperandLocation, RegId};
-    use lsqca::lattice::QubitTag;
+    use lsqca::isa::{Instruction, LatencyTable, MemAddr, OperandLocation, Program, RegId};
+    use lsqca::lattice::{CellGrid, Coord, LatticeError, QubitTag};
     use lsqca::prelude::MemorySystem;
-    use std::collections::HashMap;
+    use std::collections::{HashMap, VecDeque};
 
     /// The seed's `Instruction::qubit_operands`: one `Vec` allocation per call.
     pub fn qubit_operands(instr: &Instruction) -> Vec<OperandLocation> {
@@ -76,6 +81,55 @@ pub mod legacy {
             .map(QubitTag)
             .filter_map(|q| memory.residence(q).map(|r| (q, r)))
             .collect()
+    }
+
+    /// The pre-index `CellGrid::nearest_vacant`: an O(cells) linear scan over
+    /// every vacant cell, run on every point-SAM store.
+    pub fn nearest_vacant(grid: &CellGrid, target: Coord) -> Option<Coord> {
+        grid.vacant_cells()
+            .min_by_key(|&c| (c.manhattan_distance(target), c.y, c.x))
+    }
+
+    /// The pre-scratch `CellGrid::vacant_path_len`: BFS with a
+    /// `HashMap<Coord, u32>` frontier — the last hash map that lived on a
+    /// lattice query path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as `CellGrid::vacant_path_len`.
+    pub fn vacant_path_len(grid: &CellGrid, from: Coord, to: Coord) -> Result<u32, LatticeError> {
+        if from == to {
+            return Ok(0);
+        }
+        let mut dist: HashMap<Coord, u32> = HashMap::new();
+        let mut queue = VecDeque::new();
+        dist.insert(from, 0);
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            let d = dist[&cur];
+            for next in cur.neighbors() {
+                if !grid.in_bounds(next) || dist.contains_key(&next) {
+                    continue;
+                }
+                if next == to {
+                    return Ok(d + 1);
+                }
+                if grid.is_vacant(next) {
+                    dist.insert(next, d + 1);
+                    queue.push_back(next);
+                }
+            }
+        }
+        Err(LatticeError::NoVacantPath { from, to })
+    }
+
+    /// The pre-classification CPI command count: one `is_negligible` latency
+    /// match per instruction, as the engine used to do every run.
+    pub fn command_count(table: &LatencyTable, program: &Program) -> usize {
+        program
+            .iter()
+            .filter(|instr| !table.is_negligible(instr))
+            .count()
     }
 }
 
@@ -173,6 +227,41 @@ pub fn residence_sweep_legacy(
     tags: &[QubitTag],
 ) -> usize {
     tags.iter().filter(|&&q| map.contains_key(&q)).count()
+}
+
+/// One CPI command-count pass over a precompiled latency-class vector: the
+/// word-parallel count the dense `repr(u8)` vector enables, eight classes per
+/// machine word, versus the legacy one-match-per-instruction walk.
+pub fn command_count_classes(classes: &[LatencyClass]) -> usize {
+    lsqca::isa::latency::command_count(classes)
+}
+
+/// A point-SAM-shaped occupancy grid at `num_qubits` scale: near-square with
+/// the port on the west edge, filled row-major except the scan vacancy at the
+/// port and two vacancies that stores have peeled open, with the port
+/// registered as the vacancy anchor — the state `nearest_vacant(port)` is
+/// queried against on every simulated store.
+pub fn bank_grid(num_qubits: u32) -> (CellGrid, Coord) {
+    let n = num_qubits as u64;
+    let width = ((n + 1) as f64).sqrt().ceil() as u32;
+    let height = ((n + 1) as f64 / width as f64).ceil() as u32;
+    let mut grid = CellGrid::new(width, height);
+    let port = Coord::new(0, height / 2);
+    let mid = Coord::new(width / 2, height / 2);
+    let far = Coord::new(width - 1, height - 1);
+    let mut tag = 0u32;
+    for y in 0..height {
+        for x in 0..width {
+            let c = Coord::new(x, y);
+            if c == port || c == mid || c == far {
+                continue;
+            }
+            grid.place(QubitTag(tag), c).expect("cells are distinct");
+            tag += 1;
+        }
+    }
+    grid.register_anchor(port).expect("the port is in bounds");
+    (grid, port)
 }
 
 /// One legacy-vs-optimized comparison.
@@ -303,6 +392,60 @@ pub fn generate_with(scale: Scale, budget: MeasureBudget) -> HotpathReport {
         optimized_ns,
     });
 
+    // Nearest-vacant query: the anchor-registered `VacancyIndex` vs the
+    // legacy O(cells) linear scan, per query on a bank-shaped grid.
+    let (grid, port) = bank_grid(workload.num_qubits().max(64));
+    let legacy_ns = measure_ns(budget, || {
+        black_box(legacy::nearest_vacant(black_box(&grid), port));
+    });
+    let optimized_ns = measure_ns(budget, || {
+        black_box(black_box(&grid).nearest_vacant(port));
+    });
+    comparisons.push(Comparison {
+        name: "nearest_vacant".to_string(),
+        legacy_ns,
+        optimized_ns,
+    });
+
+    // Vacant-path BFS: the reusable dense `PathScratch` distance grid vs the
+    // legacy `HashMap` frontier, per corner-to-corner query on an open region
+    // of the same dimensions (the worst case: the frontier visits every cell).
+    let route = CellGrid::new(grid.width(), grid.height());
+    let from = Coord::new(0, route.height() / 2);
+    let to = Coord::new(route.width() - 1, route.height() - 1);
+    let legacy_ns = measure_ns(budget, || {
+        black_box(legacy::vacant_path_len(black_box(&route), from, to).expect("open region"));
+    });
+    let mut scratch = PathScratch::new();
+    let optimized_ns = measure_ns(budget, || {
+        black_box(
+            black_box(&route)
+                .vacant_path_len_in(from, to, &mut scratch)
+                .expect("open region"),
+        );
+    });
+    comparisons.push(Comparison {
+        name: "vacant_path".to_string(),
+        legacy_ns,
+        optimized_ns,
+    });
+
+    // Latency classification: the precompiled per-program class vector vs the
+    // legacy per-instruction `is_negligible` match, per instruction.
+    let table = LatencyTable::paper();
+    let classes = table.classify_program(program);
+    let legacy_ns = measure_ns(budget, || {
+        black_box(legacy::command_count(&table, black_box(program)));
+    }) / instructions as f64;
+    let optimized_ns = measure_ns(budget, || {
+        black_box(command_count_classes(black_box(&classes)));
+    }) / instructions as f64;
+    comparisons.push(Comparison {
+        name: "latency_class".to_string(),
+        legacy_ns,
+        optimized_ns,
+    });
+
     // End-to-end simulator throughput per floorplan (absolute numbers; the
     // trajectory across PRs is what matters here).
     let end_to_end = [
@@ -399,13 +542,76 @@ mod tests {
         // Shape-only with a near-zero time budget: timing assertions live in
         // the benches, not unit tests.
         let report = generate_with(Scale::Quick, MeasureBudget::smoke());
-        assert_eq!(report.comparisons.len(), 2);
+        assert_eq!(report.comparisons.len(), 5);
         assert_eq!(report.end_to_end.len(), 3);
         let json = report.to_json().pretty();
         assert!(json.contains("lsqca-bench-hotpath-v1"));
-        assert!(json.contains("operand_extraction"));
+        for name in [
+            "operand_extraction",
+            "residence_lookup",
+            "nearest_vacant",
+            "vacant_path",
+            "latency_class",
+        ] {
+            assert!(json.contains(name), "missing comparison `{name}`");
+        }
         for c in &report.comparisons {
             assert!(c.legacy_ns > 0.0 && c.optimized_ns > 0.0);
         }
+    }
+
+    #[test]
+    fn legacy_nearest_vacant_matches_the_indexed_query() {
+        let (mut grid, port) = bank_grid(150);
+        assert_eq!(
+            grid.nearest_vacant(port),
+            legacy::nearest_vacant(&grid, port)
+        );
+        // Stays in agreement as the occupancy pattern shifts.
+        let dest = grid.nearest_vacant(port).unwrap();
+        grid.place(QubitTag(9999), dest).unwrap();
+        assert_eq!(
+            grid.nearest_vacant(port),
+            legacy::nearest_vacant(&grid, port)
+        );
+        grid.remove(QubitTag(0)).unwrap();
+        assert_eq!(
+            grid.nearest_vacant(port),
+            legacy::nearest_vacant(&grid, port)
+        );
+    }
+
+    #[test]
+    fn legacy_bfs_matches_the_dense_scratch() {
+        let (grid, port) = bank_grid(80);
+        let mut scratch = PathScratch::new();
+        let far = Coord::new(grid.width() - 1, grid.height() - 1);
+        assert_eq!(
+            grid.vacant_path_len_in(port, far, &mut scratch).ok(),
+            legacy::vacant_path_len(&grid, port, far).ok()
+        );
+        let open = CellGrid::new(7, 5);
+        for (from, to) in [
+            (Coord::new(0, 0), Coord::new(6, 4)),
+            (Coord::new(3, 2), Coord::new(3, 2)),
+        ] {
+            assert_eq!(
+                open.vacant_path_len_in(from, to, &mut scratch).unwrap(),
+                legacy::vacant_path_len(&open, from, to).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_command_count_matches_the_class_vector() {
+        let workload = workload(Scale::Quick);
+        let program = &workload.compiled().program;
+        let table = LatencyTable::paper();
+        let classes = table.classify_program(program);
+        assert_eq!(classes.len(), program.len());
+        assert_eq!(
+            command_count_classes(&classes),
+            legacy::command_count(&table, program)
+        );
     }
 }

@@ -7,6 +7,7 @@
 //! entries against a concrete SAM model.
 
 use crate::instruction::Instruction;
+use crate::program::Program;
 use std::fmt;
 
 /// Code-beat latency of one instruction as specified by the ISA.
@@ -89,6 +90,91 @@ impl LatencyTable {
     pub fn is_negligible(&self, instruction: &Instruction) -> bool {
         self.latency(instruction) == InstructionLatency::Fixed(0)
     }
+
+    /// The compact [`LatencyClass`] of `instruction`.
+    pub fn classify(&self, instruction: &Instruction) -> LatencyClass {
+        match self.latency(instruction) {
+            InstructionLatency::Fixed(0) => LatencyClass::Negligible,
+            InstructionLatency::Fixed(_) => LatencyClass::Command,
+            InstructionLatency::Variable => LatencyClass::Variable,
+        }
+    }
+
+    /// Precompiles the latency class of every instruction of `program` into a
+    /// vector parallel to the instruction stream, so per-instruction consumers
+    /// (the simulator's CPI bookkeeping, program statistics) replace the
+    /// per-instruction latency match with a single array read.
+    pub fn classify_program(&self, program: &Program) -> Vec<LatencyClass> {
+        program.iter().map(|instr| self.classify(instr)).collect()
+    }
+}
+
+/// Compact per-instruction latency classification, precompiled per program by
+/// [`LatencyTable::classify_program`] so hot loops read a dense byte vector
+/// instead of re-matching on the instruction variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum LatencyClass {
+    /// Fixed zero-beat latency; excluded from CPI command counts.
+    Negligible,
+    /// Fixed non-zero latency (a counted command).
+    Command,
+    /// Latency resolved at runtime by the memory controller (also counted).
+    Variable,
+}
+
+impl LatencyClass {
+    /// True for the zero-beat fixed class the paper excludes from CPI.
+    #[inline]
+    pub fn is_negligible(self) -> bool {
+        matches!(self, LatencyClass::Negligible)
+    }
+}
+
+/// Number of non-negligible (CPI-counted) commands in a precompiled class
+/// vector.
+///
+/// This is what the dense `repr(u8)` vector buys beyond replacing the
+/// per-instruction latency match with an array read: eight classes are
+/// processed per machine word (the eight single-byte reads fuse into one word
+/// load), which no walk over the instruction stream itself can do.
+pub fn command_count(classes: &[LatencyClass]) -> usize {
+    const ONES: u64 = 0x0101_0101_0101_0101;
+    let mut chunks = classes.chunks_exact(8);
+    let mut total = 0u64;
+    for ch in chunks.by_ref() {
+        let word = u64::from_ne_bytes([
+            ch[0] as u8,
+            ch[1] as u8,
+            ch[2] as u8,
+            ch[3] as u8,
+            ch[4] as u8,
+            ch[5] as u8,
+            ch[6] as u8,
+            ch[7] as u8,
+        ]);
+        // Class bytes are 0 (negligible), 1, or 2: fold the two value bits
+        // into one non-negligible flag bit per byte, then the multiply sums
+        // the eight flags into the top byte.
+        total += ((word | (word >> 1)) & ONES).wrapping_mul(ONES) >> 56;
+    }
+    total as usize
+        + chunks
+            .remainder()
+            .iter()
+            .filter(|c| !c.is_negligible())
+            .count()
+}
+
+impl fmt::Display for LatencyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LatencyClass::Negligible => "negligible",
+            LatencyClass::Command => "command",
+            LatencyClass::Variable => "variable",
+        };
+        f.write_str(s)
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +240,57 @@ mod tests {
             mem: MemAddr(0),
             reg: RegId(0)
         }));
+    }
+
+    #[test]
+    fn classes_agree_with_the_latency_table() {
+        let t = LatencyTable::paper();
+        for instr in example_instructions() {
+            let class = t.classify(&instr);
+            assert_eq!(class.is_negligible(), t.is_negligible(&instr), "{instr}");
+            assert_eq!(
+                class == LatencyClass::Variable,
+                t.latency(&instr).is_variable(),
+                "{instr}"
+            );
+        }
+    }
+
+    #[test]
+    fn word_parallel_command_count_matches_the_naive_count() {
+        use LatencyClass::*;
+        // Lengths around the 8-class word boundary, including the empty vector.
+        for len in [0usize, 1, 7, 8, 9, 16, 23, 1000] {
+            let classes: Vec<LatencyClass> = (0..len)
+                .map(|i| match i % 3 {
+                    0 => Negligible,
+                    1 => Command,
+                    _ => Variable,
+                })
+                .collect();
+            let naive = classes.iter().filter(|c| !c.is_negligible()).count();
+            assert_eq!(command_count(&classes), naive, "len {len}");
+        }
+        assert_eq!(command_count(&[Negligible; 20]), 0);
+        assert_eq!(command_count(&[Variable; 20]), 20);
+    }
+
+    #[test]
+    fn classify_program_is_parallel_to_the_stream() {
+        use crate::program::Program;
+        let t = LatencyTable::paper();
+        let mut program = Program::new("classes");
+        for instr in example_instructions() {
+            program.push(instr);
+        }
+        let classes = t.classify_program(&program);
+        assert_eq!(classes.len(), program.len());
+        for (instr, class) in program.iter().zip(&classes) {
+            assert_eq!(*class, t.classify(instr));
+        }
+        assert_eq!(LatencyClass::Negligible.to_string(), "negligible");
+        assert_eq!(LatencyClass::Command.to_string(), "command");
+        assert_eq!(LatencyClass::Variable.to_string(), "variable");
     }
 
     #[test]

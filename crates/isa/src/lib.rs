@@ -45,7 +45,7 @@ pub mod program;
 pub mod validate;
 
 pub use instruction::{Instruction, InstructionKind, OperandLocation};
-pub use latency::{InstructionLatency, LatencyTable};
+pub use latency::{InstructionLatency, LatencyClass, LatencyTable};
 pub use operand::{ClassicalId, MemAddr, Operands, RegId, MAX_OPERANDS};
 pub use program::{Program, ProgramStats};
 pub use validate::{ValidationError, ValidationReport};

@@ -10,7 +10,7 @@
 use crate::cell::{CellState, QubitTag};
 use crate::error::LatticeError;
 use crate::geom::Coord;
-use std::collections::{HashMap, VecDeque};
+use crate::query::{PathScratch, VacancyIndex};
 use std::fmt;
 
 /// A rectangular grid of surface-code cells with logical-qubit occupancy.
@@ -28,7 +28,7 @@ use std::fmt;
 /// grid.remove(QubitTag(0)).unwrap();
 /// assert_eq!(grid.occupied_count(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CellGrid {
     width: u32,
     height: u32,
@@ -36,11 +36,34 @@ pub struct CellGrid {
     /// Position per qubit tag, indexed directly by `QubitTag::index()` (tags
     /// are dense). Grown on demand; `None` for tags not on this grid. This
     /// replaces the former `HashMap<QubitTag, Coord>` so hot-path position
-    /// lookups are single array reads.
+    /// lookups are single array reads. May carry trailing `None`s from
+    /// removals; equality compares the canonical (trimmed) content.
     positions: Vec<Option<Coord>>,
     /// Number of occupied cells (`Some` entries in `positions`).
     occupied: usize,
+    /// Distance-bucketed vacancy index, present once an anchor (the bank
+    /// port) is registered. Derived acceleration state: excluded from
+    /// equality, kept in sync by `place`/`remove`/`relocate`.
+    vacancy: Option<VacancyIndex>,
 }
+
+impl PartialEq for CellGrid {
+    fn eq(&self, other: &Self) -> bool {
+        fn canonical(positions: &[Option<Coord>]) -> &[Option<Coord>] {
+            let mut len = positions.len();
+            while len > 0 && positions[len - 1].is_none() {
+                len -= 1;
+            }
+            &positions[..len]
+        }
+        self.width == other.width
+            && self.height == other.height
+            && self.cells == other.cells
+            && canonical(&self.positions) == canonical(&other.positions)
+    }
+}
+
+impl Eq for CellGrid {}
 
 impl CellGrid {
     /// Creates an empty grid of `width × height` vacant cells.
@@ -56,7 +79,31 @@ impl CellGrid {
             cells: vec![CellState::Vacant; (width * height) as usize],
             positions: Vec::new(),
             occupied: 0,
+            vacancy: None,
         }
+    }
+
+    /// Registers `anchor` (typically the bank port) and builds the
+    /// [`VacancyIndex`] that makes `nearest_vacant(anchor)` amortized O(1).
+    /// Re-registering replaces the previous anchor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::OutOfBounds`] if `anchor` is outside the grid.
+    pub fn register_anchor(&mut self, anchor: Coord) -> Result<(), LatticeError> {
+        self.check_bounds(anchor)?;
+        self.vacancy = Some(VacancyIndex::new(
+            anchor,
+            self.width,
+            self.height,
+            self.vacant_cells(),
+        ));
+        Ok(())
+    }
+
+    /// The registered anchor, if any.
+    pub fn anchor(&self) -> Option<Coord> {
+        self.vacancy.as_ref().map(VacancyIndex::anchor)
     }
 
     /// Grid width in cells.
@@ -155,6 +202,9 @@ impl CellGrid {
             return Err(LatticeError::CellOccupied { coord, occupant });
         }
         self.cells[idx] = CellState::Occupied(qubit);
+        if let Some(index) = &mut self.vacancy {
+            index.remove(coord);
+        }
         self.set_position(qubit, Some(coord));
         Ok(())
     }
@@ -172,9 +222,16 @@ impl CellGrid {
             (Some(_), None) => self.occupied -= 1,
             _ => {}
         }
+        // Trailing `None`s are left in place — removals stay O(1) and
+        // `PartialEq` compares the canonical content regardless; call
+        // `canonicalize` to shrink the table explicitly.
         self.positions[idx] = coord;
-        // Keep the table in canonical form (no trailing vacancies) so the
-        // derived equality compares logical content, not growth history.
+    }
+
+    /// Drops trailing `None` entries from the position table so its length
+    /// reflects logical content rather than growth history. Equality already
+    /// ignores the trailing entries; this only reclaims their memory.
+    pub fn canonicalize(&mut self) {
         while self.positions.last() == Some(&None) {
             self.positions.pop();
         }
@@ -192,6 +249,9 @@ impl CellGrid {
         self.set_position(qubit, None);
         let idx = self.index(coord);
         self.cells[idx] = CellState::Vacant;
+        if let Some(index) = &mut self.vacancy {
+            index.insert(coord);
+        }
         Ok(coord)
     }
 
@@ -219,6 +279,10 @@ impl CellGrid {
         let from_idx = self.index(from);
         self.cells[from_idx] = CellState::Vacant;
         self.cells[to_idx] = CellState::Occupied(qubit);
+        if let Some(index) = &mut self.vacancy {
+            index.insert(from);
+            index.remove(to);
+        }
         self.positions[qubit.0 as usize] = Some(to);
         Ok(())
     }
@@ -242,17 +306,64 @@ impl CellGrid {
 
     /// Finds the vacant cell closest (Manhattan metric) to `target`, breaking ties
     /// by row-major order. Returns `None` if the grid is full.
+    ///
+    /// When `target` is the registered anchor (see [`CellGrid::register_anchor`])
+    /// this is an amortized O(1) read of the [`VacancyIndex`]; otherwise it is
+    /// an outward ring search that visits O(ring) cells per distance instead of
+    /// scanning every cell.
     pub fn nearest_vacant(&self, target: Coord) -> Option<Coord> {
-        self.vacant_cells()
-            .min_by_key(|&c| (c.manhattan_distance(target), c.y, c.x))
+        if let Some(index) = &self.vacancy {
+            if index.anchor() == target {
+                return index.nearest();
+            }
+        }
+        self.ring_search(target, |cell| cell.is_vacant())
     }
 
-    /// Finds the occupied cell closest (Manhattan metric) to `target`.
+    /// Finds the occupied cell closest (Manhattan metric) to `target` by the
+    /// same outward ring search, ties broken row-major.
     pub fn nearest_occupied(&self, target: Coord) -> Option<Coord> {
-        self.positions
-            .iter()
-            .filter_map(|c| *c)
-            .min_by_key(|&c| (c.manhattan_distance(target), c.y, c.x))
+        self.ring_search(target, |cell| !cell.is_vacant())
+    }
+
+    /// Expanding ring search around `target`: visits cells in ascending
+    /// `(manhattan, y, x)` order and returns the first one matching `pred`,
+    /// so the answer equals the legacy full-grid `min_by_key` scan.
+    fn ring_search(&self, target: Coord, pred: impl Fn(CellState) -> bool) -> Option<Coord> {
+        if !self.in_bounds(target) {
+            // Clamping would change the metric; fall back to the exact scan
+            // for the (cold, test-only) out-of-grid targets.
+            return (0..self.height)
+                .flat_map(|y| (0..self.width).map(move |x| Coord::new(x, y)))
+                .filter(|&c| pred(self.cells[self.index(c)]))
+                .min_by_key(|&c| (c.manhattan_distance(target), c.y, c.x));
+        }
+        let max_d =
+            target.x.max(self.width - 1 - target.x) + target.y.max(self.height - 1 - target.y);
+        for d in 0..=max_d {
+            let y_lo = target.y.saturating_sub(d);
+            let y_hi = (target.y + d).min(self.height - 1);
+            for y in y_lo..=y_hi {
+                let rem = d - y.abs_diff(target.y);
+                // At most two candidates per row, in ascending x order.
+                let left = target.x.checked_sub(rem);
+                let right = if rem == 0 {
+                    None
+                } else {
+                    target.x.checked_add(rem)
+                };
+                for x in left.into_iter().chain(right) {
+                    if x >= self.width {
+                        continue;
+                    }
+                    let c = Coord::new(x, y);
+                    if pred(self.cells[self.index(c)]) {
+                        return Some(c);
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// Length (in steps) of the shortest path from `from` to `to` that travels only
@@ -267,27 +378,44 @@ impl CellGrid {
     /// * [`LatticeError::OutOfBounds`] if either endpoint is outside the grid.
     /// * [`LatticeError::NoVacantPath`] if no vacant path exists.
     pub fn vacant_path_len(&self, from: Coord, to: Coord) -> Result<u32, LatticeError> {
+        self.vacant_path_len_in(from, to, &mut PathScratch::new())
+    }
+
+    /// [`CellGrid::vacant_path_len`] with caller-provided scratch space, so
+    /// repeated queries reuse one dense distance grid instead of allocating
+    /// (or hashing) per call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CellGrid::vacant_path_len`].
+    pub fn vacant_path_len_in(
+        &self,
+        from: Coord,
+        to: Coord,
+        scratch: &mut PathScratch,
+    ) -> Result<u32, LatticeError> {
         self.check_bounds(from)?;
         self.check_bounds(to)?;
         if from == to {
             return Ok(0);
         }
-        let mut dist: HashMap<Coord, u32> = HashMap::new();
-        let mut queue = VecDeque::new();
-        dist.insert(from, 0);
-        queue.push_back(from);
-        while let Some(cur) = queue.pop_front() {
-            let d = dist[&cur];
-            for next in cur.neighbors() {
-                if !self.in_bounds(next) || dist.contains_key(&next) {
+        scratch.begin(self.cells.len());
+        scratch.mark(self.index(from) as u32, 0);
+        while let Some((cur, d)) = scratch.pop() {
+            let coord = Coord::new(cur % self.width, cur / self.width);
+            for next in coord.neighbors() {
+                if !self.in_bounds(next) {
+                    continue;
+                }
+                let idx = self.index(next) as u32;
+                if scratch.visited(idx) {
                     continue;
                 }
                 if next == to {
                     return Ok(d + 1);
                 }
-                if self.is_vacant(next) {
-                    dist.insert(next, d + 1);
-                    queue.push_back(next);
+                if self.cells[idx as usize].is_vacant() {
+                    scratch.mark(idx, d + 1);
                 }
             }
         }
@@ -476,14 +604,210 @@ mod tests {
     fn zero_sized_grid_panics() {
         let _ = CellGrid::new(0, 3);
     }
+
+    #[test]
+    fn anchored_nearest_vacant_matches_the_scan() {
+        let mut grid = filled_grid(4, 4, 13);
+        let port = Coord::new(0, 2);
+        grid.register_anchor(port).unwrap();
+        assert_eq!(grid.anchor(), Some(port));
+        // Index answer equals the generic ring-search answer for the anchor.
+        let expected = grid
+            .vacant_cells()
+            .min_by_key(|&c| (c.manhattan_distance(port), c.y, c.x));
+        assert_eq!(grid.nearest_vacant(port), expected);
+        // The index follows placements and removals.
+        let dest = grid.nearest_vacant(port).unwrap();
+        grid.place(QubitTag(50), dest).unwrap();
+        assert_ne!(grid.nearest_vacant(port), Some(dest));
+        grid.remove(QubitTag(50)).unwrap();
+        assert_eq!(grid.nearest_vacant(port), Some(dest));
+        // ... and relocations.
+        let occupied = grid.position_of(QubitTag(0)).unwrap();
+        let vacant = grid.nearest_vacant(port).unwrap();
+        grid.relocate(QubitTag(0), vacant).unwrap();
+        assert_eq!(grid.nearest_vacant(port), Some(occupied));
+        // Out-of-bounds anchors are rejected.
+        assert!(grid.register_anchor(Coord::new(9, 9)).is_err());
+    }
+
+    #[test]
+    fn anchored_full_grid_has_no_vacancy() {
+        let mut grid = filled_grid(2, 2, 4);
+        grid.register_anchor(Coord::ORIGIN).unwrap();
+        assert_eq!(grid.nearest_vacant(Coord::ORIGIN), None);
+        grid.remove(QubitTag(3)).unwrap();
+        assert_eq!(grid.nearest_vacant(Coord::ORIGIN), Some(Coord::new(1, 1)));
+    }
+
+    #[test]
+    fn nearest_queries_accept_out_of_grid_targets() {
+        let mut grid = CellGrid::new(3, 3);
+        grid.place(QubitTag(0), Coord::new(1, 1)).unwrap();
+        // Targets outside the grid fall back to the exact scan.
+        assert_eq!(
+            grid.nearest_occupied(Coord::new(10, 10)),
+            Some(Coord::new(1, 1))
+        );
+        assert_eq!(
+            grid.nearest_vacant(Coord::new(0, 7)),
+            Some(Coord::new(0, 2))
+        );
+    }
+
+    #[test]
+    fn equality_ignores_position_table_growth_history() {
+        // Regression: `set_position` used to pop trailing `None`s on every
+        // removal (O(n) worst case per op). The pop is gone; equality must
+        // still compare logical content only.
+        let mut grown = CellGrid::new(3, 3);
+        grown.place(QubitTag(20), Coord::new(2, 2)).unwrap();
+        grown.remove(QubitTag(20)).unwrap();
+        let fresh = CellGrid::new(3, 3);
+        assert_eq!(grown, fresh);
+        assert_eq!(grown.occupied_count(), 0);
+        assert_eq!(grown.position_of(QubitTag(20)), None);
+        // Canonicalize reclaims the trailing entries without changing content.
+        grown.canonicalize();
+        assert_eq!(grown, fresh);
+        // Same content reached through different histories compares equal.
+        let mut a = CellGrid::new(3, 3);
+        a.place(QubitTag(1), Coord::new(0, 0)).unwrap();
+        a.place(QubitTag(7), Coord::new(1, 1)).unwrap();
+        a.remove(QubitTag(7)).unwrap();
+        let mut b = CellGrid::new(3, 3);
+        b.place(QubitTag(1), Coord::new(0, 0)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_reuse_across_queries_is_consistent() {
+        let mut grid = CellGrid::new(5, 5);
+        grid.place(QubitTag(0), Coord::new(1, 0)).unwrap();
+        grid.place(QubitTag(1), Coord::new(1, 1)).unwrap();
+        let mut scratch = PathScratch::new();
+        let detour = grid
+            .vacant_path_len_in(Coord::new(0, 0), Coord::new(2, 0), &mut scratch)
+            .unwrap();
+        assert_eq!(detour, 6);
+        // Second query through the same scratch sees a clean state.
+        let direct = grid
+            .vacant_path_len_in(Coord::new(0, 2), Coord::new(4, 2), &mut scratch)
+            .unwrap();
+        assert_eq!(direct, 4);
+    }
 }
 
 #[cfg(test)]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+    use std::collections::{HashMap, VecDeque};
+
+    /// The seed's `nearest_vacant`: a full linear scan over every vacant cell.
+    fn nearest_vacant_scan(grid: &CellGrid, target: Coord) -> Option<Coord> {
+        grid.vacant_cells()
+            .min_by_key(|&c| (c.manhattan_distance(target), c.y, c.x))
+    }
+
+    /// The seed's `vacant_path_len`: `HashMap<Coord, u32>` frontier BFS.
+    fn vacant_path_len_hashmap(
+        grid: &CellGrid,
+        from: Coord,
+        to: Coord,
+    ) -> Result<u32, LatticeError> {
+        if !grid.in_bounds(from) || !grid.in_bounds(to) {
+            panic!("shadow BFS expects in-bounds endpoints");
+        }
+        if from == to {
+            return Ok(0);
+        }
+        let mut dist: HashMap<Coord, u32> = HashMap::new();
+        let mut queue = VecDeque::new();
+        dist.insert(from, 0);
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            let d = dist[&cur];
+            for next in cur.neighbors() {
+                if !grid.in_bounds(next) || dist.contains_key(&next) {
+                    continue;
+                }
+                if next == to {
+                    return Ok(d + 1);
+                }
+                if grid.is_vacant(next) {
+                    dist.insert(next, d + 1);
+                    queue.push_back(next);
+                }
+            }
+        }
+        Err(LatticeError::NoVacantPath { from, to })
+    }
 
     proptest! {
+        /// The anchor-indexed and ring-search `nearest_vacant` answers equal
+        /// the legacy linear scan under random place/remove/relocate
+        /// sequences, for the anchor and for arbitrary other targets.
+        #[test]
+        fn vacancy_index_matches_the_linear_scan(
+            anchor in (0u32..6, 0u32..6),
+            ops in proptest::collection::vec(
+                (0u32..20, 0u32..6, 0u32..6, 0u32..3), 1..80
+            ),
+        ) {
+            let anchor = Coord::new(anchor.0, anchor.1);
+            let mut grid = CellGrid::new(6, 6);
+            grid.register_anchor(anchor).unwrap();
+            for (q, x, y, op) in ops {
+                let qubit = QubitTag(q);
+                let coord = Coord::new(x, y);
+                match op {
+                    0 => { let _ = grid.place(qubit, coord); }
+                    1 => { let _ = grid.remove(qubit); }
+                    _ => { let _ = grid.relocate(qubit, coord); }
+                }
+                // Anchor query goes through the incremental index.
+                prop_assert_eq!(
+                    grid.nearest_vacant(anchor),
+                    nearest_vacant_scan(&grid, anchor)
+                );
+                // Non-anchor queries go through the ring search.
+                prop_assert_eq!(
+                    grid.nearest_vacant(coord),
+                    nearest_vacant_scan(&grid, coord)
+                );
+                prop_assert_eq!(
+                    grid.nearest_occupied(coord),
+                    grid.iter().map(|(_, c)| c)
+                        .min_by_key(|&c| (c.manhattan_distance(coord), c.y, c.x))
+                );
+            }
+        }
+
+        /// The dense-scratch BFS returns exactly what the legacy HashMap BFS
+        /// returns — same lengths, same unreachability — with the scratch
+        /// reused across every query of the sequence.
+        #[test]
+        fn dense_bfs_matches_the_hashmap_bfs(
+            obstacles in proptest::collection::hash_set((0u32..9, 0u32..9), 0..40),
+            queries in proptest::collection::vec(
+                ((0u32..9, 0u32..9), (0u32..9, 0u32..9)), 1..20
+            ),
+        ) {
+            let mut grid = CellGrid::new(9, 9);
+            for (tag, (x, y)) in obstacles.into_iter().enumerate() {
+                let _ = grid.place(QubitTag(tag as u32), Coord::new(x, y));
+            }
+            let mut scratch = PathScratch::new();
+            for (from, to) in queries {
+                let from = Coord::new(from.0, from.1);
+                let to = Coord::new(to.0, to.1);
+                let dense = grid.vacant_path_len_in(from, to, &mut scratch);
+                let legacy = vacant_path_len_hashmap(&grid, from, to);
+                prop_assert_eq!(dense, legacy);
+            }
+        }
+
         /// Occupied + vacant always equals the total cell count, and every stored
         /// qubit's recorded position matches the cell map, under random placement
         /// and removal sequences.

@@ -20,6 +20,9 @@
 //! * [`patch`] — logical patches and boundary orientations.
 //! * [`protocol`] — primitive fault-tolerant protocols and their code-beat
 //!   latencies.
+//! * [`query`] — the [`VacancyIndex`](query::VacancyIndex) and
+//!   [`PathScratch`](query::PathScratch) acceleration structures behind the
+//!   grid's nearest-vacant and vacant-path queries.
 //! * [`timing`] — the [`Beats`](timing::Beats) time unit.
 //!
 //! # Example
@@ -46,6 +49,7 @@ pub mod grid;
 pub mod patch;
 pub mod pauli;
 pub mod protocol;
+pub mod query;
 pub mod timing;
 
 pub use cell::{CellKind, CellState, QubitTag};
@@ -55,4 +59,5 @@ pub use grid::CellGrid;
 pub use patch::{BoundaryOrientation, Patch, PatchId};
 pub use pauli::{Pauli, PauliProduct};
 pub use protocol::{PrimitiveOp, ProtocolLatencies};
+pub use query::{PathScratch, VacancyIndex};
 pub use timing::Beats;

@@ -1,0 +1,235 @@
+//! Lattice query acceleration structures.
+//!
+//! The SAM models ask the occupancy grid two questions on every simulated
+//! memory access: *which vacant cell is nearest the bank port?* (stores and
+//! in-memory two-qubit accesses) and *how far must the scan vacancy walk?*
+//! (routing through empty space). Both used to cost O(cells) per query — a
+//! full linear scan and a `HashMap`-frontier BFS respectively — which made
+//! point-SAM simulation ~2.5× slower per instruction than line-SAM.
+//!
+//! This module holds the two structures that remove those costs:
+//!
+//! * [`VacancyIndex`] — vacant cells bucketed by Manhattan distance to a
+//!   registered **anchor** (the bank port), maintained incrementally by the
+//!   grid's `place`/`remove`/`relocate`. `nearest_vacant(anchor)` becomes an
+//!   amortized O(1) bucket read instead of an O(cells) scan.
+//! * [`PathScratch`] — a reusable dense `Vec<u32>` distance grid for the
+//!   vacant-path BFS, replacing the per-query `HashMap<Coord, u32>`. Visited
+//!   marks are epoch-stamped so reusing the scratch across queries costs no
+//!   clearing pass.
+
+use crate::geom::Coord;
+use std::collections::VecDeque;
+
+/// Incrementally-maintained index of vacant cells, bucketed by Manhattan
+/// distance to a fixed anchor coordinate.
+///
+/// Cell indices inside each bucket are kept sorted ascending; since a cell
+/// index is `y * width + x`, ascending index order is exactly the row-major
+/// `(y, x)` tie-break of the legacy linear scan, so the index answers are
+/// bit-identical to `min_by_key(|c| (manhattan, y, x))`.
+#[derive(Debug, Clone)]
+pub struct VacancyIndex {
+    anchor: Coord,
+    width: u32,
+    /// `rings[d]` holds the cell indices of vacancies at distance `d` from the
+    /// anchor, sorted ascending (row-major order).
+    rings: Vec<Vec<u32>>,
+    /// Index of the first possibly non-empty ring; maintained so that
+    /// [`VacancyIndex::nearest`] is a plain bucket read.
+    min_ring: usize,
+    /// Total number of vacancies tracked.
+    len: usize,
+}
+
+impl VacancyIndex {
+    /// Builds the index for a `width × height` grid from an iterator over the
+    /// currently vacant cells.
+    pub fn new(
+        anchor: Coord,
+        width: u32,
+        height: u32,
+        vacancies: impl Iterator<Item = Coord>,
+    ) -> Self {
+        let max_distance = (width - 1 + height - 1) as usize;
+        let mut index = VacancyIndex {
+            anchor,
+            width,
+            rings: vec![Vec::new(); max_distance + 1],
+            min_ring: max_distance + 1,
+            len: 0,
+        };
+        for coord in vacancies {
+            index.insert(coord);
+        }
+        index
+    }
+
+    /// The anchor this index accelerates queries against.
+    pub fn anchor(&self) -> Coord {
+        self.anchor
+    }
+
+    /// Number of vacancies currently tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no vacancy is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn cell_index(&self, coord: Coord) -> u32 {
+        coord.y * self.width + coord.x
+    }
+
+    fn decode(&self, index: u32) -> Coord {
+        Coord::new(index % self.width, index / self.width)
+    }
+
+    /// Records that `coord` became vacant. O(ring) for the sorted insert.
+    pub fn insert(&mut self, coord: Coord) {
+        let d = coord.manhattan_distance(self.anchor) as usize;
+        let idx = self.cell_index(coord);
+        let ring = &mut self.rings[d];
+        if let Err(pos) = ring.binary_search(&idx) {
+            ring.insert(pos, idx);
+            self.len += 1;
+            self.min_ring = self.min_ring.min(d);
+        }
+    }
+
+    /// Records that `coord` became occupied. O(ring) for the sorted removal,
+    /// plus an amortized advance of the first-non-empty hint.
+    pub fn remove(&mut self, coord: Coord) {
+        let d = coord.manhattan_distance(self.anchor) as usize;
+        let idx = self.cell_index(coord);
+        let ring = &mut self.rings[d];
+        if let Ok(pos) = ring.binary_search(&idx) {
+            ring.remove(pos);
+            self.len -= 1;
+            while self.min_ring < self.rings.len() && self.rings[self.min_ring].is_empty() {
+                self.min_ring += 1;
+            }
+        }
+    }
+
+    /// The vacant cell nearest the anchor, ties broken row-major — the same
+    /// answer as the legacy linear scan, in O(1).
+    pub fn nearest(&self) -> Option<Coord> {
+        self.rings
+            .get(self.min_ring)?
+            .first()
+            .map(|&idx| self.decode(idx))
+    }
+}
+
+/// Reusable dense scratch space for the vacant-path BFS.
+///
+/// Holds a `Vec<u32>` distance grid plus an epoch-stamped visited mark per
+/// cell, so one allocation serves any number of queries on grids up to the
+/// largest size seen; no hash map and no per-query clearing pass.
+#[derive(Debug, Clone, Default)]
+pub struct PathScratch {
+    dist: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    queue: VecDeque<u32>,
+}
+
+impl PathScratch {
+    /// Creates an empty scratch; grows on first use.
+    pub fn new() -> Self {
+        PathScratch::default()
+    }
+
+    /// Prepares the scratch for a query over `cells` grid cells.
+    pub(crate) fn begin(&mut self, cells: usize) {
+        if self.dist.len() < cells {
+            self.dist.resize(cells, 0);
+            self.stamp.resize(cells, 0);
+        }
+        self.queue.clear();
+        // A fresh epoch invalidates every previous visited mark. On wrap-around
+        // the stamps are cleared so stale marks from epoch 0 cannot alias.
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.stamp.fill(0);
+                1
+            }
+        };
+    }
+
+    /// True if `cell` was visited in the current query.
+    pub(crate) fn visited(&self, cell: u32) -> bool {
+        self.stamp[cell as usize] == self.epoch
+    }
+
+    /// Marks `cell` at BFS distance `d` and enqueues it.
+    pub(crate) fn mark(&mut self, cell: u32, d: u32) {
+        self.stamp[cell as usize] = self.epoch;
+        self.dist[cell as usize] = d;
+        self.queue.push_back(cell);
+    }
+
+    /// Pops the next frontier cell with its distance.
+    pub(crate) fn pop(&mut self) -> Option<(u32, u32)> {
+        let cell = self.queue.pop_front()?;
+        Some((cell, self.dist[cell as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_tracks_inserts_and_removes() {
+        let mut index = VacancyIndex::new(Coord::new(0, 1), 4, 4, std::iter::empty());
+        assert!(index.is_empty());
+        assert_eq!(index.nearest(), None);
+        index.insert(Coord::new(3, 3));
+        index.insert(Coord::new(1, 1));
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.nearest(), Some(Coord::new(1, 1)));
+        index.remove(Coord::new(1, 1));
+        assert_eq!(index.nearest(), Some(Coord::new(3, 3)));
+        index.remove(Coord::new(3, 3));
+        assert_eq!(index.nearest(), None);
+    }
+
+    #[test]
+    fn ties_break_row_major() {
+        // (2, 0) and (0, 2) are both at distance 2 from (1, 1); the smaller
+        // (y, x) must win, matching the legacy scan order.
+        let mut index = VacancyIndex::new(Coord::new(1, 1), 4, 4, std::iter::empty());
+        index.insert(Coord::new(0, 2));
+        index.insert(Coord::new(2, 0));
+        assert_eq!(index.nearest(), Some(Coord::new(2, 0)));
+    }
+
+    #[test]
+    fn duplicate_inserts_and_missing_removes_are_ignored() {
+        let mut index = VacancyIndex::new(Coord::ORIGIN, 3, 3, std::iter::empty());
+        index.insert(Coord::new(2, 2));
+        index.insert(Coord::new(2, 2));
+        assert_eq!(index.len(), 1);
+        index.remove(Coord::new(1, 1));
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.nearest(), Some(Coord::new(2, 2)));
+    }
+
+    #[test]
+    fn scratch_epochs_isolate_queries() {
+        let mut scratch = PathScratch::new();
+        scratch.begin(9);
+        scratch.mark(4, 0);
+        assert!(scratch.visited(4));
+        assert_eq!(scratch.pop(), Some((4, 0)));
+        scratch.begin(9);
+        assert!(!scratch.visited(4));
+        assert_eq!(scratch.pop(), None);
+    }
+}

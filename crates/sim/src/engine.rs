@@ -15,8 +15,9 @@ use std::fmt;
 pub struct SimError {
     /// Index of the offending instruction in the program.
     pub index: usize,
-    /// The offending instruction, rendered as text.
-    pub instruction: String,
+    /// The offending instruction; rendered as text only when the error is
+    /// displayed, so the happy path never formats anything.
+    pub instruction: Instruction,
     /// The underlying memory-system error.
     pub source: LatticeError,
 }
@@ -186,10 +187,15 @@ impl Simulator {
         let mut trace = MemoryTrace::new();
         let mut makespan = Beats::ZERO;
 
+        // Latency classes precompiled once per program: the CPI bookkeeping
+        // below reads a dense byte vector instead of re-matching on the
+        // instruction variant for every instruction executed.
+        let classes = self.latency_table.classify_program(program);
+
         for (index, instr) in program.iter().enumerate() {
             let wrap = |source: LatticeError| SimError {
                 index,
-                instruction: instr.to_string(),
+                instruction: *instr,
                 source,
             };
 
@@ -323,7 +329,7 @@ impl Simulator {
 
             // Bookkeeping.
             stats.instruction_count += 1;
-            if !self.latency_table.is_negligible(instr) {
+            if !classes[index].is_negligible() {
                 stats.command_count += 1;
             }
             if instr.is_in_memory() {

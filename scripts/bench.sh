@@ -3,10 +3,13 @@
 #
 # Usage:
 #   scripts/bench.sh [criterion-args...]
+#   scripts/bench.sh --quick
 #
 # Examples:
 #   scripts/bench.sh                       # all benches + BENCH_hotpath.json
 #   scripts/bench.sh micro_hotpath         # only benchmarks matching the filter
+#   scripts/bench.sh --quick               # CI smoke: quick-scale hotpath JSON
+#                                          # to a temp file + schema validation
 #   CRITERION_JSON=out.ndjson scripts/bench.sh   # also dump raw ndjson records
 #
 # Outputs:
@@ -17,6 +20,43 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Validates that a hotpath JSON document carries the lsqca-bench-hotpath-v1
+# schema with every expected comparison and end-to-end section.
+validate_hotpath_json() {
+  local file="$1"
+  local ok=0
+  for needle in \
+    '"schema": "lsqca-bench-hotpath-v1"' \
+    '"comparisons"' \
+    '"end_to_end"' \
+    '"operand_extraction"' \
+    '"residence_lookup"' \
+    '"nearest_vacant"' \
+    '"vacant_path"' \
+    '"latency_class"' \
+    '"ns_per_instruction"'; do
+    if ! grep -qF "$needle" "$file"; then
+      echo "error: $file is missing $needle (schema lsqca-bench-hotpath-v1)" >&2
+      ok=1
+    fi
+  done
+  return "$ok"
+}
+
+if [[ "${1:-}" == "--quick" ]]; then
+  # CI smoke mode: build, emit the quick-scale hotpath report to a temp file
+  # (the committed BENCH_hotpath.json baseline is left untouched), and
+  # validate its schema.
+  echo "== building (release, quick smoke) =="
+  cargo build --release -p lsqca-bench
+  out="$(mktemp /tmp/lsqca-hotpath-XXXXXX.json)"
+  echo "== quick-scale hotpath report =="
+  ./target/release/experiments hotpath --json > "$out"
+  validate_hotpath_json "$out"
+  echo "schema lsqca-bench-hotpath-v1 OK: $out"
+  exit 0
+fi
+
 echo "== building (release) =="
 cargo build --release --workspace
 
@@ -25,6 +65,11 @@ echo "== criterion micro benches =="
 cargo bench -p lsqca-bench "$@"
 
 echo "== hot-path baseline =="
-./target/release/experiments hotpath --json > BENCH_hotpath.json
+# Validate into a temp file first so a schema regression cannot clobber the
+# committed baseline.
+tmp="$(mktemp /tmp/lsqca-hotpath-XXXXXX.json)"
+./target/release/experiments hotpath --json > "$tmp"
+validate_hotpath_json "$tmp"
+mv "$tmp" BENCH_hotpath.json
 echo "wrote BENCH_hotpath.json:"
 ./target/release/experiments hotpath
