@@ -3,15 +3,18 @@
 //! This crate turns the floorplan designs of Sec. IV–V into executable latency
 //! and capacity models:
 //!
-//! * [`config`] — [`ArchConfig`](config::ArchConfig): which floorplan (point SAM,
+//! * [`config`] — [`ArchConfig`]: which floorplan (point SAM,
 //!   line SAM, conventional), how many SAM banks, how many magic-state factories,
 //!   the hybrid-floorplan fraction `f`, and the CR size.
+//! * [`ledger`] — the [`CheckoutLedger`]: the dense
+//!   per-bank bit set of qubits currently checked out to the CR, backing the
+//!   banks' store-side validation and `n + 1`-cell invariants.
 //! * [`point`] — the point-SAM bank: a single scan cell, sliding-puzzle loads
 //!   (`W + H` seek plus `6·min(W,H) + 5·|W−H|` transport), locality-aware stores
 //!   into the vacant cell nearest the CR.
-//! * [`line`] — the line-SAM bank: a scan line, loads costing the row distance,
+//! * [`line`](mod@line) — the line-SAM bank: a scan line, loads costing the row distance,
 //!   locality-aware stores into the most recently accessed row.
-//! * [`memory`] — [`MemorySystem`](memory::MemorySystem): hybrid floorplans (hot
+//! * [`memory`] — [`MemorySystem`]: hybrid floorplans (hot
 //!   qubits in a conventional 1/2-density region, cold qubits distributed
 //!   round-robin over SAM banks), memory-density accounting, and the load / store
 //!   / in-memory access latencies the simulator consumes.
@@ -36,12 +39,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod ledger;
 pub mod line;
 pub mod memory;
 pub mod msf;
 pub mod point;
 
 pub use config::{ArchConfig, FloorplanKind};
+pub use ledger::CheckoutLedger;
 pub use line::LineSamBank;
 pub use memory::{BankPort, MemorySystem, Residence};
 pub use msf::{MagicStateSupply, MsfConfig};

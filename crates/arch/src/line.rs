@@ -15,6 +15,7 @@
 //! vacancy closest to the most recently accessed row, so co-accessed qubits end
 //! up sharing a row and later multi-qubit operations become cheap.
 
+use crate::ledger::CheckoutLedger;
 use lsqca_lattice::{Beats, LatticeError, QubitTag};
 
 /// A single line-SAM bank.
@@ -23,6 +24,11 @@ use lsqca_lattice::{Beats, LatticeError, QubitTag};
 /// the per-qubit row tables are plain `Vec`s indexed by `QubitTag::index()`
 /// instead of hash maps: every row lookup on the simulator's hot path is one
 /// array read.
+///
+/// Like the point bank, the line bank keeps a checkout ledger of exactly
+/// which of its qubits are out in the CR, so `stored + checked_out` always
+/// equals the bank's data-qubit count and [`LineSamBank::store`] rejects
+/// foreign or never-loaded tags with [`LatticeError::QubitNotCheckedOut`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LineSamBank {
     /// Number of storage rows (data rows plus the scan line's row).
@@ -46,6 +52,10 @@ pub struct LineSamBank {
     /// Original home row of every qubit, indexed by tag; `None` for qubits
     /// that belong to another bank.
     home_row: Vec<Option<u32>>,
+    /// Number of data qubits this bank was built for (`stored + checked_out`).
+    num_qubits: usize,
+    /// Exactly which of this bank's qubits are checked out to the CR.
+    ledger: CheckoutLedger,
 }
 
 impl LineSamBank {
@@ -89,7 +99,7 @@ impl LineSamBank {
             occupancy[row as usize] += 1;
         }
 
-        LineSamBank {
+        let bank = LineSamBank {
             storage_rows,
             cols,
             scan_row,
@@ -99,7 +109,43 @@ impl LineSamBank {
             occupancy,
             cell_count: rows as u64 * cols as u64 + cols as u64,
             locality_aware_store,
-        }
+            num_qubits: qubits.len(),
+            ledger: CheckoutLedger::new(table_len),
+        };
+        bank.debug_assert_invariants();
+        bank
+    }
+
+    /// Debug-asserts the bank's accounting after every mutation: every data
+    /// qubit is either stored or checked out, and the per-row occupancy sums
+    /// to the stored count without exceeding any row's capacity.
+    #[inline]
+    fn debug_assert_invariants(&self) {
+        debug_assert_eq!(
+            self.stored + self.ledger.count(),
+            self.num_qubits,
+            "stored + checked_out must equal the bank's data-qubit count"
+        );
+        debug_assert_eq!(
+            self.occupancy.iter().map(|&o| o as usize).sum::<usize>(),
+            self.stored,
+            "row occupancy must sum to the stored count"
+        );
+        debug_assert!(self.occupancy.iter().all(|&o| o <= self.cols));
+        debug_assert!(
+            self.ledger.iter().all(|q| self.row_of(q).is_none()),
+            "a checked-out qubit cannot simultaneously occupy a row"
+        );
+    }
+
+    /// Number of this bank's qubits currently checked out to the CR.
+    pub fn checked_out_count(&self) -> usize {
+        self.ledger.count()
+    }
+
+    /// True if `qubit` is currently checked out of this bank to the CR.
+    pub fn is_checked_out(&self, qubit: QubitTag) -> bool {
+        self.ledger.is_checked_out(qubit)
     }
 
     /// Exact number of cells charged to this bank (data region plus scan line).
@@ -165,7 +211,9 @@ impl LineSamBank {
         self.row_of[qubit.0 as usize] = None;
         self.stored -= 1;
         self.occupancy[row as usize] -= 1;
+        self.ledger.check_out(qubit);
         self.scan_row = row;
+        self.debug_assert_invariants();
         Ok(cost)
     }
 
@@ -189,11 +237,15 @@ impl LineSamBank {
     }
 
     /// Stores `qubit` back into the bank and returns the latency in beats.
+    /// Only qubits recorded in the checkout ledger — i.e. previously loaded
+    /// from *this* bank — are accepted: a foreign tag would inflate the bank
+    /// beyond its data-qubit count and corrupt the row accounting.
     ///
     /// # Errors
     ///
-    /// Returns [`LatticeError::GridFull`] if every row is full, or
-    /// [`LatticeError::QubitAlreadyPlaced`] if the qubit never left.
+    /// * [`LatticeError::QubitAlreadyPlaced`] if the qubit never left.
+    /// * [`LatticeError::QubitNotCheckedOut`] if the qubit was never loaded
+    ///   from this bank (including foreign tags).
     pub fn store(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
         if let Some(row) = self.row_of(qubit) {
             return Err(LatticeError::QubitAlreadyPlaced {
@@ -201,15 +253,19 @@ impl LineSamBank {
                 at: lsqca_lattice::Coord::new(0, row),
             });
         }
+        if !self.ledger.is_checked_out(qubit) {
+            return Err(LatticeError::QubitNotCheckedOut { qubit });
+        }
         let dest = self.store_row(qubit)?;
         let cost = self.distance(dest) + Beats(1);
-        if qubit.0 as usize >= self.row_of.len() {
-            self.row_of.resize(qubit.0 as usize + 1, None);
-        }
+        // Checked-out tags are always within the bank's own tag range, so the
+        // dense row table needs no growth here.
         self.row_of[qubit.0 as usize] = Some(dest);
         self.stored += 1;
         self.occupancy[dest as usize] += 1;
+        self.ledger.check_in(qubit);
         self.scan_row = dest;
+        self.debug_assert_invariants();
         Ok(cost)
     }
 
@@ -368,6 +424,34 @@ mod tests {
     }
 
     #[test]
+    fn store_of_a_never_checked_out_qubit_is_rejected() {
+        let mut bank = LineSamBank::new(&qubits(10), true);
+        // A foreign tag that was never loaded from this bank used to be
+        // silently absorbed into a row; now it is a typed ledger violation.
+        assert!(matches!(
+            bank.store(QubitTag(99)),
+            Err(LatticeError::QubitNotCheckedOut {
+                qubit: QubitTag(99)
+            })
+        ));
+        assert_eq!(bank.stored_qubits(), 10);
+        assert_eq!(bank.checked_out_count(), 0);
+        // Same for the home-row store policy.
+        let mut home = LineSamBank::new(&qubits(10), false);
+        assert!(matches!(
+            home.store(QubitTag(99)),
+            Err(LatticeError::QubitNotCheckedOut { .. })
+        ));
+        // A legitimate round trip settles the ledger.
+        bank.load(QubitTag(7)).unwrap();
+        assert!(bank.is_checked_out(QubitTag(7)));
+        assert_eq!(bank.checked_out_count(), 1);
+        bank.store(QubitTag(7)).unwrap();
+        assert!(!bank.is_checked_out(QubitTag(7)));
+        assert!(bank.store(QubitTag(7)).is_err());
+    }
+
+    #[test]
     fn vacancies_migrate_as_qubits_are_stored_elsewhere() {
         let mut bank = LineSamBank::new(&qubits(16), true);
         // 16 qubits in a 4x4 data region around an empty middle row.
@@ -470,6 +554,52 @@ mod proptests {
             for tag in 0..200 {
                 let q = QubitTag(tag);
                 prop_assert_eq!(bank.row_of(q), mirror.get(&q).copied());
+            }
+        }
+
+        /// The checkout ledger keeps `stored + checked_out == n` and per-row
+        /// occupancy consistent across random load/store sequences that
+        /// include foreign tags, and accepts a store exactly when the qubit
+        /// is in the ledger.
+        #[test]
+        fn checkout_ledger_preserves_the_bank_invariants(
+            n in 4u32..200,
+            ops in proptest::collection::vec((0u32..250, proptest::bool::ANY), 1..120),
+        ) {
+            let qubits: Vec<QubitTag> = (0..n).map(QubitTag).collect();
+            let mut bank = LineSamBank::new(&qubits, true);
+            let mut out: std::collections::HashSet<QubitTag> =
+                std::collections::HashSet::new();
+            for (tag, load) in ops {
+                let q = QubitTag(tag);
+                if load {
+                    let loaded = bank.load(q).is_ok();
+                    prop_assert_eq!(loaded, tag < n && !out.contains(&q));
+                    if loaded {
+                        out.insert(q);
+                    }
+                } else {
+                    let stored = bank.store(q);
+                    prop_assert_eq!(stored.is_ok(), out.contains(&q));
+                    if stored.is_ok() {
+                        out.remove(&q);
+                    } else if !bank.contains(q) {
+                        prop_assert_eq!(
+                            stored.unwrap_err(),
+                            LatticeError::QubitNotCheckedOut { qubit: q }
+                        );
+                    }
+                }
+                prop_assert_eq!(bank.checked_out_count(), out.len());
+                prop_assert_eq!(
+                    bank.stored_qubits() + bank.checked_out_count(),
+                    n as usize
+                );
+                let occupied: u32 = bank.occupancy.iter().sum();
+                prop_assert_eq!(occupied as usize, bank.stored_qubits());
+                for &q in &out {
+                    prop_assert!(bank.is_checked_out(q));
+                }
             }
         }
     }

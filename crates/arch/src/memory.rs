@@ -95,6 +95,20 @@ impl Bank {
             Bank::Line(b) => b.in_memory_two_qubit_access(q),
         }
     }
+
+    fn is_checked_out(&self, q: QubitTag) -> bool {
+        match self {
+            Bank::Point(b) => b.is_checked_out(q),
+            Bank::Line(b) => b.is_checked_out(q),
+        }
+    }
+
+    fn checked_out_count(&self) -> usize {
+        match self {
+            Bank::Point(b) => b.checked_out_count(),
+            Bank::Line(b) => b.checked_out_count(),
+        }
+    }
 }
 
 /// The complete memory system for one simulation run.
@@ -253,16 +267,21 @@ impl MemorySystem {
 
     /// Cells occupied by the computational register.
     ///
-    /// The point-SAM CR is the minimal six-cell block of Fig. 10a. The line-SAM
-    /// CR is two columns spanning the bank height (Fig. 10b); with more than two
-    /// banks the CR is stacked, growing proportionally. When every qubit is hot
-    /// (or the floorplan is conventional) no CR is charged.
+    /// The point-SAM CR is charged at three cells per register slot: the
+    /// minimal six-cell block of Fig. 10a holds the default
+    /// [`MemorySystem::MIN_CR_SLOTS`] register cells (plus surgery-ancilla and
+    /// routing space), and a wider configured CR grows proportionally, so the
+    /// area charged always contains the slot count the simulator schedules
+    /// with ([`MemorySystem::effective_cr_slots`]). The line-SAM CR is two
+    /// columns spanning the bank height (Fig. 10b); with more than two banks
+    /// the CR is stacked, growing proportionally. When every qubit is hot (or
+    /// the floorplan is conventional) no CR is charged.
     pub fn cr_cells(&self) -> u64 {
         if self.banks.is_empty() {
             return 0;
         }
         match self.floorplan {
-            FloorplanKind::PointSam { .. } => 6,
+            FloorplanKind::PointSam { .. } => 3 * self.effective_cr_slots() as u64,
             FloorplanKind::LineSam { .. } => {
                 let height = self
                     .banks
@@ -288,9 +307,46 @@ impl MemorySystem {
         self.num_qubits as f64 / self.total_cells() as f64
     }
 
-    /// Number of CR register slots available to hold loaded qubits.
+    /// Number of CR register slots available to hold loaded qubits, as
+    /// configured (the paper fixes this to two).
     pub fn cr_slots(&self) -> u32 {
         self.cr_slots
+    }
+
+    /// Minimum number of register slots any physical CR provides: the minimal
+    /// six-cell point-SAM CR block of Fig. 10a and the two-column line-SAM CR
+    /// of Fig. 10b both hold two register cells, so [`MemorySystem::cr_cells`]
+    /// always charges at least this many slots and the simulator always
+    /// schedules with at least this many.
+    pub const MIN_CR_SLOTS: u32 = 2;
+
+    /// Number of CR register slots the simulator should schedule with: the
+    /// configured count, floored at [`MemorySystem::MIN_CR_SLOTS`] because the
+    /// smallest CR charged by [`MemorySystem::cr_cells`] already contains two
+    /// register cells. Zero when the floorplan has no CR at all (conventional,
+    /// or a hybrid whose hot set covers every qubit) — register slots impose
+    /// no constraint there.
+    pub fn effective_cr_slots(&self) -> u32 {
+        if self.banks.is_empty() {
+            0
+        } else {
+            self.cr_slots.max(Self::MIN_CR_SLOTS)
+        }
+    }
+
+    /// True if `qubit` is currently checked out of its SAM bank to the CR.
+    /// Conventional residents never check out (every access is in place), and
+    /// unknown tags are never checked out.
+    pub fn is_checked_out(&self, qubit: QubitTag) -> bool {
+        match self.residence(qubit) {
+            Some(Residence::SamBank(i)) => self.banks[i].is_checked_out(qubit),
+            _ => false,
+        }
+    }
+
+    /// Total number of qubits currently checked out across all SAM banks.
+    pub fn checked_out_count(&self) -> usize {
+        self.banks.iter().map(Bank::checked_out_count).sum()
     }
 
     fn bank_mut(&mut self, qubit: QubitTag) -> Result<Option<&mut Bank>, LatticeError> {
@@ -504,6 +560,72 @@ mod tests {
         // The conventional baseline has no banks, hence no ports.
         let mem = MemorySystem::new(&ArchConfig::conventional(1), 10, &[]);
         assert_eq!(mem.bank_port(0), None);
+    }
+
+    #[test]
+    fn checkout_state_is_visible_through_the_memory_system() {
+        let mut mem = MemorySystem::new(&point(2), 60, &[]);
+        assert_eq!(mem.checked_out_count(), 0);
+        let q = QubitTag(5);
+        mem.load(q).unwrap();
+        assert!(mem.is_checked_out(q));
+        assert_eq!(mem.checked_out_count(), 1);
+        // Another bank's qubit is independent.
+        let other = QubitTag(6);
+        assert!(!mem.is_checked_out(other));
+        mem.load(other).unwrap();
+        assert_eq!(mem.checked_out_count(), 2);
+        mem.store(q).unwrap();
+        assert!(!mem.is_checked_out(q));
+        assert_eq!(mem.checked_out_count(), 1);
+        // Conventional residents and unknown tags never check out.
+        let mut hybrid = MemorySystem::new(&point(1).with_hybrid_fraction(0.5), 10, &[QubitTag(0)]);
+        hybrid.load(QubitTag(0)).unwrap();
+        assert!(!hybrid.is_checked_out(QubitTag(0)));
+        assert!(!hybrid.is_checked_out(QubitTag(999)));
+    }
+
+    #[test]
+    fn store_of_a_never_loaded_bank_qubit_is_a_typed_error() {
+        let mut mem = MemorySystem::new(&line(2), 40, &[]);
+        let err = mem.store(QubitTag(3)).unwrap_err();
+        assert!(matches!(err, LatticeError::QubitAlreadyPlaced { .. }));
+        mem.load(QubitTag(3)).unwrap();
+        mem.load(QubitTag(5)).unwrap();
+        mem.store(QubitTag(3)).unwrap();
+        // Stored twice: the second store finds the ledger empty for this tag.
+        let err = mem.store(QubitTag(3)).unwrap_err();
+        assert!(matches!(err, LatticeError::QubitAlreadyPlaced { .. }));
+        mem.store(QubitTag(5)).unwrap();
+        assert_eq!(mem.checked_out_count(), 0);
+    }
+
+    #[test]
+    fn effective_cr_slots_floors_at_the_physical_minimum() {
+        // The minimal CR already holds two register cells.
+        assert_eq!(MemorySystem::MIN_CR_SLOTS, 2);
+        let mut config = point(1);
+        config.cr_slots = 1;
+        let mem = MemorySystem::new(&config, 20, &[]);
+        assert_eq!(mem.cr_slots(), 1);
+        assert_eq!(mem.effective_cr_slots(), 2);
+        // The charged point CR always contains the scheduled slots: the
+        // six-cell Fig. 10a block for the default two, growing with wider
+        // configurations.
+        assert_eq!(mem.cr_cells(), 6);
+        let mut config = point(1);
+        config.cr_slots = 4;
+        let mem = MemorySystem::new(&config, 20, &[]);
+        assert_eq!(mem.effective_cr_slots(), 4);
+        assert_eq!(mem.cr_cells(), 12);
+        // Larger configured CRs are taken as configured.
+        let mut config = line(1);
+        config.cr_slots = 4;
+        let mem = MemorySystem::new(&config, 20, &[]);
+        assert_eq!(mem.effective_cr_slots(), 4);
+        // No banks → no CR → no slot constraint.
+        let mem = MemorySystem::new(&ArchConfig::conventional(1), 20, &[]);
+        assert_eq!(mem.effective_cr_slots(), 0);
     }
 
     #[test]

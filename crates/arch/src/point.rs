@@ -16,9 +16,18 @@
 //! two-qubit access drags the target next to the port without the final move
 //! into a register cell (Sec. V-C).
 
+use crate::ledger::CheckoutLedger;
 use lsqca_lattice::{Beats, CellGrid, Coord, LatticeError, ProtocolLatencies, QubitTag};
 
 /// A single point-SAM bank.
+///
+/// The bank enforces the paper's `n + 1`-cell invariant through its checkout
+/// ledger: at all times `stored + checked_out == n` and the grid holds exactly
+/// `1 + checked_out` vacancies (the scan cell plus one per qubit currently in
+/// the CR). [`PointSamBank::store`] therefore rejects any qubit that was not
+/// checked out of *this* bank with
+/// [`LatticeError::QubitNotCheckedOut`] instead of silently consuming the
+/// scan vacancy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointSamBank {
     grid: CellGrid,
@@ -29,8 +38,8 @@ pub struct PointSamBank {
     /// Original home cell of every qubit, for the non-locality-aware store.
     /// Indexed densely by `QubitTag::index()`; `None` for tags held elsewhere.
     home: Vec<Option<Coord>>,
-    /// Number of qubits currently checked out to the CR.
-    checked_out: usize,
+    /// Exactly which of this bank's qubits are checked out to the CR.
+    ledger: CheckoutLedger,
     latencies: ProtocolLatencies,
     /// Exact cell count charged to this bank (`data qubits + 1`).
     cell_count: u64,
@@ -77,16 +86,43 @@ impl PointSamBank {
         grid.register_anchor(port)
             .expect("the port lies inside the bank grid");
 
-        PointSamBank {
+        let bank = PointSamBank {
             grid,
             port,
             scan: port,
             home,
-            checked_out: 0,
+            ledger: CheckoutLedger::new(table_len),
             latencies: ProtocolLatencies::paper(),
             cell_count: n + 1,
             locality_aware_store,
-        }
+        };
+        bank.debug_assert_invariants();
+        bank
+    }
+
+    /// Debug-asserts the paper's point-SAM shape after every mutation: `n`
+    /// qubits in `n + 1` charged cells, split between stored and checked-out,
+    /// with one scan vacancy plus one extra vacancy per checked-out qubit.
+    /// The near-square grid rectangle may pad the charged area; the padding is
+    /// constant, so any drift in the vacancy count is a real corruption.
+    #[inline]
+    fn debug_assert_invariants(&self) {
+        let n = self.cell_count as usize - 1;
+        debug_assert_eq!(
+            self.stored_qubits() + self.ledger.count(),
+            n,
+            "stored + checked_out must equal the bank's data-qubit count"
+        );
+        let padding = self.grid.cell_count() as usize - (n + 1);
+        debug_assert_eq!(
+            self.grid.vacant_count(),
+            1 + padding + self.ledger.count(),
+            "a point bank holds one scan vacancy (plus grid padding) plus one vacancy per checkout"
+        );
+        debug_assert!(
+            self.ledger.iter().all(|q| !self.grid.contains(q)),
+            "a checked-out qubit cannot simultaneously occupy a cell"
+        );
     }
 
     /// Exact number of cells charged to this bank (data qubits + one scan cell).
@@ -110,10 +146,20 @@ impl PointSamBank {
         self.grid.contains(qubit)
     }
 
+    /// Number of this bank's qubits currently checked out to the CR.
+    pub fn checked_out_count(&self) -> usize {
+        self.ledger.count()
+    }
+
+    /// True if `qubit` is currently checked out of this bank to the CR.
+    pub fn is_checked_out(&self, qubit: QubitTag) -> bool {
+        self.ledger.is_checked_out(qubit)
+    }
+
     /// True when a second vacancy exists (a qubit is checked out), enabling the
     /// cheaper move protocol of Fig. 11.
     fn has_second_vacancy(&self) -> bool {
-        self.checked_out >= 1
+        !self.ledger.is_empty()
     }
 
     fn position(&self, qubit: QubitTag) -> Result<Coord, LatticeError> {
@@ -152,9 +198,10 @@ impl PointSamBank {
         let pos = self.position(qubit)?;
         let cost = self.load_cost(pos);
         self.grid.remove(qubit)?;
-        self.checked_out += 1;
+        self.ledger.check_out(qubit);
         // The vacancy that carried the target ends up next to the port.
         self.scan = self.port;
+        self.debug_assert_invariants();
         Ok(cost)
     }
 
@@ -162,16 +209,29 @@ impl PointSamBank {
     ///
     /// With the locality-aware policy the qubit is parked in the vacant cell
     /// nearest the port; otherwise it walks back to its original home cell.
+    /// Only qubits recorded in the checkout ledger — i.e. previously loaded
+    /// from *this* bank — are accepted: anything else would consume the scan
+    /// vacancy and break the `n + 1`-cell invariant.
     ///
     /// # Errors
     ///
-    /// Returns [`LatticeError::GridFull`] if no vacant cell is available, or
-    /// [`LatticeError::QubitAlreadyPlaced`] if the qubit never left.
+    /// * [`LatticeError::QubitAlreadyPlaced`] if the qubit never left.
+    /// * [`LatticeError::QubitNotCheckedOut`] if the qubit was never loaded
+    ///   from this bank (including foreign tags).
     pub fn store(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
+        if let Some(at) = self.grid.position_of(qubit) {
+            return Err(LatticeError::QubitAlreadyPlaced { qubit, at });
+        }
+        if !self.ledger.is_checked_out(qubit) {
+            return Err(LatticeError::QubitNotCheckedOut { qubit });
+        }
+        // The transport discount applies while the qubit is still out (its own
+        // vacancy is the second one the move protocol of Fig. 11 exploits).
+        let two = self.has_second_vacancy();
         let dest = if self.locality_aware_store {
-            self.grid
-                .nearest_vacant(self.port)
-                .ok_or(LatticeError::GridFull)?
+            // Fused nearest-vacant + place: one pass over the grid tables and
+            // a front-pop of the vacancy index's minimal ring.
+            self.grid.place_at_nearest_vacancy(qubit, self.port)?
         } else {
             let home = self
                 .home
@@ -180,21 +240,18 @@ impl PointSamBank {
                 .flatten()
                 .ok_or(LatticeError::QubitNotPresent { qubit })?;
             if self.grid.is_vacant(home) {
+                self.grid.place(qubit, home)?;
                 home
             } else {
-                self.grid
-                    .nearest_vacant(home)
-                    .ok_or(LatticeError::GridFull)?
+                self.grid.place_at_nearest_vacancy(qubit, home)?
             }
         };
-        let transport = self.latencies.point_transport(
-            dest.dx(self.port),
-            dest.dy(self.port),
-            self.has_second_vacancy(),
-        );
-        self.grid.place(qubit, dest)?;
-        self.checked_out = self.checked_out.saturating_sub(1);
+        let transport = self
+            .latencies
+            .point_transport(dest.dx(self.port), dest.dy(self.port), two);
+        self.ledger.check_in(qubit);
         self.scan = self.port;
+        self.debug_assert_invariants();
         Ok(transport + self.latencies.move_step)
     }
 
@@ -221,21 +278,19 @@ impl PointSamBank {
     ///
     /// Returns [`LatticeError::QubitNotPresent`] if the qubit is not stored here.
     pub fn in_memory_two_qubit_access(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
-        let pos = self.position(qubit)?;
-        let seek = Beats(self.scan.manhattan_distance(pos) as u64);
         let two = self.has_second_vacancy();
         // Destination: the vacant cell closest to the port (often the port's
-        // neighbour); if the qubit already sits there the transport is free.
-        self.grid.remove(qubit)?;
-        let dest = self
-            .grid
-            .nearest_vacant(self.port)
-            .expect("removing the qubit guarantees a vacancy");
+        // neighbour, or the qubit's own cell once it has migrated there, in
+        // which case the transport is free). The fused primitive replaces the
+        // former remove → nearest_vacant → place triple walk with a single
+        // pass over the cells, positions, and vacancy-ring tables.
+        let (pos, dest) = self.grid.relocate_into_nearest_vacancy(qubit, self.port)?;
+        let seek = Beats(self.scan.manhattan_distance(pos) as u64);
         let transport = self
             .latencies
             .point_transport(pos.dx(dest), pos.dy(dest), two);
-        self.grid.place(qubit, dest)?;
         self.scan = pos;
+        self.debug_assert_invariants();
         Ok(seek + transport)
     }
 
@@ -390,6 +445,45 @@ mod tests {
     fn empty_bank_panics() {
         let _ = PointSamBank::new(&[], true);
     }
+
+    #[test]
+    fn store_of_a_never_checked_out_qubit_is_rejected() {
+        let mut bank = PointSamBank::new(&qubits(9), true);
+        // A foreign tag that was never part of this bank.
+        assert!(matches!(
+            bank.store(QubitTag(100)),
+            Err(LatticeError::QubitNotCheckedOut {
+                qubit: QubitTag(100)
+            })
+        ));
+        // The bank's own qubit that never left is "already placed", not a
+        // ledger violation.
+        assert!(matches!(
+            bank.store(QubitTag(3)),
+            Err(LatticeError::QubitAlreadyPlaced { .. })
+        ));
+        // Neither rejection consumed the scan vacancy or moved anything.
+        assert_eq!(bank.stored_qubits(), 9);
+        assert_eq!(bank.checked_out_count(), 0);
+        // The same applies to the non-locality-aware store policy.
+        let mut home = PointSamBank::new(&qubits(9), false);
+        assert!(matches!(
+            home.store(QubitTag(100)),
+            Err(LatticeError::QubitNotCheckedOut { .. })
+        ));
+        // A legitimate round trip still works and settles the ledger.
+        let mut bank = PointSamBank::new(&qubits(9), true);
+        bank.load(QubitTag(4)).unwrap();
+        assert!(bank.is_checked_out(QubitTag(4)));
+        assert_eq!(bank.checked_out_count(), 1);
+        bank.store(QubitTag(4)).unwrap();
+        assert!(!bank.is_checked_out(QubitTag(4)));
+        assert_eq!(bank.checked_out_count(), 0);
+        // Storing it twice is rejected the second time.
+        bank.load(QubitTag(4)).unwrap();
+        bank.store(QubitTag(4)).unwrap();
+        assert!(bank.store(QubitTag(4)).is_err());
+    }
 }
 
 #[cfg(test)]
@@ -452,6 +546,67 @@ mod proptests {
                 prop_assert_eq!(bank.contains(q), mirror.contains(&q));
                 prop_assert_eq!(bank.stored_qubits(), mirror.len());
                 prop_assert_eq!(bank.distance_from_port(q).is_some(), mirror.contains(&q));
+            }
+        }
+
+        /// The checkout ledger enforces the paper's point-SAM shape across
+        /// random load/store/in-memory sequences that include foreign tags:
+        /// `stored + checked_out == n` always, the grid holds exactly one scan
+        /// vacancy (plus constant grid padding) per checkout beyond the first,
+        /// and a store is accepted exactly when the ledger has the qubit.
+        #[test]
+        fn checkout_ledger_preserves_the_bank_invariants(
+            n in 4u32..120,
+            ops in proptest::collection::vec((0u32..150, 0u32..3), 1..100),
+            locality in proptest::bool::ANY,
+        ) {
+            let qubits: Vec<QubitTag> = (0..n).map(QubitTag).collect();
+            let mut bank = PointSamBank::new(&qubits, locality);
+            let padding = bank.grid.cell_count() as usize - bank.cell_count() as usize;
+            let mut out: std::collections::HashSet<QubitTag> =
+                std::collections::HashSet::new();
+            for (tag, op) in ops {
+                let q = QubitTag(tag);
+                match op {
+                    0 => {
+                        let loaded = bank.load(q).is_ok();
+                        prop_assert_eq!(loaded, tag < n && !out.contains(&q));
+                        if loaded {
+                            out.insert(q);
+                        }
+                    }
+                    1 => {
+                        let stored = bank.store(q);
+                        // Accepted exactly when this bank checked the qubit out.
+                        prop_assert_eq!(stored.is_ok(), out.contains(&q));
+                        if stored.is_ok() {
+                            out.remove(&q);
+                        } else if !bank.contains(q) {
+                            // Foreign/never-loaded tags get the typed error.
+                            prop_assert_eq!(
+                                stored.unwrap_err(),
+                                LatticeError::QubitNotCheckedOut { qubit: q }
+                            );
+                        }
+                    }
+                    _ => {
+                        let accessed = bank.in_memory_two_qubit_access(q).is_ok();
+                        prop_assert_eq!(accessed, tag < n && !out.contains(&q));
+                    }
+                }
+                // The paper's invariant, after every operation.
+                prop_assert_eq!(bank.checked_out_count(), out.len());
+                prop_assert_eq!(
+                    bank.stored_qubits() + bank.checked_out_count(),
+                    n as usize
+                );
+                prop_assert_eq!(
+                    bank.grid.vacant_count(),
+                    1 + padding + bank.checked_out_count()
+                );
+                for &q in &out {
+                    prop_assert!(bank.is_checked_out(q));
+                }
             }
         }
     }

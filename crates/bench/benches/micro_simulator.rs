@@ -17,8 +17,8 @@ use lsqca::lattice::{CellGrid, Coord, PathScratch};
 use lsqca::prelude::*;
 use lsqca::workloads::{shift_add_multiplier, MultiplierConfig};
 use lsqca_bench::hotpath::{
-    bank_grid, command_count_classes, legacy, operand_walk, operand_walk_legacy, residence_sweep,
-    residence_sweep_legacy,
+    bank_grid, command_count_classes, legacy, operand_walk, operand_walk_legacy, relocation_walk,
+    relocation_walk_legacy, relocation_working_set, residence_sweep, residence_sweep_legacy,
 };
 
 fn multiplier_workload() -> Workload {
@@ -84,6 +84,17 @@ fn bench_hotpath(c: &mut Criterion) {
     });
     group.bench_function("nearest_vacant_legacy_scan", |b| {
         b.iter(|| black_box(legacy::nearest_vacant(black_box(&grid), port)))
+    });
+
+    // Fused relocation vs the remove → nearest_vacant → place triple walk.
+    let working = relocation_working_set(&grid);
+    let mut fused_grid = grid.clone();
+    group.bench_function("relocate_fused", |b| {
+        b.iter(|| black_box(relocation_walk(&mut fused_grid, port, &working)))
+    });
+    let mut triple_grid = grid.clone();
+    group.bench_function("relocate_legacy_triple_walk", |b| {
+        b.iter(|| black_box(relocation_walk_legacy(&mut triple_grid, port, &working)))
     });
 
     // Vacant-path BFS: dense PathScratch vs the legacy HashMap frontier.

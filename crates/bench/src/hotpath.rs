@@ -2,7 +2,9 @@
 //!
 //! The simulator's per-instruction loop used to heap-allocate a `Vec` for
 //! every operand-list query, hash every memory-residence lookup, scan every
-//! grid cell to find the vacancy nearest the bank port, run its vacant-path
+//! grid cell to find the vacancy nearest the bank port, mutate the grid's
+//! three tables twice per relocation (remove → nearest_vacant → place instead
+//! of the fused `relocate_into_nearest_vacancy`), run its vacant-path
 //! BFS through a `HashMap` frontier, and re-match on the instruction variant
 //! for the CPI command count. This module keeps faithful *reference
 //! implementations* of those legacy code paths ([`legacy`]) and measures them
@@ -131,6 +133,24 @@ pub mod legacy {
             .filter(|instr| !table.is_negligible(instr))
             .count()
     }
+
+    /// The pre-fusion relocation walk of `in_memory_two_qubit_access` (and,
+    /// modulo the checkout, of every locality-aware store): three separate
+    /// grid mutations — `remove` (position table + cells + vacancy-ring
+    /// insert), `nearest_vacant` (index read), `place` (the same three tables
+    /// again) — where `relocate_into_nearest_vacancy` now makes one pass.
+    pub fn relocate_via_triple_walk(
+        grid: &mut CellGrid,
+        qubit: QubitTag,
+        target: Coord,
+    ) -> (Coord, Coord) {
+        let from = grid.remove(qubit).expect("qubit is on the grid");
+        let dest = grid
+            .nearest_vacant(target)
+            .expect("the freed cell is vacant");
+        grid.place(qubit, dest).expect("destination is vacant");
+        (from, dest)
+    }
 }
 
 /// How much wall time each measurement may spend.
@@ -234,6 +254,43 @@ pub fn residence_sweep_legacy(
 /// machine word, versus the legacy one-match-per-instruction walk.
 pub fn command_count_classes(classes: &[LatencyClass]) -> usize {
     lsqca::isa::latency::command_count(classes)
+}
+
+/// One round of port-directed relocations over `tags` through the fused
+/// primitive — the access pattern of the CX hot path, where each operand is
+/// dragged next to the port in turn.
+pub fn relocation_walk(grid: &mut CellGrid, port: Coord, tags: &[QubitTag]) -> u32 {
+    let mut acc = 0u32;
+    for &q in tags {
+        let (from, to) = grid
+            .relocate_into_nearest_vacancy(q, port)
+            .expect("tags are on the grid");
+        acc += from.manhattan_distance(to);
+    }
+    acc
+}
+
+/// The same round through the legacy remove → nearest_vacant → place triple.
+pub fn relocation_walk_legacy(grid: &mut CellGrid, port: Coord, tags: &[QubitTag]) -> u32 {
+    let mut acc = 0u32;
+    for &q in tags {
+        let (from, to) = legacy::relocate_via_triple_walk(grid, q, port);
+        acc += from.manhattan_distance(to);
+    }
+    acc
+}
+
+/// The working set the relocation walks cycle over: tags spread across the
+/// bank grid so the walk mixes already-near and far-from-port qubits, like a
+/// CX stream over a rotating working set does once locality kicks in.
+pub fn relocation_working_set(grid: &CellGrid) -> Vec<QubitTag> {
+    let occupied = grid.occupied_count();
+    let step = (occupied / 16).max(1);
+    (0..occupied)
+        .step_by(step)
+        .map(|i| QubitTag(i as u32))
+        .filter(|&q| grid.contains(q))
+        .collect()
 }
 
 /// A point-SAM-shaped occupancy grid at `num_qubits` scale: near-square with
@@ -407,6 +464,29 @@ pub fn generate_with(scale: Scale, budget: MeasureBudget) -> HotpathReport {
         optimized_ns,
     });
 
+    // Fused relocation: `relocate_into_nearest_vacancy` vs the legacy
+    // remove → nearest_vacant → place triple walk, cycling port-directed
+    // relocations over a working set the way the CX hot path does. Both
+    // sides run on their own grid and converge to the same steady state.
+    let working = relocation_working_set(&grid);
+    let mut legacy_grid = grid.clone();
+    let legacy_ns = measure_ns(budget, || {
+        black_box(relocation_walk_legacy(
+            &mut legacy_grid,
+            port,
+            black_box(&working),
+        ));
+    }) / working.len() as f64;
+    let mut fused_grid = grid.clone();
+    let optimized_ns = measure_ns(budget, || {
+        black_box(relocation_walk(&mut fused_grid, port, black_box(&working)));
+    }) / working.len() as f64;
+    comparisons.push(Comparison {
+        name: "relocate".to_string(),
+        legacy_ns,
+        optimized_ns,
+    });
+
     // Vacant-path BFS: the reusable dense `PathScratch` distance grid vs the
     // legacy `HashMap` frontier, per corner-to-corner query on an open region
     // of the same dimensions (the worst case: the frontier visits every cell).
@@ -542,7 +622,7 @@ mod tests {
         // Shape-only with a near-zero time budget: timing assertions live in
         // the benches, not unit tests.
         let report = generate_with(Scale::Quick, MeasureBudget::smoke());
-        assert_eq!(report.comparisons.len(), 5);
+        assert_eq!(report.comparisons.len(), 6);
         assert_eq!(report.end_to_end.len(), 3);
         let json = report.to_json().pretty();
         assert!(json.contains("lsqca-bench-hotpath-v1"));
@@ -550,6 +630,7 @@ mod tests {
             "operand_extraction",
             "residence_lookup",
             "nearest_vacant",
+            "relocate",
             "vacant_path",
             "latency_class",
         ] {
@@ -599,6 +680,26 @@ mod tests {
                 open.vacant_path_len_in(from, to, &mut scratch).unwrap(),
                 legacy::vacant_path_len(&open, from, to).unwrap()
             );
+        }
+    }
+
+    #[test]
+    fn legacy_relocation_walk_matches_the_fused_walk() {
+        let (grid, port) = bank_grid(150);
+        let working = relocation_working_set(&grid);
+        assert!(!working.is_empty());
+        let mut fused = grid.clone();
+        let mut triple = grid.clone();
+        // Step-by-step agreement through several rounds, including the
+        // steady state where qubits oscillate near the port.
+        for _ in 0..4 {
+            for &q in &working {
+                let a = fused.relocate_into_nearest_vacancy(q, port).unwrap();
+                let b = legacy::relocate_via_triple_walk(&mut triple, q, port);
+                assert_eq!(a, b);
+            }
+            assert_eq!(fused, triple);
+            assert_eq!(fused.nearest_vacant(port), triple.nearest_vacant(port));
         }
     }
 

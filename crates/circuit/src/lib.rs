@@ -3,8 +3,8 @@
 //! Benchmark programs enter the toolchain as circuits over a small logical gate
 //! set (Clifford + T + Toffoli + measurements). This crate provides:
 //!
-//! * [`gate`] — the [`Gate`](gate::Gate) enum and helpers.
-//! * [`circuit`] — the [`Circuit`](circuit::Circuit) container with builder-style
+//! * [`gate`] — the [`Gate`] enum and helpers.
+//! * [`circuit`] — the [`Circuit`] container with builder-style
 //!   methods and named [`registers`](register::RegisterMap) (control / temporal /
 //!   system registers for SELECT, operand registers for arithmetic, ...).
 //! * [`decompose`] — lowering passes: Toffoli → Clifford+T (the standard

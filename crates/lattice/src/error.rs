@@ -51,6 +51,12 @@ pub enum LatticeError {
     },
     /// The grid has no vacant cell left.
     GridFull,
+    /// A store was attempted for a qubit that was never checked out of this
+    /// bank (it was never loaded from it, or belongs to a different bank).
+    QubitNotCheckedOut {
+        /// The qubit that is not in the checkout ledger.
+        qubit: QubitTag,
+    },
 }
 
 impl fmt::Display for LatticeError {
@@ -75,6 +81,9 @@ impl fmt::Display for LatticeError {
                 write!(f, "no vacant path from {from} to {to}")
             }
             LatticeError::GridFull => write!(f, "grid has no vacant cell"),
+            LatticeError::QubitNotCheckedOut { qubit } => {
+                write!(f, "qubit {qubit} was never checked out of this bank")
+            }
         }
     }
 }
@@ -110,6 +119,7 @@ mod tests {
                 to: Coord::new(3, 3),
             },
             LatticeError::GridFull,
+            LatticeError::QubitNotCheckedOut { qubit: QubitTag(8) },
         ];
         for e in errors {
             let msg = e.to_string();

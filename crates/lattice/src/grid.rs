@@ -287,6 +287,104 @@ impl CellGrid {
         Ok(())
     }
 
+    /// Moves `qubit` into the vacant cell nearest `target` (Manhattan metric,
+    /// ties broken row-major), treating the qubit's own cell as vacant, and
+    /// returns `(from, to)`. Equivalent to `remove` → `nearest_vacant` →
+    /// `place` but performed in a single pass: the position table is written
+    /// once (the occupied count never moves), and the vacancy rings see one
+    /// fused [`VacancyIndex::swap`] — or no update at all when the qubit
+    /// already sits on the nearest vacancy-to-be, instead of the legacy
+    /// insert/read/remove triple.
+    ///
+    /// When `target` is the registered anchor the candidate comes from the
+    /// vacancy index in O(1); otherwise an outward ring search is used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::QubitNotPresent`] if the qubit is not on the grid.
+    pub fn relocate_into_nearest_vacancy(
+        &mut self,
+        qubit: QubitTag,
+        target: Coord,
+    ) -> Result<(Coord, Coord), LatticeError> {
+        let from = self
+            .position_of(qubit)
+            .ok_or(LatticeError::QubitNotPresent { qubit })?;
+        let key = |c: Coord| (c.manhattan_distance(target), c.y, c.x);
+        let anchored = self
+            .vacancy
+            .as_ref()
+            .is_some_and(|index| index.anchor() == target);
+        let candidate = if anchored {
+            self.vacancy.as_ref().and_then(VacancyIndex::nearest)
+        } else {
+            self.ring_search(target, |c, cell| cell.is_vacant() || c == from)
+        };
+        // The qubit's own cell counts as vacant: removing it always leaves at
+        // least one vacancy, so the destination always exists.
+        let to = match candidate {
+            Some(c) if key(c) < key(from) => c,
+            _ => from,
+        };
+        if to == from {
+            return Ok((from, from));
+        }
+        let from_idx = self.index(from);
+        let to_idx = self.index(to);
+        debug_assert!(self.cells[to_idx].is_vacant());
+        self.cells[from_idx] = CellState::Vacant;
+        self.cells[to_idx] = CellState::Occupied(qubit);
+        if let Some(index) = &mut self.vacancy {
+            index.swap(from, to);
+        }
+        self.positions[qubit.0 as usize] = Some(to);
+        Ok((from, to))
+    }
+
+    /// Places `qubit` (not currently on the grid) into the vacant cell nearest
+    /// `target`, returning the chosen cell. Equivalent to `nearest_vacant` →
+    /// `place` but fused: when `target` is the registered anchor the
+    /// destination is popped straight off the vacancy index's minimal ring
+    /// ([`VacancyIndex::take_nearest`]) instead of being read and then
+    /// binary-searched for removal.
+    ///
+    /// # Errors
+    ///
+    /// * [`LatticeError::QubitAlreadyPlaced`] if the qubit is already on the grid.
+    /// * [`LatticeError::GridFull`] if no vacant cell exists.
+    pub fn place_at_nearest_vacancy(
+        &mut self,
+        qubit: QubitTag,
+        target: Coord,
+    ) -> Result<Coord, LatticeError> {
+        if let Some(at) = self.position_of(qubit) {
+            return Err(LatticeError::QubitAlreadyPlaced { qubit, at });
+        }
+        let anchored = self
+            .vacancy
+            .as_ref()
+            .is_some_and(|index| index.anchor() == target);
+        if anchored {
+            let index = self.vacancy.as_mut().expect("anchored implies an index");
+            let dest = index.take_nearest().ok_or(LatticeError::GridFull)?;
+            let idx = self.index(dest);
+            debug_assert!(self.cells[idx].is_vacant());
+            self.cells[idx] = CellState::Occupied(qubit);
+            self.set_position(qubit, Some(dest));
+            return Ok(dest);
+        }
+        let dest = self
+            .ring_search(target, |_, cell| cell.is_vacant())
+            .ok_or(LatticeError::GridFull)?;
+        let idx = self.index(dest);
+        self.cells[idx] = CellState::Occupied(qubit);
+        if let Some(index) = &mut self.vacancy {
+            index.remove(dest);
+        }
+        self.set_position(qubit, Some(dest));
+        Ok(dest)
+    }
+
     /// Iterates over all `(qubit, position)` pairs in ascending tag order.
     pub fn iter(&self) -> impl Iterator<Item = (QubitTag, Coord)> + '_ {
         self.positions
@@ -317,25 +415,25 @@ impl CellGrid {
                 return index.nearest();
             }
         }
-        self.ring_search(target, |cell| cell.is_vacant())
+        self.ring_search(target, |_, cell| cell.is_vacant())
     }
 
     /// Finds the occupied cell closest (Manhattan metric) to `target` by the
     /// same outward ring search, ties broken row-major.
     pub fn nearest_occupied(&self, target: Coord) -> Option<Coord> {
-        self.ring_search(target, |cell| !cell.is_vacant())
+        self.ring_search(target, |_, cell| !cell.is_vacant())
     }
 
     /// Expanding ring search around `target`: visits cells in ascending
     /// `(manhattan, y, x)` order and returns the first one matching `pred`,
     /// so the answer equals the legacy full-grid `min_by_key` scan.
-    fn ring_search(&self, target: Coord, pred: impl Fn(CellState) -> bool) -> Option<Coord> {
+    fn ring_search(&self, target: Coord, pred: impl Fn(Coord, CellState) -> bool) -> Option<Coord> {
         if !self.in_bounds(target) {
             // Clamping would change the metric; fall back to the exact scan
             // for the (cold, test-only) out-of-grid targets.
             return (0..self.height)
                 .flat_map(|y| (0..self.width).map(move |x| Coord::new(x, y)))
-                .filter(|&c| pred(self.cells[self.index(c)]))
+                .filter(|&c| pred(c, self.cells[self.index(c)]))
                 .min_by_key(|&c| (c.manhattan_distance(target), c.y, c.x));
         }
         let max_d =
@@ -357,7 +455,7 @@ impl CellGrid {
                         continue;
                     }
                     let c = Coord::new(x, y);
-                    if pred(self.cells[self.index(c)]) {
+                    if pred(c, self.cells[self.index(c)]) {
                         return Some(c);
                     }
                 }
@@ -681,6 +779,108 @@ mod tests {
     }
 
     #[test]
+    fn fused_relocate_matches_the_triple_walk() {
+        let mut grid = filled_grid(4, 4, 13);
+        let port = Coord::new(0, 2);
+        grid.register_anchor(port).unwrap();
+        let mut legacy = grid.clone();
+        for tag in [12u32, 0, 7, 12, 3] {
+            let q = QubitTag(tag);
+            let from_legacy = legacy.remove(q).unwrap();
+            let dest_legacy = legacy.nearest_vacant(port).unwrap();
+            legacy.place(q, dest_legacy).unwrap();
+            let (from, to) = grid.relocate_into_nearest_vacancy(q, port).unwrap();
+            assert_eq!((from, to), (from_legacy, dest_legacy));
+            assert_eq!(grid, legacy);
+            assert_eq!(grid.nearest_vacant(port), legacy.nearest_vacant(port));
+        }
+        // A missing qubit is reported, not silently ignored.
+        assert!(matches!(
+            grid.relocate_into_nearest_vacancy(QubitTag(99), port),
+            Err(LatticeError::QubitNotPresent { .. })
+        ));
+    }
+
+    #[test]
+    fn fused_relocate_is_a_no_op_when_already_nearest() {
+        // Park a qubit directly on the port-adjacent optimum; relocating it
+        // again must keep it (and the vacancy structure) in place.
+        let mut grid = CellGrid::new(3, 3);
+        let port = Coord::ORIGIN;
+        grid.register_anchor(port).unwrap();
+        grid.place(QubitTag(0), port).unwrap();
+        grid.place(QubitTag(1), Coord::new(2, 2)).unwrap();
+        let (from, to) = grid
+            .relocate_into_nearest_vacancy(QubitTag(0), port)
+            .unwrap();
+        assert_eq!((from, to), (port, port));
+        assert_eq!(grid.position_of(QubitTag(0)), Some(port));
+        assert_eq!(grid.nearest_vacant(port), Some(Coord::new(1, 0)));
+    }
+
+    #[test]
+    fn fused_relocate_works_without_an_anchor() {
+        let mut grid = filled_grid(3, 3, 8); // only (2,2) vacant
+        let target = Coord::ORIGIN;
+        let (from, to) = grid
+            .relocate_into_nearest_vacancy(QubitTag(5), target)
+            .unwrap();
+        // Qubit 5 sits at (2,1); the only vacancy (2,2) is farther from the
+        // origin than its own cell, so it stays put.
+        assert_eq!((from, to), (Coord::new(2, 1), Coord::new(2, 1)));
+        let (from, to) = grid
+            .relocate_into_nearest_vacancy(QubitTag(7), target)
+            .unwrap();
+        // Qubit 7 at (1,2) moves nowhere either; but qubit at (2,2)-adjacent
+        // positions can swap into the vacancy when it is nearer the target.
+        assert_eq!(from, to);
+        let mut grid = CellGrid::new(3, 3);
+        grid.place(QubitTag(0), Coord::new(2, 2)).unwrap();
+        let (from, to) = grid
+            .relocate_into_nearest_vacancy(QubitTag(0), target)
+            .unwrap();
+        assert_eq!((from, to), (Coord::new(2, 2), Coord::ORIGIN));
+    }
+
+    #[test]
+    fn fused_place_matches_nearest_vacant_then_place() {
+        let mut grid = filled_grid(4, 4, 12);
+        let port = Coord::new(0, 2);
+        grid.register_anchor(port).unwrap();
+        let mut legacy = grid.clone();
+        // Open a few vacancies, then refill through both code paths.
+        for tag in [2u32, 9, 11] {
+            grid.remove(QubitTag(tag)).unwrap();
+            legacy.remove(QubitTag(tag)).unwrap();
+        }
+        for tag in [20u32, 21, 22] {
+            let dest_legacy = legacy.nearest_vacant(port).unwrap();
+            legacy.place(QubitTag(tag), dest_legacy).unwrap();
+            let dest = grid.place_at_nearest_vacancy(QubitTag(tag), port).unwrap();
+            assert_eq!(dest, dest_legacy);
+            assert_eq!(grid, legacy);
+        }
+        // Double placement and full grids are rejected.
+        assert!(matches!(
+            grid.place_at_nearest_vacancy(QubitTag(20), port),
+            Err(LatticeError::QubitAlreadyPlaced { .. })
+        ));
+        let mut full = filled_grid(2, 2, 4);
+        full.register_anchor(Coord::ORIGIN).unwrap();
+        assert!(matches!(
+            full.place_at_nearest_vacancy(QubitTag(9), Coord::ORIGIN),
+            Err(LatticeError::GridFull)
+        ));
+        // Non-anchor targets go through the ring search.
+        let mut grid = CellGrid::new(3, 3);
+        grid.place(QubitTag(0), Coord::new(1, 1)).unwrap();
+        let dest = grid
+            .place_at_nearest_vacancy(QubitTag(1), Coord::new(1, 1))
+            .unwrap();
+        assert_eq!(dest, Coord::new(1, 0));
+    }
+
+    #[test]
     fn scratch_reuse_across_queries_is_consistent() {
         let mut grid = CellGrid::new(5, 5);
         grid.place(QubitTag(0), Coord::new(1, 0)).unwrap();
@@ -843,6 +1043,84 @@ mod proptests {
                     prop_assert_eq!(grid.position_of(qubit), mirror.get(&qubit).copied());
                     prop_assert_eq!(grid.contains(qubit), mirror.contains_key(&qubit));
                 }
+            }
+        }
+
+        /// The fused single-pass primitives are observationally identical to
+        /// the legacy multi-walk sequences they replace: `remove` →
+        /// `nearest_vacant` → `place` for relocation and `nearest_vacant` →
+        /// `place` for placement, under random op sequences on anchored and
+        /// unanchored grids alike.
+        #[test]
+        fn fused_primitives_match_the_legacy_walks(
+            anchor in (0u32..6, 0u32..6),
+            use_anchor in proptest::bool::ANY,
+            ops in proptest::collection::vec(
+                (0u32..20, 0u32..6, 0u32..6, 0u32..4), 1..80
+            ),
+        ) {
+            let anchor = Coord::new(anchor.0, anchor.1);
+            let mut fused = CellGrid::new(6, 6);
+            let mut legacy = CellGrid::new(6, 6);
+            if use_anchor {
+                fused.register_anchor(anchor).unwrap();
+                legacy.register_anchor(anchor).unwrap();
+            }
+            for (q, x, y, op) in ops {
+                let qubit = QubitTag(q);
+                let target = if use_anchor { anchor } else { Coord::new(x, y) };
+                match op {
+                    0 => {
+                        let a = fused.place(qubit, Coord::new(x, y));
+                        let b = legacy.place(qubit, Coord::new(x, y));
+                        prop_assert_eq!(a, b);
+                    }
+                    1 => {
+                        let a = fused.remove(qubit);
+                        let b = legacy.remove(qubit);
+                        prop_assert_eq!(a, b);
+                    }
+                    2 => {
+                        // Relocation: fused vs remove → nearest_vacant → place.
+                        let a = fused.relocate_into_nearest_vacancy(qubit, target);
+                        let b = match legacy.remove(qubit) {
+                            Err(e) => Err(e),
+                            Ok(from) => {
+                                let dest = legacy
+                                    .nearest_vacant(target)
+                                    .expect("the freed cell is vacant");
+                                legacy.place(qubit, dest).unwrap();
+                                Ok((from, dest))
+                            }
+                        };
+                        prop_assert_eq!(a, b);
+                    }
+                    _ => {
+                        // Placement: fused vs nearest_vacant → place.
+                        let a = fused.place_at_nearest_vacancy(qubit, target);
+                        let b = if legacy.contains(qubit) {
+                            let at = legacy.position_of(qubit).unwrap();
+                            Err(LatticeError::QubitAlreadyPlaced { qubit, at })
+                        } else {
+                            match legacy.nearest_vacant(target) {
+                                None => Err(LatticeError::GridFull),
+                                Some(dest) => legacy.place(qubit, dest).map(|()| dest),
+                            }
+                        };
+                        prop_assert_eq!(a, b);
+                    }
+                }
+                // Observable state stays identical after every step, through
+                // both the vacancy index (anchor) and the ring search.
+                prop_assert_eq!(&fused, &legacy);
+                prop_assert_eq!(
+                    fused.nearest_vacant(target),
+                    nearest_vacant_scan(&legacy, target)
+                );
+                prop_assert_eq!(
+                    fused.nearest_vacant(anchor),
+                    nearest_vacant_scan(&legacy, anchor)
+                );
             }
         }
 

@@ -15,15 +15,15 @@
 //!   measurements.
 //! * [`cell`] — cell kinds (data, auxiliary, scan, register, port, factory) and
 //!   occupancy.
-//! * [`grid`] — the [`CellGrid`](grid::CellGrid) occupancy map with path finding on
+//! * [`grid`] — the [`CellGrid`] occupancy map with path finding on
 //!   vacant cells, used by the SAM models to simulate sliding-puzzle loads.
 //! * [`patch`] — logical patches and boundary orientations.
 //! * [`protocol`] — primitive fault-tolerant protocols and their code-beat
 //!   latencies.
-//! * [`query`] — the [`VacancyIndex`](query::VacancyIndex) and
-//!   [`PathScratch`](query::PathScratch) acceleration structures behind the
+//! * [`query`] — the [`VacancyIndex`] and
+//!   [`PathScratch`] acceleration structures behind the
 //!   grid's nearest-vacant and vacant-path queries.
-//! * [`timing`] — the [`Beats`](timing::Beats) time unit.
+//! * [`timing`] — the [`Beats`] time unit.
 //!
 //! # Example
 //!

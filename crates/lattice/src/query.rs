@@ -123,6 +123,57 @@ impl VacancyIndex {
             .first()
             .map(|&idx| self.decode(idx))
     }
+
+    /// Removes and returns the vacant cell nearest the anchor. Equivalent to
+    /// `nearest()` followed by `remove()`, but the removal pops the front of
+    /// the minimal ring directly instead of binary-searching for it.
+    pub fn take_nearest(&mut self) -> Option<Coord> {
+        let ring = self.rings.get_mut(self.min_ring)?;
+        debug_assert!(!ring.is_empty(), "min_ring always points at a vacancy");
+        let idx = ring.remove(0);
+        self.len -= 1;
+        while self.min_ring < self.rings.len() && self.rings[self.min_ring].is_empty() {
+            self.min_ring += 1;
+        }
+        Some(self.decode(idx))
+    }
+
+    /// Records that `freed` became vacant and `taken` became occupied in one
+    /// pass — the index update of a fused relocation. Equivalent to
+    /// `insert(freed)` followed by `remove(taken)`, but when both cells sit on
+    /// the same ring the first-non-empty hint needs no maintenance at all, and
+    /// the hint is otherwise walked once instead of twice.
+    pub fn swap(&mut self, freed: Coord, taken: Coord) {
+        if freed == taken {
+            return;
+        }
+        let d_freed = freed.manhattan_distance(self.anchor) as usize;
+        let d_taken = taken.manhattan_distance(self.anchor) as usize;
+        let freed_idx = self.cell_index(freed);
+        let taken_idx = self.cell_index(taken);
+        if d_freed == d_taken {
+            // One ring gains a cell and loses another: its size (and therefore
+            // `min_ring` and `len`) is unchanged.
+            let ring = &mut self.rings[d_freed];
+            if let Ok(pos) = ring.binary_search(&taken_idx) {
+                ring.remove(pos);
+            } else {
+                self.len += 1;
+                self.min_ring = self.min_ring.min(d_freed);
+            }
+            if let Err(pos) = ring.binary_search(&freed_idx) {
+                ring.insert(pos, freed_idx);
+            } else {
+                self.len -= 1;
+            }
+            while self.min_ring < self.rings.len() && self.rings[self.min_ring].is_empty() {
+                self.min_ring += 1;
+            }
+            return;
+        }
+        self.insert(freed);
+        self.remove(taken);
+    }
 }
 
 /// Reusable dense scratch space for the vacant-path BFS.
@@ -219,6 +270,55 @@ mod tests {
         index.remove(Coord::new(1, 1));
         assert_eq!(index.len(), 1);
         assert_eq!(index.nearest(), Some(Coord::new(2, 2)));
+    }
+
+    #[test]
+    fn take_nearest_pops_the_minimal_ring() {
+        let mut index = VacancyIndex::new(Coord::ORIGIN, 4, 4, std::iter::empty());
+        assert_eq!(index.take_nearest(), None);
+        index.insert(Coord::new(3, 3));
+        index.insert(Coord::new(1, 0));
+        index.insert(Coord::new(0, 1));
+        // Ties at distance 1 break row-major: (1,0) before (0,1).
+        assert_eq!(index.take_nearest(), Some(Coord::new(1, 0)));
+        assert_eq!(index.take_nearest(), Some(Coord::new(0, 1)));
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.take_nearest(), Some(Coord::new(3, 3)));
+        assert!(index.is_empty());
+        assert_eq!(index.take_nearest(), None);
+    }
+
+    #[test]
+    fn swap_equals_insert_then_remove() {
+        let cases = [
+            // Same ring (both at distance 2 from the origin).
+            (Coord::new(2, 0), Coord::new(0, 2)),
+            // Different rings, freed nearer.
+            (Coord::new(1, 0), Coord::new(3, 3)),
+            // Different rings, taken nearer.
+            (Coord::new(3, 2), Coord::new(0, 1)),
+        ];
+        for (freed, taken) in cases {
+            let vacancies = [Coord::new(0, 1), Coord::new(2, 2), taken];
+            let mut fused = VacancyIndex::new(Coord::ORIGIN, 4, 4, vacancies.iter().copied());
+            let mut legacy = fused.clone();
+            fused.swap(freed, taken);
+            legacy.insert(freed);
+            legacy.remove(taken);
+            assert_eq!(fused.len(), legacy.len());
+            assert_eq!(fused.nearest(), legacy.nearest());
+            // Drain both to compare full content.
+            while let Some(a) = fused.take_nearest() {
+                assert_eq!(Some(a), legacy.take_nearest());
+            }
+            assert!(legacy.is_empty());
+        }
+        // Degenerate same-cell swap is a no-op.
+        let mut index = VacancyIndex::new(Coord::ORIGIN, 3, 3, std::iter::empty());
+        index.insert(Coord::new(1, 1));
+        index.swap(Coord::new(1, 1), Coord::new(1, 1));
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.nearest(), Some(Coord::new(1, 1)));
     }
 
     #[test]

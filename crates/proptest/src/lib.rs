@@ -3,7 +3,7 @@
 //!
 //! The build environment of this repository has no access to a crate registry,
 //! so this in-workspace crate provides the subset of the proptest API the
-//! workspace's property tests use: the [`Strategy`] trait with `prop_map`,
+//! workspace's property tests use: the [`Strategy`](strategy::Strategy) trait with `prop_map`,
 //! range/tuple/collection strategies, `prop_oneof!`, and the `proptest!` test
 //! macro with `name in strategy` bindings.
 //!

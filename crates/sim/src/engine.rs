@@ -64,6 +64,16 @@ pub struct Simulator {
     bank_ready: Vec<Beats>,
     skip_guard: Option<Beats>,
     latency_table: LatencyTable,
+    /// The construction inputs, kept so [`Simulator::reset`] can rebuild the
+    /// pristine architectural state on demand. Rebuilding costs the same as
+    /// the original construction and nothing is cloned up front, so the
+    /// dominant build-once-run-once path (every sweep iteration) pays zero
+    /// for the reuse support.
+    arch: ArchConfig,
+    num_qubits: u32,
+    hot_qubits: Vec<QubitTag>,
+    /// True once `run` has mutated the architectural state.
+    dirty: bool,
 }
 
 impl Simulator {
@@ -78,13 +88,16 @@ impl Simulator {
         config: SimConfig,
     ) -> Self {
         let memory = MemorySystem::new(arch, num_qubits, hot_qubits);
-        let magic = MagicStateSupply::new(MsfConfig {
-            factories: arch.factories,
-            beats_per_state: 15,
-            buffer_capacity: arch.magic_buffer_capacity(),
-        });
+        let magic = Self::build_magic(arch);
         let bank_count = memory.bank_count();
-        let cr_slots = memory.cr_slots().max(2) as usize;
+        // The register-slot count is the memory system's own CR accounting:
+        // `effective_cr_slots` floors the configured count at
+        // `MemorySystem::MIN_CR_SLOTS` because the minimal CR charged by
+        // `cr_cells` (the six-cell block of Fig. 10a / the two line columns
+        // of Fig. 10b) already contains two register cells. On CR-less
+        // floorplans the value only sizes the scheduler's slot array — the
+        // slots impose no constraint there (see `unbounded_registers`).
+        let cr_slots = memory.effective_cr_slots() as usize;
         // The conventional baseline has no CR, so register slots impose no
         // constraint; a hybrid floorplan whose hot set covers every qubit
         // (f = 1) degenerates to the same baseline, matching the paper's
@@ -92,6 +105,10 @@ impl Simulator {
         let unbounded_registers = arch.floorplan.is_conventional() || bank_count == 0;
         Simulator {
             unbounded_registers,
+            arch: arch.clone(),
+            num_qubits,
+            hot_qubits: hot_qubits.to_vec(),
+            dirty: false,
             memory,
             magic,
             config,
@@ -104,9 +121,46 @@ impl Simulator {
         }
     }
 
+    /// The magic-state supply for `arch`, shared by construction and reset.
+    fn build_magic(arch: &ArchConfig) -> MagicStateSupply {
+        MagicStateSupply::new(MsfConfig {
+            factories: arch.factories,
+            beats_per_state: 15,
+            buffer_capacity: arch.magic_buffer_capacity(),
+        })
+    }
+
     /// The memory system being simulated (for density queries).
     pub fn memory(&self) -> &MemorySystem {
         &self.memory
+    }
+
+    /// Restores the simulator to its just-constructed state: memory system,
+    /// magic-state supply, every resource ready-time, and the skip guard.
+    ///
+    /// [`Simulator::run`] calls this automatically when the simulator has
+    /// already executed a program, so consecutive `run` calls each start from
+    /// the pristine architectural state rather than silently continuing from
+    /// wherever the previous program left the memory.
+    pub fn reset(&mut self) {
+        self.memory = MemorySystem::new(&self.arch, self.num_qubits, &self.hot_qubits);
+        self.magic = Self::build_magic(&self.arch);
+        self.mem_ready.clear();
+        self.mem_ready.resize(self.num_qubits as usize, Beats::ZERO);
+        // Restore the construction *length* too, not just the values: a
+        // program touching a `RegId` beyond the CR grows `slot_ready`, and
+        // the CX scheduler treats every entry as a claimable slot — leftover
+        // grown entries would hand a rerun more CR slots than a fresh
+        // simulator has.
+        self.slot_ready.clear();
+        self.slot_ready
+            .resize(self.memory.effective_cr_slots() as usize, Beats::ZERO);
+        self.classical_ready.clear();
+        for t in &mut self.bank_ready {
+            *t = Beats::ZERO;
+        }
+        self.skip_guard = None;
+        self.dirty = false;
     }
 
     fn mem_ready(&self, m: MemAddr) -> Beats {
@@ -174,11 +228,22 @@ impl Simulator {
 
     /// Executes `program` and returns the outcome.
     ///
+    /// Each call starts from the pristine architectural state: if the
+    /// simulator has already run a program (even one that failed part-way),
+    /// [`Simulator::reset`] is applied first, so `run` is deterministic under
+    /// reuse instead of silently continuing from mutated memory and
+    /// ready-time state.
+    ///
     /// # Errors
     ///
     /// Returns a [`SimError`] if the instruction stream is inconsistent with the
-    /// memory state (for example, loading a qubit twice without storing it).
+    /// memory state (for example, loading a qubit twice without storing it, or
+    /// storing a qubit that was never checked out of its bank).
     pub fn run(&mut self, program: &Program) -> Result<SimOutcome, SimError> {
+        if self.dirty {
+            self.reset();
+        }
+        self.dirty = true;
         let mut stats = ExecutionStats {
             memory_density: self.memory.memory_density(),
             total_cells: self.memory.total_cells(),
@@ -319,6 +384,13 @@ impl Simulator {
                         .in_memory_two_qubit_access(other)
                         .map_err(wrap)?;
                     let store = self.memory.store(loaded).map_err(wrap)?;
+                    // The internal load/store pair is counted separately from
+                    // explicit LD/ST instructions: `stats.loads`/`stats.stores`
+                    // track the program text, `implicit_*` track what the CX
+                    // expansion issued under the hood. Their beats land in
+                    // `memory_access_beats` either way.
+                    stats.implicit_loads += 1;
+                    stats.implicit_stores += 1;
                     stats.memory_access_beats += load + access + store;
                     // MZZ with the ancilla, then MXX with the target.
                     load + access + Beats(2) + store
@@ -573,6 +645,133 @@ mod tests {
         let err = simulator.run(&program).unwrap_err();
         assert_eq!(err.index, 1);
         assert!(err.to_string().contains("LD"));
+    }
+
+    #[test]
+    fn rerunning_a_simulator_is_deterministic() {
+        // A program whose outcome depends on the memory layout: rerunning it
+        // on a dirty simulator used to continue from the mutated (locality-
+        // shuffled) grid and produce different beat counts.
+        let mut program = Program::new("rerun");
+        for q in 0..12u32 {
+            program.push(Instruction::Cx {
+                control: MemAddr(q),
+                target: MemAddr((q + 3) % 12),
+            });
+        }
+        let mut simulator = Simulator::new(&point(1), 12, &[], SimConfig::default());
+        let first = simulator.run(&program).unwrap();
+        let second = simulator.run(&program).unwrap();
+        assert_eq!(first, second);
+        // An explicit reset gives the same pristine start.
+        simulator.reset();
+        let third = simulator.run(&program).unwrap();
+        assert_eq!(first, third);
+    }
+
+    #[test]
+    fn rerun_does_not_inherit_grown_slot_tables() {
+        // Four bank-disjoint CXs contend for the two CR slots; the trailing
+        // load/store touches RegId(5), growing the per-RegId ready table past
+        // the CR slot count. A rerun must not treat the grown zeroed entries
+        // as extra free ancilla slots (regression: reset() used to zero the
+        // table without restoring its construction length).
+        let mut program = Program::new("slot-growth");
+        for q in 0..4u32 {
+            program.push(Instruction::Cx {
+                control: MemAddr(2 * q),
+                target: MemAddr(2 * q + 1),
+            });
+        }
+        program.push(Instruction::Ld {
+            mem: MemAddr(16),
+            reg: RegId(5),
+        });
+        program.push(Instruction::St {
+            reg: RegId(5),
+            mem: MemAddr(16),
+        });
+        let arch = line(8, 1);
+        let mut simulator = Simulator::new(&arch, 32, &[], SimConfig::default());
+        let first = simulator.run(&program).unwrap();
+        let second = simulator.run(&program).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn run_after_a_failed_run_starts_from_pristine_state() {
+        let mut bad = Program::new("bad");
+        bad.push(Instruction::Ld {
+            mem: MemAddr(0),
+            reg: RegId(0),
+        });
+        bad.push(Instruction::Ld {
+            mem: MemAddr(0),
+            reg: RegId(1),
+        });
+        let mut good = Program::new("good");
+        good.push(Instruction::Ld {
+            mem: MemAddr(0),
+            reg: RegId(0),
+        });
+        good.push(Instruction::St {
+            reg: RegId(0),
+            mem: MemAddr(0),
+        });
+        let mut simulator = Simulator::new(&point(1), 4, &[], SimConfig::default());
+        let expected = simulator.run(&good).unwrap();
+        simulator.run(&bad).unwrap_err();
+        // The failed run left qubit 0 checked out; the next run must not see
+        // that state.
+        let outcome = simulator.run(&good).unwrap();
+        assert_eq!(outcome, expected);
+    }
+
+    #[test]
+    fn repeated_store_reports_the_offending_instruction() {
+        let mut program = Program::new("double-store");
+        program.push(Instruction::Ld {
+            mem: MemAddr(1),
+            reg: RegId(0),
+        });
+        program.push(Instruction::St {
+            reg: RegId(0),
+            mem: MemAddr(1),
+        });
+        program.push(Instruction::St {
+            reg: RegId(0),
+            mem: MemAddr(1),
+        });
+        let mut simulator = Simulator::new(&point(1), 4, &[], SimConfig::default());
+        let err = simulator.run(&program).unwrap_err();
+        assert_eq!(err.index, 2);
+        assert!(matches!(
+            err.source,
+            lsqca_lattice::LatticeError::QubitAlreadyPlaced { .. }
+        ));
+        assert!(err.to_string().contains("ST"));
+    }
+
+    #[test]
+    fn cx_counts_its_internal_loads_and_stores() {
+        let mut program = Program::new("cx-implicit");
+        program.push(Instruction::Cx {
+            control: MemAddr(0),
+            target: MemAddr(1),
+        });
+        program.push(Instruction::Cx {
+            control: MemAddr(2),
+            target: MemAddr(3),
+        });
+        let outcome = simulate(&program, 16, &point(1), &[], SimConfig::default());
+        // The CX expansion loads the cheaper operand and stores it back, but
+        // the program text contains no LD/ST: explicit and implicit counters
+        // stay separate.
+        assert_eq!(outcome.stats.loads, 0);
+        assert_eq!(outcome.stats.stores, 0);
+        assert_eq!(outcome.stats.implicit_loads, 2);
+        assert_eq!(outcome.stats.implicit_stores, 2);
+        assert!(outcome.stats.memory_access_beats > Beats::ZERO);
     }
 
     #[test]

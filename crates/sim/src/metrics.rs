@@ -27,6 +27,15 @@ pub struct ExecutionStats {
     pub loads: u64,
     /// Number of explicit `ST` instructions executed.
     pub stores: u64,
+    /// Number of loads issued internally by `CX` expansion (the cheaper
+    /// operand is fetched into the CR). Not included in [`loads`](Self::loads),
+    /// which counts program text only; the beats these cost are part of
+    /// [`memory_access_beats`](Self::memory_access_beats).
+    pub implicit_loads: u64,
+    /// Number of stores issued internally by `CX` expansion (the loaded
+    /// operand is parked back with the locality-aware policy). Not included in
+    /// [`stores`](Self::stores).
+    pub implicit_stores: u64,
     /// Number of in-memory instructions executed.
     pub in_memory_ops: u64,
     /// Beats spent waiting for magic states (sum over `PM` instructions of the

@@ -32,6 +32,7 @@ validate_hotpath_json() {
     '"operand_extraction"' \
     '"residence_lookup"' \
     '"nearest_vacant"' \
+    '"relocate"' \
     '"vacant_path"' \
     '"latency_class"' \
     '"ns_per_instruction"'; do
