@@ -7,7 +7,7 @@
 //! the conventional floorplan"), or structurally from the circuit's register
 //! roles (Fig. 15 pins the control and temporal registers of SELECT).
 
-use lsqca_circuit::{Circuit, RegisterRole};
+use lsqca_circuit::{Circuit, RegisterMap, RegisterRole};
 use lsqca_isa::Program;
 use lsqca_lattice::QubitTag;
 
@@ -38,9 +38,15 @@ pub fn hot_set_by_access_count(program: &Program, count: usize) -> Vec<QubitTag>
 /// Selects every qubit belonging to a register with one of the given roles
 /// (e.g. pin SELECT's control and temporal registers, as in Fig. 15).
 pub fn hot_set_by_role(circuit: &Circuit, roles: &[RegisterRole]) -> Vec<QubitTag> {
+    hot_set_by_role_map(circuit.registers(), roles)
+}
+
+/// Role-based selection from a bare register map — what compiled-workload
+/// artifacts carry when the source circuit is no longer around.
+pub fn hot_set_by_role_map(registers: &RegisterMap, roles: &[RegisterRole]) -> Vec<QubitTag> {
     roles
         .iter()
-        .flat_map(|&role| circuit.registers().qubits_with_role(role))
+        .flat_map(|&role| registers.qubits_with_role(role))
         .map(QubitTag)
         .collect()
 }

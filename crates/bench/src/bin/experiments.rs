@@ -30,6 +30,13 @@
 //!
 //! The figure sweeps run in parallel across CPU cores; set `LSQCA_THREADS=1`
 //! to force serial execution.
+//!
+//! Compiled workloads are cached on disk (default `target/lsqca-cache/`,
+//! override with `LSQCA_CACHE_DIR`, disable with `LSQCA_NO_CACHE=1`), so a
+//! repeated invocation over the same workloads — e.g. `all --full` run twice —
+//! performs zero compilation on the second run. A one-line cache summary is
+//! printed to stderr after every command; delete the cache directory (or run
+//! with `LSQCA_NO_CACHE=1`) to force recompilation.
 
 use lsqca_bench::{
     ablation, fig08, fig13, fig14, fig15, headline, hotpath, table1, Scale, FACTORY_COUNTS,
@@ -174,5 +181,8 @@ fn main() -> ExitCode {
     } else {
         println!("{}", run(command));
     }
+    // Stderr so `--json` stdout stays machine-readable; `table1` compiles no
+    // workloads, everything else reports its compile/hit split here.
+    eprintln!("{}", lsqca_bench::cache_summary());
     ExitCode::SUCCESS
 }

@@ -13,7 +13,7 @@
 //! build. `experiments hotpath --json` writes the resulting [`HotpathReport`]
 //! as the `BENCH_hotpath.json` baseline.
 
-use crate::{instance, Scale};
+use crate::Scale;
 use lsqca::experiment::{ExperimentConfig, Workload};
 use lsqca::isa::{LatencyClass, LatencyTable};
 use lsqca::lattice::{CellGrid, Coord, PathScratch};
@@ -399,9 +399,10 @@ impl ToJson for HotpathReport {
 }
 
 /// The workload the hot-path measurements run on: the mid-sized multiplier of
-/// `micro_simulator` (Quick) or the paper-sized instance (Full).
+/// `micro_simulator` (Quick) or the paper-sized instance (Full), compiled or
+/// cache-loaded through the shared workload cache.
 pub fn workload(scale: Scale) -> Workload {
-    Workload::from_circuit(instance(Benchmark::Multiplier, scale))
+    crate::cached_workload(Benchmark::Multiplier, scale)
 }
 
 /// Runs every hot-path measurement with the baseline budget.

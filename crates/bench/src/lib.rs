@@ -17,8 +17,9 @@
 
 #![forbid(unsafe_code)]
 
+use lsqca::experiment::Workload;
 use lsqca::prelude::*;
-use lsqca::workloads::Benchmark;
+use lsqca::workloads::{Benchmark, BenchmarkConfig, InstanceSize};
 use lsqca_json::{Json, ToJson};
 
 pub mod hotpath;
@@ -50,14 +51,59 @@ impl Scale {
             Scale::Full => "full",
         }
     }
+
+    /// The workload instance size this scale simulates.
+    pub fn instance_size(self) -> InstanceSize {
+        match self {
+            Scale::Quick => InstanceSize::Reduced,
+            Scale::Full => InstanceSize::Paper,
+        }
+    }
 }
 
-/// Builds the benchmark circuit for the given scale.
+/// Builds the benchmark circuit for the given scale (bypassing the workload
+/// cache; sweep drivers use [`cached_workload`] instead).
 pub fn instance(benchmark: Benchmark, scale: Scale) -> Circuit {
     match scale {
         Scale::Quick => benchmark.reduced_instance(),
         Scale::Full => benchmark.paper_instance(),
     }
+}
+
+/// The process-wide on-disk workload cache every sweep driver compiles or
+/// loads through (`$LSQCA_CACHE_DIR` / `$LSQCA_NO_CACHE` aware; see
+/// `lsqca_workloads::cache`). A second `experiments` invocation over the same
+/// workloads performs zero compilation.
+pub fn workload_cache() -> &'static WorkloadCache {
+    static CACHE: std::sync::OnceLock<WorkloadCache> = std::sync::OnceLock::new();
+    CACHE.get_or_init(WorkloadCache::from_env)
+}
+
+/// One-line summary of this process's cache activity, for operator output.
+pub fn cache_summary() -> String {
+    let cache = workload_cache();
+    match cache.dir() {
+        Some(dir) => format!("workload cache: {} ({})", cache.stats(), dir.display()),
+        None => format!("workload cache: disabled; {}", cache.stats()),
+    }
+}
+
+/// Compiles or cache-loads the benchmark instance for `scale`.
+pub fn cached_workload(benchmark: Benchmark, scale: Scale) -> Workload {
+    let cfg = benchmark.config(scale.instance_size());
+    cached_workload_with(&cfg.descriptor(), CompilerConfig::default(), || cfg.build())
+}
+
+/// Compiles or cache-loads an arbitrary workload generator. `descriptor` must
+/// identify the generator configuration content (include every parameter);
+/// `build` only runs on a cache miss.
+pub fn cached_workload_with(
+    descriptor: &str,
+    config: CompilerConfig,
+    build: impl FnOnce() -> Circuit,
+) -> Workload {
+    let (artifact, _) = workload_cache().load_or_compile(descriptor, config, build);
+    Workload::from_artifact(artifact)
 }
 
 /// The factory counts evaluated in the paper's figures.
@@ -155,10 +201,8 @@ pub mod table1 {
 pub mod fig08 {
     use super::*;
     use lsqca::analysis::AccessLocalityReport;
-    use lsqca::experiment::{ExperimentConfig, Workload};
-    use lsqca::workloads::{
-        select_heisenberg, shift_add_multiplier, MultiplierConfig, SelectConfig,
-    };
+    use lsqca::experiment::ExperimentConfig;
+    use lsqca::workloads::{MultiplierConfig, SelectConfig};
 
     /// The locality analysis of one benchmark.
     #[derive(Debug, Clone)]
@@ -212,8 +256,7 @@ pub mod fig08 {
         }
     }
 
-    fn analyze(name: &str, circuit: Circuit) -> BenchmarkLocality {
-        let workload = Workload::from_circuit(circuit);
+    fn analyze(name: &str, workload: Workload) -> BenchmarkLocality {
         // Motivation-study assumptions: unbounded parallelism (conventional
         // floorplan) and instant magic states, with trace recording on.
         let config = ExperimentConfig::baseline(1)
@@ -231,7 +274,8 @@ pub mod fig08 {
         }
     }
 
-    /// Generates the Fig. 8 data for both benchmarks.
+    /// Generates the Fig. 8 data for both benchmarks, compiling or
+    /// cache-loading each instance.
     pub fn generate(scale: Scale) -> Vec<BenchmarkLocality> {
         let (select_cfg, mult_cfg) = match scale {
             Scale::Quick => (
@@ -243,9 +287,25 @@ pub mod fig08 {
             ),
             Scale::Full => (SelectConfig::paper_motivation(), MultiplierConfig::paper()),
         };
+        let select = BenchmarkConfig::Select(select_cfg);
+        let multiplier = BenchmarkConfig::Multiplier(mult_cfg);
         vec![
-            analyze("SELECT", select_heisenberg(select_cfg)),
-            analyze("multiplier", shift_add_multiplier(mult_cfg)),
+            analyze(
+                "SELECT",
+                crate::cached_workload_with(
+                    &select.descriptor(),
+                    CompilerConfig::default(),
+                    || select.build(),
+                ),
+            ),
+            analyze(
+                "multiplier",
+                crate::cached_workload_with(
+                    &multiplier.descriptor(),
+                    CompilerConfig::default(),
+                    || multiplier.build(),
+                ),
+            ),
         ]
     }
 
@@ -291,7 +351,7 @@ pub mod fig08 {
 /// Fig. 13: CPI of every benchmark under every floorplan and factory count.
 pub mod fig13 {
     use super::*;
-    use lsqca::experiment::{ExperimentConfig, Workload};
+    use lsqca::experiment::ExperimentConfig;
 
     /// One bar of Fig. 13.
     #[derive(Debug, Clone)]
@@ -333,10 +393,9 @@ pub mod fig13 {
         } else {
             benchmarks.to_vec()
         };
-        // Compile each benchmark once, in parallel.
-        let workloads = crate::par::par_map(&list, |&benchmark| {
-            Workload::from_circuit(instance(benchmark, scale))
-        });
+        // Compile or cache-load each benchmark once, in parallel.
+        let workloads =
+            crate::par::par_map(&list, |&benchmark| crate::cached_workload(benchmark, scale));
 
         let mut jobs = Vec::new();
         for (i, &benchmark) in list.iter().enumerate() {
@@ -385,7 +444,7 @@ pub mod fig13 {
 /// Fig. 14: hybrid-floorplan trade-off between density and execution time.
 pub mod fig14 {
     use super::*;
-    use lsqca::experiment::{ExperimentConfig, Workload};
+    use lsqca::experiment::ExperimentConfig;
 
     /// One point of a Fig. 14 curve.
     #[derive(Debug, Clone)]
@@ -443,9 +502,8 @@ pub mod fig14 {
             benchmarks.to_vec()
         };
         let steps = (1.0 / fraction_step).round() as u32;
-        let workloads = crate::par::par_map(&list, |&benchmark| {
-            Workload::from_circuit(instance(benchmark, scale))
-        });
+        let workloads =
+            crate::par::par_map(&list, |&benchmark| crate::cached_workload(benchmark, scale));
 
         // Baselines per (benchmark, factories), indexed by position.
         let mut baseline_keys = Vec::new();
@@ -554,8 +612,8 @@ pub mod fig14 {
 /// Fig. 15: SELECT scaling with hybrid layouts.
 pub mod fig15 {
     use super::*;
-    use lsqca::experiment::{ExperimentConfig, HotSetStrategy, Workload};
-    use lsqca::workloads::{select_heisenberg, SelectConfig};
+    use lsqca::experiment::{ExperimentConfig, HotSetStrategy};
+    use lsqca::workloads::SelectConfig;
 
     /// One point of Fig. 15.
     #[derive(Debug, Clone)]
@@ -602,14 +660,18 @@ pub mod fig15 {
     /// matches the serial nesting.
     pub fn generate(scale: Scale, factories: &[u32], max_terms: Option<u64>) -> Vec<Point> {
         let widths = widths(scale);
-        // Compile each SELECT instance once, in parallel.
+        // Compile or cache-load each SELECT instance once, in parallel.
         let instances = crate::par::par_map(&widths, |&width| {
             let mut select_cfg = SelectConfig::for_width(width);
             select_cfg.max_terms = max_terms;
             let qubits = select_cfg.total_qubits();
             let hybrid_fraction =
                 (select_cfg.control_bits() + select_cfg.temporal_bits()) as f64 / qubits as f64;
-            let workload = Workload::from_circuit(select_heisenberg(select_cfg));
+            let cfg = BenchmarkConfig::Select(select_cfg);
+            let workload =
+                crate::cached_workload_with(&cfg.descriptor(), CompilerConfig::default(), || {
+                    cfg.build()
+                });
             (qubits, hybrid_fraction, workload)
         });
 
@@ -693,7 +755,7 @@ pub mod fig15 {
 /// store (Sec. V-B) and in-memory operations (Sec. V-C).
 pub mod ablation {
     use super::*;
-    use lsqca::experiment::{ExperimentConfig, Workload};
+    use lsqca::experiment::ExperimentConfig;
 
     /// One ablation configuration and its measured cost.
     #[derive(Debug, Clone)]
@@ -743,13 +805,16 @@ pub mod ablation {
         };
         let mut points = Vec::new();
         for benchmark in list {
-            let circuit = instance(benchmark, scale);
+            let cfg = benchmark.config(scale.instance_size());
             for in_memory_ops in [true, false] {
                 let compiler = CompilerConfig {
                     use_in_memory_ops: in_memory_ops,
                     ..CompilerConfig::default()
                 };
-                let workload = Workload::with_compiler(circuit.clone(), compiler);
+                // The compiler configuration is part of the cache key, so the
+                // two ablation arms get distinct artifacts.
+                let workload =
+                    crate::cached_workload_with(&cfg.descriptor(), compiler, || cfg.build());
                 let baseline = workload.run(&ExperimentConfig::baseline(1));
                 for locality in [true, false] {
                     let mut config = ExperimentConfig::new(floorplan, 1);
@@ -803,10 +868,8 @@ pub mod ablation {
 /// The headline claims of the abstract and Sec. VI.
 pub mod headline {
     use super::*;
-    use lsqca::experiment::{ExperimentConfig, HotSetStrategy, Workload};
-    use lsqca::workloads::{
-        select_heisenberg, shift_add_multiplier, MultiplierConfig, SelectConfig,
-    };
+    use lsqca::experiment::{ExperimentConfig, HotSetStrategy};
+    use lsqca::workloads::{MultiplierConfig, SelectConfig};
 
     /// One headline claim: what the paper reports vs what this reproduction
     /// measures.
@@ -850,7 +913,11 @@ pub mod headline {
             },
             Scale::Full => MultiplierConfig::paper(),
         };
-        let workload = Workload::from_circuit(shift_add_multiplier(mult_cfg));
+        let cfg = BenchmarkConfig::Multiplier(mult_cfg);
+        let workload =
+            crate::cached_workload_with(&cfg.descriptor(), CompilerConfig::default(), || {
+                cfg.build()
+            });
         let config = ExperimentConfig::new(FloorplanKind::LineSam { banks: 1 }, 1);
         let (lsqca, baseline) = workload.run_with_baseline(&config);
         claims.push(Claim {
@@ -870,7 +937,11 @@ pub mod headline {
         select_cfg.max_terms = max_terms;
         let fraction = (select_cfg.control_bits() + select_cfg.temporal_bits()) as f64
             / select_cfg.total_qubits() as f64;
-        let workload = Workload::from_circuit(select_heisenberg(select_cfg));
+        let cfg = BenchmarkConfig::Select(select_cfg);
+        let workload =
+            crate::cached_workload_with(&cfg.descriptor(), CompilerConfig::default(), || {
+                cfg.build()
+            });
         let config = ExperimentConfig::new(FloorplanKind::PointSam { banks: 1 }, 1)
             .with_hybrid_fraction(fraction)
             .with_hot_set(HotSetStrategy::ByRole(vec![

@@ -30,9 +30,21 @@ pub enum RegisterRole {
     Other,
 }
 
-impl fmt::Display for RegisterRole {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl RegisterRole {
+    /// Every role, in declaration order.
+    pub const ALL: [RegisterRole; 7] = [
+        RegisterRole::Control,
+        RegisterRole::Temporal,
+        RegisterRole::System,
+        RegisterRole::Operand,
+        RegisterRole::Ancilla,
+        RegisterRole::Result,
+        RegisterRole::Other,
+    ];
+
+    /// The stable lowercase name used by `Display` and serialized artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
             RegisterRole::Control => "control",
             RegisterRole::Temporal => "temporal",
             RegisterRole::System => "system",
@@ -40,8 +52,18 @@ impl fmt::Display for RegisterRole {
             RegisterRole::Ancilla => "ancilla",
             RegisterRole::Result => "result",
             RegisterRole::Other => "other",
-        };
-        f.write_str(s)
+        }
+    }
+
+    /// Parses the name produced by [`RegisterRole::name`].
+    pub fn from_name(name: &str) -> Option<RegisterRole> {
+        RegisterRole::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for RegisterRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -196,6 +218,15 @@ mod tests {
         assert!(map.by_name("missing").is_none());
         assert_eq!(map.qubits_with_role(RegisterRole::System), vec![5, 6, 7, 8]);
         assert_eq!(map.role_sizes()[&RegisterRole::Temporal], 3);
+    }
+
+    #[test]
+    fn role_names_round_trip() {
+        for role in RegisterRole::ALL {
+            assert_eq!(RegisterRole::from_name(role.name()), Some(role));
+            assert_eq!(role.to_string(), role.name());
+        }
+        assert_eq!(RegisterRole::from_name("nope"), None);
     }
 
     #[test]

@@ -2,18 +2,22 @@
 //!
 //! The benchmark harness and the examples all follow the same three steps:
 //! compile a workload circuit once, pick an architecture configuration, and
-//! simulate. [`Workload`] caches the compiled program so that parameter sweeps
-//! (bank counts, factory counts, hybrid fractions) reuse the expensive
-//! compilation, and [`ExperimentResult`] carries the numbers the paper reports:
-//! execution time, CPI, memory density, and the overhead relative to the
-//! conventional baseline.
+//! simulate. [`Workload`] wraps a [`CompiledWorkload`] artifact so that
+//! parameter sweeps (bank counts, factory counts, hybrid fractions) reuse the
+//! expensive compilation *and* the precompiled per-program latency classes
+//! (no per-run classification pass), and [`ExperimentResult`] carries the
+//! numbers the paper reports: execution time, CPI, memory density, and the
+//! overhead relative to the conventional baseline. Artifacts can also be
+//! loaded from the on-disk cache (`lsqca_workloads::cache`) via
+//! [`Workload::from_artifact`], in which case nothing is compiled at all.
 
-use lsqca_analysis::{hot_set_by_access_count, hot_set_by_role, hot_set_size};
+use lsqca_analysis::{hot_set_by_access_count, hot_set_by_role_map, hot_set_size};
 use lsqca_arch::{ArchConfig, FloorplanKind};
-use lsqca_circuit::{Circuit, RegisterRole};
-use lsqca_compiler::{compile, CompiledProgram, CompilerConfig};
+use lsqca_circuit::{Circuit, RegisterMap, RegisterRole};
+use lsqca_compiler::CompilerConfig;
 use lsqca_lattice::{Beats, QubitTag};
-use lsqca_sim::{simulate, ExecutionStats, MemoryTrace, SimConfig};
+use lsqca_sim::{ExecutionStats, MemoryTrace, SimConfig, Simulator};
+use lsqca_workloads::CompiledWorkload;
 use std::fmt;
 
 /// How the hot set of a hybrid floorplan is chosen.
@@ -125,8 +129,7 @@ impl ExperimentConfig {
 /// A compiled workload, ready to be simulated under many configurations.
 #[derive(Debug, Clone)]
 pub struct Workload {
-    circuit: Circuit,
-    compiled: CompiledProgram,
+    artifact: CompiledWorkload,
 }
 
 impl Workload {
@@ -137,23 +140,32 @@ impl Workload {
 
     /// Compiles `circuit` with an explicit compiler configuration.
     pub fn with_compiler(circuit: Circuit, config: CompilerConfig) -> Self {
-        let compiled = compile(&circuit, config);
-        Workload { circuit, compiled }
+        let descriptor = format!("adhoc:{}", circuit.name());
+        Workload {
+            artifact: CompiledWorkload::compile(descriptor, &circuit, config),
+        }
     }
 
-    /// The source circuit.
-    pub fn circuit(&self) -> &Circuit {
-        &self.circuit
+    /// Wraps an existing artifact (e.g. one loaded from the on-disk cache of
+    /// `lsqca_workloads::cache`) without compiling anything.
+    pub fn from_artifact(artifact: CompiledWorkload) -> Self {
+        Workload { artifact }
     }
 
-    /// The compiled program.
-    pub fn compiled(&self) -> &CompiledProgram {
-        &self.compiled
+    /// The compiled-workload artifact backing this workload.
+    pub fn compiled(&self) -> &CompiledWorkload {
+        &self.artifact
+    }
+
+    /// The workload's register structure (for role queries on the qubit
+    /// space; the source circuit itself is not retained).
+    pub fn registers(&self) -> &RegisterMap {
+        self.artifact.registers()
     }
 
     /// Number of data qubits (SAM addresses) the workload needs.
     pub fn num_qubits(&self) -> u32 {
-        self.compiled.num_qubits
+        self.artifact.num_qubits
     }
 
     /// Selects the hot qubits for the given configuration.
@@ -163,38 +175,49 @@ impl Workload {
         }
         let count = hot_set_size(self.num_qubits(), config.hybrid_fraction);
         match &config.hot_set {
-            HotSetStrategy::ByAccessCount => hot_set_by_access_count(&self.compiled.program, count),
+            HotSetStrategy::ByAccessCount => hot_set_by_access_count(&self.artifact.program, count),
             HotSetStrategy::ByRole(roles) => {
-                let mut hot = hot_set_by_role(&self.circuit, roles);
-                hot.truncate(count.max(hot.len().min(count)).max(count));
-                // Role-based pinning uses the whole register set even if it is
-                // smaller or larger than `count`; `count` only caps the list.
-                if hot.len() > count && count > 0 {
-                    hot.truncate(count);
-                }
+                // Role-based pinning uses the whole register set even when it
+                // is smaller than `count`; `count` only caps the list.
+                let mut hot = hot_set_by_role_map(self.artifact.registers(), roles);
+                hot.truncate(count);
                 hot
             }
             HotSetStrategy::Explicit(list) => {
                 let mut hot = list.clone();
-                hot.truncate(count.max(list.len().min(count)));
+                hot.truncate(count);
                 hot
             }
         }
     }
 
-    /// Compiles (already done) and simulates this workload under `config`.
+    /// Simulates this workload (compiled exactly once, at construction or
+    /// cache-load time) under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compiled program is malformed with respect to the memory
+    /// model; the compiler only produces well-formed programs, so this
+    /// indicates a corrupted artifact.
     pub fn run(&self, config: &ExperimentConfig) -> ExperimentResult {
         let hot = self.hot_qubits(config);
         let arch = config.arch_config();
-        let outcome = simulate(
-            &self.compiled.program,
-            self.num_qubits(),
-            &arch,
-            &hot,
-            config.sim,
-        );
+        // The footprint is precomputed in the artifact, so sizing the
+        // simulator is O(1) per run instead of a pass over the program.
+        let qubits = self
+            .num_qubits()
+            .max(self.artifact.memory_footprint())
+            .max(1);
+        let mut simulator = Simulator::new(&arch, qubits, &hot, config.sim);
+        let outcome = match simulator.run_compiled(&self.artifact) {
+            Ok(outcome) => outcome,
+            Err(err) => panic!(
+                "simulation of `{}` failed: {err}",
+                self.artifact.program.name()
+            ),
+        };
         ExperimentResult {
-            workload: self.circuit.name().to_string(),
+            workload: self.artifact.program.name().to_string(),
             config_label: config.label(),
             total_beats: outcome.stats.total_beats,
             cpi: outcome.stats.cpi(),
@@ -325,6 +348,28 @@ mod tests {
             .with_hot_set(HotSetStrategy::Explicit(vec![QubitTag(0), QubitTag(1)]));
         let hot = w.hot_qubits(&config);
         assert!(hot.contains(&QubitTag(0)));
+    }
+
+    #[test]
+    fn artifact_backed_workloads_match_freshly_compiled_ones() {
+        use lsqca_compiler::CompilerConfig;
+        use lsqca_workloads::{CompiledWorkload, InstanceSize};
+        let cfg = Benchmark::SquareRoot.config(InstanceSize::Reduced);
+        let fresh = Workload::from_circuit(cfg.build());
+        // Round-trip the artifact through its serialized form, as the on-disk
+        // cache does, then run both under the same configuration.
+        let artifact =
+            CompiledWorkload::compile(cfg.descriptor(), &cfg.build(), CompilerConfig::default());
+        let restored = CompiledWorkload::from_json(&artifact.to_json()).unwrap();
+        let cached = Workload::from_artifact(restored);
+        let config = ExperimentConfig::new(FloorplanKind::PointSam { banks: 1 }, 1)
+            .with_hybrid_fraction(0.25);
+        let a = fresh.run(&config);
+        let b = cached.run(&config);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.hot_qubits, b.hot_qubits);
+        assert_eq!(fresh.num_qubits(), cached.num_qubits());
+        assert_eq!(fresh.registers(), cached.registers());
     }
 
     #[test]

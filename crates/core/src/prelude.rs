@@ -14,4 +14,4 @@ pub use lsqca_compiler::{compile, CompilerConfig};
 pub use lsqca_isa::{Instruction, MemAddr, Program, RegId};
 pub use lsqca_lattice::{Beats, QubitTag};
 pub use lsqca_sim::{simulate, ExecutionStats, SimConfig};
-pub use lsqca_workloads::Benchmark;
+pub use lsqca_workloads::{Benchmark, CompiledWorkload, InstanceSize, WorkloadCache};

@@ -73,19 +73,36 @@ pub fn parse_program(name: &str, source: &str) -> Result<Program, ParseError> {
 fn parse_line(line: &str) -> Result<Instruction, String> {
     let mut parts = line.split_whitespace();
     let mnemonic = parts.next().ok_or_else(|| "empty line".to_string())?;
-    let operands: Vec<&str> = parts.collect();
+    // Operands live inline on the stack (no instruction takes more than
+    // three); the count keeps tallying past the cap so operand-count errors
+    // still report what was actually found.
+    let mut operands = [""; 3];
+    let mut found = 0usize;
+    for part in parts {
+        if found < operands.len() {
+            operands[found] = part;
+        }
+        found += 1;
+    }
     let expect = |n: usize| -> Result<(), String> {
-        if operands.len() == n {
+        if found == n {
             Ok(())
         } else {
-            Err(format!(
-                "{mnemonic} expects {n} operand(s), found {}",
-                operands.len()
-            ))
+            Err(format!("{mnemonic} expects {n} operand(s), found {found}"))
         }
     };
 
-    let instr = match mnemonic.to_ascii_uppercase().as_str() {
+    // The canonical spelling is uppercase (what `format_program` emits);
+    // parsing stays case-insensitive, but only a lowercase source line pays
+    // for the uppercased copy.
+    let uppercased;
+    let canonical = if mnemonic.bytes().any(|b| b.is_ascii_lowercase()) {
+        uppercased = mnemonic.to_ascii_uppercase();
+        uppercased.as_str()
+    } else {
+        mnemonic
+    };
+    let instr = match canonical {
         "LD" => {
             expect(2)?;
             Instruction::Ld {

@@ -37,6 +37,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Version of the instruction set this crate implements.
+///
+/// The on-disk compiled-workload artifacts (`lsqca_workloads::cache`) embed
+/// this number in their cache key and in the artifact document itself, so a
+/// change to the instruction set, the assembly syntax, or the latency table
+/// invalidates every previously cached artifact instead of silently serving
+/// instruction streams compiled against an older contract. Bump it whenever
+/// any of those change shape or meaning.
+pub const ISA_VERSION: u32 = 1;
+
 pub mod asm;
 pub mod instruction;
 pub mod latency;

@@ -1,25 +1,34 @@
-//! Dependency-free JSON output for the experiment harness.
+//! Dependency-free JSON support for the experiment harness.
 //!
 //! The build environment of this repository is fully offline, so the harness
 //! cannot pull `serde`/`serde_json` from a registry. The `--json` output of the
-//! `experiments` binary and the `BENCH_*.json` baselines only need one-way
-//! *serialization* of a handful of result types, which this small crate covers:
-//! a [`Json`] value tree, a [`ToJson`] conversion trait, and a deterministic
-//! pretty printer whose output is stable across runs (object keys keep
-//! insertion order; floats use Rust's shortest round-trip formatting).
+//! `experiments` binary and the `BENCH_*.json` baselines need one-way
+//! *serialization* of a handful of result types, and the on-disk workload
+//! cache (`lsqca_workloads::cache`) needs to read its artifacts back. This
+//! small crate covers both: a [`Json`] value tree, a [`ToJson`] conversion
+//! trait, a deterministic pretty printer whose output is stable across runs
+//! (object keys keep insertion order; floats use Rust's shortest round-trip
+//! formatting), and a [`parse`] function inverting it.
 //!
 //! ```
-//! use lsqca_json::{Json, ToJson};
+//! use lsqca_json::{parse, Json, ToJson};
 //!
 //! let value = Json::obj([
 //!     ("name", "fig13".to_json()),
 //!     ("points", vec![1u64, 2, 3].to_json()),
 //! ]);
 //! assert_eq!(value.compact(), r#"{"name":"fig13","points":[1,2,3]}"#);
+//! // Serialization round-trips through the parser.
+//! assert_eq!(parse(&value.pretty()).unwrap(), value);
+//! assert_eq!(value.get("name").and_then(Json::as_str), Some("fig13"));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod parse;
+
+pub use parse::{parse, JsonParseError};
 
 use std::fmt::Write as _;
 
@@ -69,6 +78,66 @@ impl Json {
         let mut out = String::new();
         self.write(&mut out, None);
         out
+    }
+
+    /// The value of `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The unsigned integer value, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::U64(n) => Some(n),
+            Json::I64(n) => u64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The signed integer value, if this is an integer that fits `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::I64(n) => Some(n),
+            Json::U64(n) => i64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a float (integers are widened).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::F64(x) => Some(x),
+            Json::U64(n) => Some(n as f64),
+            Json::I64(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String, indent: Option<usize>) {
@@ -147,19 +216,31 @@ fn write_seq(
 
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+    // Copy maximal spans that need no escaping in one `push_str`; only the
+    // escape bytes themselves are handled individually. Large string fields
+    // (cached instruction streams) serialize at memcpy speed this way.
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        let escape: Option<&str> = match c {
+            '"' => Some("\\\""),
+            '\\' => Some("\\\\"),
+            '\n' => Some("\\n"),
+            '\r' => Some("\\r"),
+            '\t' => Some("\\t"),
+            c if (c as u32) < 0x20 => Some(""),
+            _ => None,
+        };
+        if let Some(escape) = escape {
+            out.push_str(&s[start..i]);
+            if escape.is_empty() {
                 let _ = write!(out, "\\u{:04x}", c as u32);
+            } else {
+                out.push_str(escape);
             }
-            c => out.push(c),
+            start = i + c.len_utf8();
         }
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 

@@ -1,0 +1,424 @@
+//! A recursive-descent JSON parser inverting the crate's printer.
+//!
+//! The parser accepts standard JSON (RFC 8259): the full escape set including
+//! `\uXXXX` (with surrogate pairs), nested containers up to a fixed depth
+//! limit, and numbers mapped onto the [`Json`] integer/float split the printer
+//! uses — an integer literal without fraction or exponent becomes
+//! [`Json::U64`]/[`Json::I64`], everything else [`Json::F64`]. Trailing
+//! garbage after the top-level value is an error, so a truncated or
+//! concatenated cache file cannot parse as a valid artifact.
+
+use crate::Json;
+use std::error::Error;
+use std::fmt;
+
+/// Containers deeper than this are rejected instead of risking a stack
+/// overflow on adversarial input (the artifact schema nests three levels).
+const MAX_DEPTH: usize = 128;
+
+/// An error produced while parsing JSON text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the offending input position.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for JsonParseError {}
+
+/// Parses JSON text into a [`Json`] value.
+///
+/// # Errors
+///
+/// Returns a [`JsonParseError`] locating the first malformed byte: unexpected
+/// characters, unterminated strings/containers, invalid escapes or numbers,
+/// excessive nesting, or trailing content after the top-level value.
+pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_whitespace();
+    let value = p.parse_value(0)?;
+    p.skip_whitespace();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after the top-level value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("value nested too deeply"));
+        }
+        match self.peek() {
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => self.parse_string().map(Json::Str),
+            Some(b't') => self.parse_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Json::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.error(format!("unexpected character `{}`", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{keyword}`")))
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Bulk-copy the span up to the next quote, escape, or control
+            // byte: large string fields (cached instruction streams) copy in
+            // slices instead of character by character.
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("string slices a UTF-8 boundary"))?;
+                out.push_str(text);
+            }
+            let Some(c) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("unterminated escape sequence"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.parse_unicode_escape()?),
+                        other => {
+                            return Err(self.error(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(self.error("unescaped control character")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, JsonParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated `\\u` escape"));
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("non-ASCII `\\u` escape"))?;
+        let code = u16::from_str_radix(digits, 16)
+            .map_err(|_| self.error(format!("invalid `\\u` escape `{digits}`")))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, JsonParseError> {
+        let first = self.parse_hex4()?;
+        // Surrogate pair: a high surrogate must be followed by `\uDC00..DFFF`.
+        if (0xD800..0xDC00).contains(&first) {
+            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let second = self.parse_hex4()?;
+                if (0xDC00..0xE000).contains(&second) {
+                    let combined =
+                        0x10000 + (((first as u32) - 0xD800) << 10) + ((second as u32) - 0xDC00);
+                    return char::from_u32(combined)
+                        .ok_or_else(|| self.error("invalid surrogate pair"));
+                }
+            }
+            return Err(self.error("unpaired high surrogate"));
+        }
+        if (0xDC00..0xE000).contains(&first) {
+            return Err(self.error("unpaired low surrogate"));
+        }
+        char::from_u32(first as u32).ok_or_else(|| self.error("invalid `\\u` escape"))
+    }
+
+    fn parse_number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let int_digits = self.consume_digits();
+        if int_digits == 0 {
+            return Err(self.error("expected a digit"));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if self.consume_digits() == 0 {
+                return Err(self.error("expected a digit after `.`"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.consume_digits() == 0 {
+                return Err(self.error("expected a digit in exponent"));
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number literals are ASCII");
+        if !is_float {
+            if negative {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Json::I64(n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+            // Integers beyond 64 bits fall through to the float representation.
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| self.error(format!("invalid number `{text}`")))
+    }
+
+    fn consume_digits(&mut self) -> usize {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ToJson;
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap(), Json::U64(42));
+        assert_eq!(parse("-7").unwrap(), Json::I64(-7));
+        assert_eq!(parse("1.5").unwrap(), Json::F64(1.5));
+        assert_eq!(parse("2.0").unwrap(), Json::F64(2.0));
+        assert_eq!(parse("1e3").unwrap(), Json::F64(1000.0));
+        assert_eq!(parse("-2.5e-1").unwrap(), Json::F64(-0.25));
+        assert_eq!(parse(r#""hi""#).unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn containers_parse_and_preserve_order() {
+        let v = parse(r#"{"b":1,"a":[true,null,{"x":[]}]}"#).unwrap();
+        assert_eq!(v.get("b"), Some(&Json::U64(1)));
+        let a = v.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[2].get("x"), Some(&Json::Arr(vec![])));
+        match &v {
+            Json::Obj(pairs) => assert_eq!(pairs[0].0, "b"),
+            _ => panic!("not an object"),
+        }
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let original = Json::Str("a\"b\\c\n\t\r\u{1}é€\u{10348}".into());
+        assert_eq!(parse(&original.compact()).unwrap(), original);
+        assert_eq!(
+            parse(r#""\u00e9 \ud800\udf48 \/ \b\f""#).unwrap(),
+            Json::Str("é \u{10348} / \u{8}\u{c}".into())
+        );
+    }
+
+    #[test]
+    fn printer_output_round_trips() {
+        let doc = Json::obj([
+            ("schema", "lsqca-workload-artifact-v1".to_json()),
+            ("isa_version", 1u32.to_json()),
+            ("nums", vec![0.5f64, 3.0, -1.25].to_json()),
+            ("flags", vec![true, false].to_json()),
+            ("nested", Json::obj([("k", Json::Null)])),
+            ("text", "line1\nline2\t\"quoted\"".to_json()),
+        ]);
+        assert_eq!(parse(&doc.pretty()).unwrap(), doc);
+        assert_eq!(parse(&doc.compact()).unwrap(), doc);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "01x",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "1.2.3",
+            "1 2",
+            "{\"a\":1} trailing",
+            "\"\\ud800\"",
+            "-",
+            "[1,]",
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let doc = Json::obj([("xs", vec![1u64, 2, 3].to_json())]).pretty();
+        for cut in 1..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(
+                parse(&doc[..cut]).is_err(),
+                "truncation at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("deeply"));
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn accessors_expose_scalars() {
+        let v = parse(r#"{"n":3,"neg":-2,"x":1.5,"s":"t","b":true,"a":[1]}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("n").and_then(Json::as_i64), Some(3));
+        assert_eq!(v.get("neg").and_then(Json::as_i64), Some(-2));
+        assert_eq!(v.get("neg").and_then(Json::as_u64), None);
+        assert_eq!(v.get("x").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(v.get("n").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("t"));
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            v.get("a").and_then(Json::as_array).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Null.get("k"), None);
+    }
+}

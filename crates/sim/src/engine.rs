@@ -4,8 +4,9 @@ use crate::config::SimConfig;
 use crate::metrics::ExecutionStats;
 use crate::trace::MemoryTrace;
 use lsqca_arch::{ArchConfig, MagicStateSupply, MemorySystem, MsfConfig};
-use lsqca_isa::{ClassicalId, Instruction, LatencyTable, MemAddr, Program, RegId};
+use lsqca_isa::{ClassicalId, Instruction, LatencyClass, LatencyTable, MemAddr, Program, RegId};
 use lsqca_lattice::{Beats, LatticeError, QubitTag};
+use lsqca_workloads::CompiledWorkload;
 use std::error::Error;
 use std::fmt;
 
@@ -240,6 +241,47 @@ impl Simulator {
     /// memory state (for example, loading a qubit twice without storing it, or
     /// storing a qubit that was never checked out of its bank).
     pub fn run(&mut self, program: &Program) -> Result<SimOutcome, SimError> {
+        // Latency classes precompiled once per program: the CPI bookkeeping
+        // below reads a dense byte vector instead of re-matching on the
+        // instruction variant for every instruction executed. Sweep callers
+        // holding a `CompiledWorkload` skip even this pass via `run_compiled`.
+        let classes = self.latency_table.classify_program(program);
+        self.run_classified(program, &classes)
+    }
+
+    /// Executes a [`CompiledWorkload`] artifact, reusing its precompiled
+    /// latency classes instead of re-classifying the program. Otherwise
+    /// identical to [`Simulator::run`] (including the auto-reset on reuse).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulator::run`].
+    pub fn run_compiled(&mut self, workload: &CompiledWorkload) -> Result<SimOutcome, SimError> {
+        self.run_classified(&workload.program, workload.classes())
+    }
+
+    /// Executes `program` against an externally precompiled latency-class
+    /// vector. Both [`Simulator::run`] and [`Simulator::run_compiled`]
+    /// delegate here, so the two entry points cannot drift.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is not parallel to the instruction stream; a
+    /// mismatched vector means the caller is holding a stale artifact.
+    pub fn run_classified(
+        &mut self,
+        program: &Program,
+        classes: &[LatencyClass],
+    ) -> Result<SimOutcome, SimError> {
+        assert_eq!(
+            classes.len(),
+            program.len(),
+            "latency-class vector is not parallel to the program"
+        );
         if self.dirty {
             self.reset();
         }
@@ -251,11 +293,6 @@ impl Simulator {
         };
         let mut trace = MemoryTrace::new();
         let mut makespan = Beats::ZERO;
-
-        // Latency classes precompiled once per program: the CPI bookkeeping
-        // below reads a dense byte vector instead of re-matching on the
-        // instruction variant for every instruction executed.
-        let classes = self.latency_table.classify_program(program);
 
         for (index, instr) in program.iter().enumerate() {
             let wrap = |source: LatticeError| SimError {
@@ -772,6 +809,32 @@ mod tests {
         assert_eq!(outcome.stats.implicit_loads, 2);
         assert_eq!(outcome.stats.implicit_stores, 2);
         assert!(outcome.stats.memory_access_beats > Beats::ZERO);
+    }
+
+    #[test]
+    fn run_compiled_matches_run_and_skips_classification() {
+        use lsqca_workloads::{Benchmark, CompiledWorkload, InstanceSize};
+        let cfg = Benchmark::SquareRoot.config(InstanceSize::Reduced);
+        let workload = CompiledWorkload::compile(
+            cfg.descriptor(),
+            &cfg.build(),
+            lsqca_compiler::CompilerConfig::default(),
+        );
+        let qubits = workload.num_qubits.max(workload.memory_footprint());
+        let mut simulator = Simulator::new(&point(1), qubits, &[], SimConfig::default());
+        let via_program = simulator.run(&workload.program).unwrap();
+        let via_artifact = simulator.run_compiled(&workload).unwrap();
+        assert_eq!(via_program, via_artifact);
+        assert!(via_artifact.stats.command_count > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not parallel")]
+    fn mismatched_class_vector_is_rejected() {
+        let mut program = Program::new("mismatch");
+        program.push(Instruction::HdM { mem: MemAddr(0) });
+        let mut simulator = Simulator::new(&point(1), 1, &[], SimConfig::default());
+        let _ = simulator.run_classified(&program, &[]);
     }
 
     #[test]

@@ -1,0 +1,569 @@
+//! The on-disk compiled-workload cache.
+//!
+//! Repeated sweep invocations (`experiments --full` run twice, CI reruns,
+//! iterating on simulator changes) used to pay full workload compilation every
+//! time. A [`WorkloadCache`] persists [`CompiledWorkload`] artifacts as JSON
+//! under a cache directory so the second invocation performs **zero**
+//! compilation:
+//!
+//! * **Location** — `$LSQCA_CACHE_DIR` if set; otherwise `lsqca-cache/` inside
+//!   the build's `target/` directory (discovered from the running executable's
+//!   path, falling back to `./target/lsqca-cache`). `LSQCA_NO_CACHE=1`
+//!   disables the disk entirely.
+//! * **Key** — the FNV-1a content hash of the workload-generator descriptor
+//!   (every generator parameter, see
+//!   [`BenchmarkConfig::descriptor`](crate::registry::BenchmarkConfig::descriptor)),
+//!   the compiler configuration, and [`ISA_VERSION`]. Changing any of them
+//!   changes the file name, so stale entries are simply never found again.
+//! * **Integrity** — each artifact stores the key it was compiled for, the ISA
+//!   version, and a payload hash. A truncated file, a hand-edited field, a
+//!   hash-colliding key, or a version mismatch is detected at load time and
+//!   the artifact is transparently recompiled (and rewritten).
+//! * **Concurrency** — writes go to a temporary file first and are `rename`d
+//!   into place, so concurrent sweep threads never observe a torn artifact.
+
+use crate::compiled::{fnv1a64, ArtifactError, CompiledWorkload};
+use lsqca_circuit::Circuit;
+use lsqca_compiler::CompilerConfig;
+use lsqca_isa::ISA_VERSION;
+use std::fmt;
+use std::fs;
+use std::io::{self, ErrorKind};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How a [`WorkloadCache::load_or_compile`] request was satisfied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// A valid artifact was loaded from disk; no compilation happened.
+    Hit,
+    /// No artifact existed (or caching is disabled); the workload was compiled.
+    Compiled,
+    /// An artifact existed but failed validation; it was recompiled.
+    Invalidated(InvalidationReason),
+}
+
+/// Why a cached artifact was rejected and recompiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidationReason {
+    /// The file exists but could not be read.
+    Unreadable(String),
+    /// The file is not valid JSON (e.g. truncated mid-write).
+    NotJson(String),
+    /// The document failed artifact validation (schema, ISA version, payload
+    /// hash, malformed field).
+    Artifact(ArtifactError),
+    /// The artifact was compiled for a different cache key (hash collision or
+    /// a renamed/copied file).
+    KeyMismatch {
+        /// The key recorded in the artifact.
+        stored: String,
+    },
+}
+
+impl fmt::Display for InvalidationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidationReason::Unreadable(e) => write!(f, "unreadable: {e}"),
+            InvalidationReason::NotJson(e) => write!(f, "not valid JSON: {e}"),
+            InvalidationReason::Artifact(e) => write!(f, "{e}"),
+            InvalidationReason::KeyMismatch { stored } => {
+                write!(f, "artifact belongs to key `{stored}`")
+            }
+        }
+    }
+}
+
+/// Counters of one cache instance (monotonic over its lifetime).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from disk without compiling.
+    pub hits: u64,
+    /// Requests that compiled because no artifact existed (or disk is off).
+    pub compiled: u64,
+    /// Requests that recompiled because a cached artifact failed validation.
+    pub invalidated: u64,
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} compiled, {} hits, {} invalidated",
+            self.compiled, self.hits, self.invalidated
+        )
+    }
+}
+
+/// An on-disk cache of [`CompiledWorkload`] artifacts.
+#[derive(Debug)]
+pub struct WorkloadCache {
+    /// `None` when caching is disabled: every request compiles.
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    compiled: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+impl WorkloadCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        WorkloadCache {
+            dir: Some(dir.into()),
+            hits: AtomicU64::new(0),
+            compiled: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache that never touches disk; every request compiles.
+    pub fn disabled() -> Self {
+        WorkloadCache {
+            dir: None,
+            hits: AtomicU64::new(0),
+            compiled: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache the environment selects: `$LSQCA_CACHE_DIR` if set,
+    /// disabled if `$LSQCA_NO_CACHE` is set to anything but `0`/empty,
+    /// otherwise `lsqca-cache/` inside the build's `target/` directory.
+    pub fn from_env() -> Self {
+        if let Ok(no_cache) = std::env::var("LSQCA_NO_CACHE") {
+            if !no_cache.is_empty() && no_cache != "0" {
+                return WorkloadCache::disabled();
+            }
+        }
+        if let Ok(dir) = std::env::var("LSQCA_CACHE_DIR") {
+            if !dir.is_empty() {
+                return WorkloadCache::at(dir);
+            }
+        }
+        WorkloadCache::at(default_cache_dir())
+    }
+
+    /// The directory artifacts are stored in; `None` when disabled.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// This instance's hit/compile/invalidation counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            compiled: self.compiled.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The full cache key for a workload descriptor under a compiler
+    /// configuration: generator config + compiler config + ISA version, per
+    /// the invalidation contract of the module docs.
+    pub fn key(descriptor: &str, config: &CompilerConfig) -> String {
+        format!("{descriptor}|compiler={config:?}|isa=v{ISA_VERSION}")
+    }
+
+    /// The on-disk path the artifact for `(descriptor, config)` lives at.
+    /// Returns `None` when caching is disabled.
+    pub fn path_for(&self, descriptor: &str, config: &CompilerConfig) -> Option<PathBuf> {
+        let key = Self::key(descriptor, config);
+        self.dir.as_ref().map(|d| {
+            d.join(format!(
+                "{}-{:016x}.json",
+                slug(descriptor),
+                fnv1a64(key.as_bytes())
+            ))
+        })
+    }
+
+    /// Loads the artifact for `(descriptor, config)`, or compiles it by
+    /// generating the circuit with `build` and stores the result. Returns the
+    /// artifact and how it was obtained.
+    pub fn load_or_compile(
+        &self,
+        descriptor: &str,
+        config: CompilerConfig,
+        build: impl FnOnce() -> Circuit,
+    ) -> (CompiledWorkload, CacheEvent) {
+        let key = Self::key(descriptor, &config);
+        let Some(path) = self.path_for(descriptor, &config) else {
+            self.compiled.fetch_add(1, Ordering::Relaxed);
+            return (
+                CompiledWorkload::compile(key, &build(), config),
+                CacheEvent::Compiled,
+            );
+        };
+        let miss = match load_artifact(&path, &key) {
+            Ok(artifact) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (artifact, CacheEvent::Hit);
+            }
+            Err(miss) => miss,
+        };
+        let artifact = CompiledWorkload::compile(key, &build(), config);
+        // Best effort: a read-only cache directory degrades to compile-always
+        // rather than failing the sweep.
+        let _ = store_artifact(&path, &artifact);
+        let event = match miss {
+            Miss::Absent => {
+                self.compiled.fetch_add(1, Ordering::Relaxed);
+                CacheEvent::Compiled
+            }
+            Miss::Invalid(reason) => {
+                self.invalidated.fetch_add(1, Ordering::Relaxed);
+                CacheEvent::Invalidated(reason)
+            }
+        };
+        (artifact, event)
+    }
+
+    /// Deletes every artifact in the cache directory. A missing directory is
+    /// not an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than the directory not existing.
+    pub fn clear(&self) -> io::Result<()> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        match fs::read_dir(dir) {
+            Err(e) if e.kind() == ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+            Ok(entries) => {
+                for entry in entries {
+                    let path = entry?.path();
+                    if path.extension().is_some_and(|ext| ext == "json") {
+                        fs::remove_file(path)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+enum Miss {
+    Absent,
+    Invalid(InvalidationReason),
+}
+
+fn load_artifact(path: &Path, key: &str) -> Result<CompiledWorkload, Miss> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == ErrorKind::NotFound => return Err(Miss::Absent),
+        Err(e) => return Err(Miss::Invalid(InvalidationReason::Unreadable(e.to_string()))),
+    };
+    let doc = lsqca_json::parse(&text)
+        .map_err(|e| Miss::Invalid(InvalidationReason::NotJson(e.to_string())))?;
+    let artifact = CompiledWorkload::from_json(&doc)
+        .map_err(|e| Miss::Invalid(InvalidationReason::Artifact(e)))?;
+    if artifact.descriptor() != key {
+        return Err(Miss::Invalid(InvalidationReason::KeyMismatch {
+            stored: artifact.descriptor().to_string(),
+        }));
+    }
+    Ok(artifact)
+}
+
+fn store_artifact(path: &Path, artifact: &CompiledWorkload) -> io::Result<()> {
+    let dir = path.parent().expect("cache paths have a parent directory");
+    fs::create_dir_all(dir)?;
+    // Unique temporary name per writer — process id for cross-process races,
+    // a monotone counter for same-key races between threads of one process —
+    // then an atomic rename, so readers never observe a torn file.
+    static WRITER: AtomicU64 = AtomicU64::new(0);
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        WRITER.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::write(&tmp, artifact.to_json().pretty())?;
+    fs::rename(&tmp, path)
+}
+
+/// A filesystem-friendly prefix keeping cache entries human-identifiable.
+fn slug(descriptor: &str) -> String {
+    let mut slug: String = descriptor
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    slug.truncate(48);
+    while slug.ends_with('-') {
+        slug.pop();
+    }
+    if slug.is_empty() {
+        slug.push_str("workload");
+    }
+    slug
+}
+
+/// The default cache location: `lsqca-cache/` inside the `target/` directory
+/// the running executable was built into, so binaries, tests, and benches all
+/// share one cache per checkout. Falls back to `./target/lsqca-cache` when no
+/// ancestor directory is named `target` (e.g. an installed binary).
+fn default_cache_dir() -> PathBuf {
+    if let Ok(exe) = std::env::current_exe() {
+        for ancestor in exe.ancestors().skip(1) {
+            if ancestor.file_name().is_some_and(|n| n == "target") {
+                return ancestor.join("lsqca-cache");
+            }
+        }
+    }
+    PathBuf::from("target").join("lsqca-cache")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiled::compile_count;
+    use crate::registry::{Benchmark, InstanceSize};
+
+    fn temp_cache(tag: &str) -> WorkloadCache {
+        let dir =
+            std::env::temp_dir().join(format!("lsqca-cache-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        WorkloadCache::at(dir)
+    }
+
+    fn ghz() -> (String, impl Fn() -> Circuit) {
+        let cfg = Benchmark::Ghz.config(InstanceSize::Reduced);
+        (cfg.descriptor(), move || cfg.build())
+    }
+
+    #[test]
+    fn second_request_is_a_hit_with_zero_compilation() {
+        let cache = temp_cache("hit");
+        let (desc, build) = ghz();
+        let config = CompilerConfig::default();
+
+        let (first, event) = cache.load_or_compile(&desc, config, &build);
+        assert_eq!(event, CacheEvent::Compiled);
+
+        let before = compile_count();
+        let (second, event) = cache.load_or_compile(&desc, config, &build);
+        assert_eq!(event, CacheEvent::Hit);
+        assert_eq!(compile_count(), before, "a cache hit must not compile");
+        assert_eq!(first, second);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                compiled: 1,
+                invalidated: 0
+            }
+        );
+    }
+
+    #[test]
+    fn mutated_generator_config_changes_the_key() {
+        let cache = temp_cache("config-key");
+        let a = Benchmark::Ghz.config(InstanceSize::Reduced);
+        let b = Benchmark::Ghz.config(InstanceSize::Paper);
+        assert_ne!(a.descriptor(), b.descriptor());
+        assert_ne!(
+            cache.path_for(&a.descriptor(), &CompilerConfig::default()),
+            cache.path_for(&b.descriptor(), &CompilerConfig::default()),
+        );
+        let (_, event) =
+            cache.load_or_compile(&a.descriptor(), CompilerConfig::default(), || a.build());
+        assert_eq!(event, CacheEvent::Compiled);
+        // The paper-sized GHZ is cheap enough to build here; its mutated
+        // config must not be served the reduced artifact.
+        let (w, event) =
+            cache.load_or_compile(&b.descriptor(), CompilerConfig::default(), || b.build());
+        assert_eq!(event, CacheEvent::Compiled);
+        assert_eq!(w.num_qubits, 127);
+    }
+
+    #[test]
+    fn compiler_config_participates_in_the_key() {
+        let cache = temp_cache("compiler-key");
+        let (desc, build) = ghz();
+        let in_memory = CompilerConfig::default();
+        let load_store = CompilerConfig {
+            use_in_memory_ops: false,
+            ..CompilerConfig::default()
+        };
+        cache.load_or_compile(&desc, in_memory, &build);
+        let (w, event) = cache.load_or_compile(&desc, load_store, &build);
+        assert_eq!(event, CacheEvent::Compiled);
+        assert!(w.program.iter().any(|i| !i.is_in_memory()));
+        // Both artifacts now hit independently.
+        assert_eq!(
+            cache.load_or_compile(&desc, in_memory, &build).1,
+            CacheEvent::Hit
+        );
+        assert_eq!(
+            cache.load_or_compile(&desc, load_store, &build).1,
+            CacheEvent::Hit
+        );
+    }
+
+    #[test]
+    fn truncated_artifact_is_recompiled_not_served() {
+        let cache = temp_cache("truncated");
+        let (desc, build) = ghz();
+        let config = CompilerConfig::default();
+        let (original, _) = cache.load_or_compile(&desc, config, &build);
+
+        let path = cache.path_for(&desc, &config).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+
+        let (recompiled, event) = cache.load_or_compile(&desc, config, &build);
+        assert!(
+            matches!(
+                event,
+                CacheEvent::Invalidated(InvalidationReason::NotJson(_))
+            ),
+            "unexpected event {event:?}"
+        );
+        assert_eq!(recompiled, original);
+        // The rewrite repaired the entry.
+        assert_eq!(
+            cache.load_or_compile(&desc, config, &build).1,
+            CacheEvent::Hit
+        );
+        assert_eq!(cache.stats().invalidated, 1);
+    }
+
+    #[test]
+    fn bumped_isa_version_is_recompiled_not_served() {
+        let cache = temp_cache("isa-version");
+        let (desc, build) = ghz();
+        let config = CompilerConfig::default();
+        cache.load_or_compile(&desc, config, &build);
+
+        let path = cache.path_for(&desc, &config).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(
+            &path,
+            text.replace(
+                &format!("\"isa_version\": {ISA_VERSION}"),
+                "\"isa_version\": 999",
+            ),
+        )
+        .unwrap();
+
+        let (_, event) = cache.load_or_compile(&desc, config, &build);
+        assert!(
+            matches!(
+                event,
+                CacheEvent::Invalidated(InvalidationReason::Artifact(
+                    ArtifactError::IsaVersionMismatch { found: 999, .. }
+                ))
+            ),
+            "unexpected event {event:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_is_recompiled_not_served() {
+        let cache = temp_cache("payload");
+        let (desc, build) = ghz();
+        let config = CompilerConfig::default();
+        cache.load_or_compile(&desc, config, &build);
+
+        let path = cache.path_for(&desc, &config).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        // Swap one instruction for another: valid JSON, valid program text,
+        // wrong content — only the payload hash catches it.
+        assert!(text.contains("HD.M"));
+        fs::write(&path, text.replacen("HD.M", "PH.M", 1)).unwrap();
+
+        let (_, event) = cache.load_or_compile(&desc, config, &build);
+        assert!(
+            matches!(
+                event,
+                CacheEvent::Invalidated(InvalidationReason::Artifact(
+                    ArtifactError::PayloadHashMismatch { .. }
+                ))
+            ),
+            "unexpected event {event:?}"
+        );
+    }
+
+    #[test]
+    fn foreign_artifact_at_the_key_path_is_rejected() {
+        let cache = temp_cache("key-mismatch");
+        let (desc, build) = ghz();
+        let config = CompilerConfig::default();
+        cache.load_or_compile(&desc, config, &build);
+
+        let other = Benchmark::Cat.config(InstanceSize::Reduced);
+        let from = cache.path_for(&desc, &config).unwrap();
+        let to = cache.path_for(&other.descriptor(), &config).unwrap();
+        fs::create_dir_all(to.parent().unwrap()).unwrap();
+        fs::copy(&from, &to).unwrap();
+
+        let (w, event) = cache.load_or_compile(&other.descriptor(), config, || other.build());
+        assert!(
+            matches!(
+                event,
+                CacheEvent::Invalidated(InvalidationReason::KeyMismatch { .. })
+            ),
+            "unexpected event {event:?}"
+        );
+        assert_eq!(w.num_qubits, 32, "the cat workload must be recompiled");
+    }
+
+    #[test]
+    fn disabled_cache_always_compiles() {
+        let cache = WorkloadCache::disabled();
+        let (desc, build) = ghz();
+        assert!(cache.dir().is_none());
+        assert!(cache.path_for(&desc, &CompilerConfig::default()).is_none());
+        for _ in 0..2 {
+            let (_, event) = cache.load_or_compile(&desc, CompilerConfig::default(), &build);
+            assert_eq!(event, CacheEvent::Compiled);
+        }
+        assert_eq!(cache.stats().compiled, 2);
+    }
+
+    #[test]
+    fn clear_removes_entries() {
+        let cache = temp_cache("clear");
+        let (desc, build) = ghz();
+        let config = CompilerConfig::default();
+        cache.load_or_compile(&desc, config, &build);
+        assert!(cache.path_for(&desc, &config).unwrap().exists());
+        cache.clear().unwrap();
+        assert!(!cache.path_for(&desc, &config).unwrap().exists());
+        // Clearing a never-created cache directory is fine too.
+        temp_cache("clear-missing").clear().unwrap();
+    }
+
+    #[test]
+    fn slugs_are_filesystem_friendly() {
+        assert_eq!(
+            slug("Ghz(GhzConfig { qubits: 16 })"),
+            "ghz-ghzconfig---qubits--16"
+        );
+        assert_eq!(slug(""), "workload");
+        assert!(slug(&"x".repeat(100)).len() <= 48);
+    }
+
+    #[test]
+    fn events_and_stats_render() {
+        assert!(InvalidationReason::Unreadable("denied".into())
+            .to_string()
+            .contains("denied"));
+        assert!(InvalidationReason::KeyMismatch { stored: "k".into() }
+            .to_string()
+            .contains("k"));
+        let stats = CacheStats {
+            hits: 2,
+            compiled: 1,
+            invalidated: 0,
+        };
+        assert_eq!(stats.to_string(), "1 compiled, 2 hits, 0 invalidated");
+    }
+}

@@ -34,7 +34,9 @@
 
 pub mod adder;
 pub mod bv;
+pub mod cache;
 pub mod cat;
+pub mod compiled;
 pub mod ghz;
 pub mod multiplier;
 pub mod registry;
@@ -43,9 +45,11 @@ pub mod square_root;
 
 pub use adder::{ripple_carry_adder, AdderConfig};
 pub use bv::{bernstein_vazirani, BvConfig};
+pub use cache::{CacheEvent, CacheStats, InvalidationReason, WorkloadCache};
 pub use cat::{cat_state, CatConfig};
+pub use compiled::{compile_count, ArtifactError, CompiledWorkload, ARTIFACT_SCHEMA};
 pub use ghz::{ghz_state, GhzConfig};
 pub use multiplier::{shift_add_multiplier, MultiplierConfig};
-pub use registry::{paper_qubit_count, paper_suite, Benchmark};
+pub use registry::{paper_qubit_count, paper_suite, Benchmark, BenchmarkConfig, InstanceSize};
 pub use select::{select_heisenberg, HeisenbergModel, SelectConfig};
 pub use square_root::{square_root_search, SquareRootConfig};

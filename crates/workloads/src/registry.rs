@@ -68,42 +68,106 @@ impl Benchmark {
         matches!(self, Benchmark::Bv | Benchmark::Cat | Benchmark::Ghz)
     }
 
+    /// The generator configuration for the given instance size. The returned
+    /// [`BenchmarkConfig`] carries the concrete generator parameters, so its
+    /// [`descriptor`](BenchmarkConfig::descriptor) is a content-accurate cache
+    /// key: changing any parameter here changes the descriptor.
+    pub fn config(self, size: InstanceSize) -> BenchmarkConfig {
+        match size {
+            InstanceSize::Paper => match self {
+                Benchmark::Adder => BenchmarkConfig::Adder(AdderConfig::paper()),
+                Benchmark::Bv => BenchmarkConfig::Bv(BvConfig::paper()),
+                Benchmark::Cat => BenchmarkConfig::Cat(CatConfig::paper()),
+                Benchmark::Ghz => BenchmarkConfig::Ghz(GhzConfig::paper()),
+                Benchmark::Multiplier => BenchmarkConfig::Multiplier(MultiplierConfig::paper()),
+                Benchmark::SquareRoot => BenchmarkConfig::SquareRoot(SquareRootConfig::paper()),
+                Benchmark::Select => BenchmarkConfig::Select(SelectConfig::paper_benchmark()),
+            },
+            InstanceSize::Reduced => match self {
+                Benchmark::Adder => BenchmarkConfig::Adder(AdderConfig { operand_bits: 16 }),
+                Benchmark::Bv => BenchmarkConfig::Bv(BvConfig {
+                    secret_bits: 31,
+                    secret: None,
+                    seed: 0x5eed,
+                }),
+                Benchmark::Cat => BenchmarkConfig::Cat(CatConfig { qubits: 32 }),
+                Benchmark::Ghz => BenchmarkConfig::Ghz(GhzConfig { qubits: 16 }),
+                Benchmark::Multiplier => BenchmarkConfig::Multiplier(MultiplierConfig {
+                    operand_bits: 8,
+                    partial_products: None,
+                }),
+                Benchmark::SquareRoot => BenchmarkConfig::SquareRoot(SquareRootConfig {
+                    candidate_bits: 5,
+                    grover_rounds: 1,
+                    target: 9,
+                }),
+                Benchmark::Select => BenchmarkConfig::Select(SelectConfig::for_width(4)),
+            },
+        }
+    }
+
     /// Generates the paper-sized instance of this benchmark.
     pub fn paper_instance(self) -> Circuit {
-        match self {
-            Benchmark::Adder => ripple_carry_adder(AdderConfig::paper()),
-            Benchmark::Bv => bernstein_vazirani(BvConfig::paper()),
-            Benchmark::Cat => cat_state(CatConfig::paper()),
-            Benchmark::Ghz => ghz_state(GhzConfig::paper()),
-            Benchmark::Multiplier => shift_add_multiplier(MultiplierConfig::paper()),
-            Benchmark::SquareRoot => square_root_search(SquareRootConfig::paper()),
-            Benchmark::Select => select_heisenberg(SelectConfig::paper_benchmark()),
-        }
+        self.config(InstanceSize::Paper).build()
     }
 
     /// Generates a reduced instance with the same structure, suitable for unit
     /// tests and quick benchmark runs (seconds instead of minutes).
     pub fn reduced_instance(self) -> Circuit {
+        self.config(InstanceSize::Reduced).build()
+    }
+}
+
+/// Which instance of a benchmark to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstanceSize {
+    /// The reduced test/CI instance of [`Benchmark::reduced_instance`].
+    Reduced,
+    /// The paper-sized instance of [`Benchmark::paper_instance`].
+    Paper,
+}
+
+/// The concrete generator configuration of one benchmark instance.
+///
+/// This is the value the on-disk workload cache hashes: the `Debug`
+/// rendering includes every generator parameter, so two instances share a
+/// cache entry exactly when their generators would produce the same circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchmarkConfig {
+    /// Ripple-carry adder parameters.
+    Adder(AdderConfig),
+    /// Bernstein–Vazirani parameters.
+    Bv(BvConfig),
+    /// Cat-state parameters.
+    Cat(CatConfig),
+    /// GHZ-state parameters.
+    Ghz(GhzConfig),
+    /// Shift-and-add multiplier parameters.
+    Multiplier(MultiplierConfig),
+    /// Square-root amplitude-amplification parameters.
+    SquareRoot(SquareRootConfig),
+    /// SELECT-for-Heisenberg parameters.
+    Select(SelectConfig),
+}
+
+impl BenchmarkConfig {
+    /// Runs the generator this configuration parameterizes.
+    pub fn build(&self) -> Circuit {
         match self {
-            Benchmark::Adder => ripple_carry_adder(AdderConfig { operand_bits: 16 }),
-            Benchmark::Bv => bernstein_vazirani(BvConfig {
-                secret_bits: 31,
-                secret: None,
-                seed: 0x5eed,
-            }),
-            Benchmark::Cat => cat_state(CatConfig { qubits: 32 }),
-            Benchmark::Ghz => ghz_state(GhzConfig { qubits: 16 }),
-            Benchmark::Multiplier => shift_add_multiplier(MultiplierConfig {
-                operand_bits: 8,
-                partial_products: None,
-            }),
-            Benchmark::SquareRoot => square_root_search(SquareRootConfig {
-                candidate_bits: 5,
-                grover_rounds: 1,
-                target: 9,
-            }),
-            Benchmark::Select => select_heisenberg(SelectConfig::for_width(4)),
+            BenchmarkConfig::Adder(c) => ripple_carry_adder(*c),
+            BenchmarkConfig::Bv(c) => bernstein_vazirani(c.clone()),
+            BenchmarkConfig::Cat(c) => cat_state(*c),
+            BenchmarkConfig::Ghz(c) => ghz_state(*c),
+            BenchmarkConfig::Multiplier(c) => shift_add_multiplier(*c),
+            BenchmarkConfig::SquareRoot(c) => square_root_search(*c),
+            BenchmarkConfig::Select(c) => select_heisenberg(*c),
         }
+    }
+
+    /// A content-accurate cache-key descriptor: the generator name plus every
+    /// parameter value.
+    pub fn descriptor(&self) -> String {
+        format!("{self:?}")
     }
 }
 

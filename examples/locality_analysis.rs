@@ -55,7 +55,6 @@ fn main() {
     counts.sort_by_key(|c| std::cmp::Reverse(c.1));
     for (addr, count) in counts.iter().take(10) {
         let role = workload
-            .circuit()
             .registers()
             .role_of(addr.index())
             .map(|r| r.to_string())

@@ -8,9 +8,16 @@
 # Examples:
 #   scripts/bench.sh                       # all benches + BENCH_hotpath.json
 #   scripts/bench.sh micro_hotpath         # only benchmarks matching the filter
-#   scripts/bench.sh --quick               # CI smoke: quick-scale hotpath JSON
+#   scripts/bench.sh --quick               # CI gate: quick-scale hotpath JSON
 #                                          # to a temp file + schema validation
+#                                          # + end-to-end regression tolerance
+#                                          # vs the committed baseline
 #   CRITERION_JSON=out.ndjson scripts/bench.sh   # also dump raw ndjson records
+#
+# Environment:
+#   LSQCA_BENCH_TOLERANCE   fractional end-to-end ns/instruction regression
+#                           allowed by --quick before failing (default 0.25,
+#                           i.e. >25% slower than BENCH_hotpath.json fails)
 #
 # Outputs:
 #   BENCH_hotpath.json   stable-schema (lsqca-bench-hotpath-v1) baseline with
@@ -44,17 +51,71 @@ validate_hotpath_json() {
   return "$ok"
 }
 
+# Extracts `<floorplan>\t<ns_per_instruction>` lines from a hotpath JSON
+# document's end_to_end section (the pretty-printed lsqca-json layout).
+extract_end_to_end() {
+  awk '
+    /"floorplan":/ {
+      line = $0
+      sub(/.*"floorplan": *"/, "", line)
+      sub(/".*/, "", line)
+      floorplan = line
+    }
+    /"ns_per_instruction":/ {
+      line = $0
+      sub(/.*"ns_per_instruction": */, "", line)
+      sub(/,.*/, "", line)
+      if (floorplan != "") {
+        printf "%s\t%s\n", floorplan, line
+        floorplan = ""
+      }
+    }
+  ' "$1"
+}
+
+# Fails if any end-to-end ns/instruction in $2 regressed more than the
+# tolerance fraction against the committed baseline $1.
+check_regression() {
+  local baseline="$1" fresh="$2"
+  local tolerance="${LSQCA_BENCH_TOLERANCE:-0.25}"
+  local ok=0
+  while IFS=$'\t' read -r floorplan base_ns; do
+    local fresh_ns
+    fresh_ns="$(extract_end_to_end "$fresh" | awk -F'\t' -v fp="$floorplan" '$1 == fp { print $2 }')"
+    if [[ -z "$fresh_ns" ]]; then
+      echo "error: fresh report is missing end-to-end entry for '$floorplan'" >&2
+      ok=1
+      continue
+    fi
+    if awk -v base="$base_ns" -v fresh="$fresh_ns" -v tol="$tolerance" \
+         'BEGIN { exit !(fresh > base * (1 + tol)) }'; then
+      echo "error: end-to-end regression on '$floorplan': ${fresh_ns} ns/instruction vs baseline ${base_ns} (tolerance ${tolerance})" >&2
+      ok=1
+    else
+      echo "  ${floorplan}: ${fresh_ns} ns/instruction (baseline ${base_ns}) OK"
+    fi
+  done < <(extract_end_to_end "$baseline")
+  return "$ok"
+}
+
 if [[ "${1:-}" == "--quick" ]]; then
-  # CI smoke mode: build, emit the quick-scale hotpath report to a temp file
-  # (the committed BENCH_hotpath.json baseline is left untouched), and
-  # validate its schema.
-  echo "== building (release, quick smoke) =="
+  # CI gate mode: build, emit the quick-scale hotpath report to a temp file
+  # (the committed BENCH_hotpath.json baseline is left untouched), validate
+  # its schema, and fail on an end-to-end throughput regression beyond the
+  # tolerance.
+  echo "== building (release, quick gate) =="
   cargo build --release -p lsqca-bench
   out="$(mktemp /tmp/lsqca-hotpath-XXXXXX.json)"
   echo "== quick-scale hotpath report =="
   ./target/release/experiments hotpath --json > "$out"
   validate_hotpath_json "$out"
   echo "schema lsqca-bench-hotpath-v1 OK: $out"
+  if [[ -f BENCH_hotpath.json ]]; then
+    echo "== end-to-end regression gate (tolerance ${LSQCA_BENCH_TOLERANCE:-0.25}) =="
+    check_regression BENCH_hotpath.json "$out"
+  else
+    echo "warning: no committed BENCH_hotpath.json baseline; skipping regression gate" >&2
+  fi
   exit 0
 fi
 
