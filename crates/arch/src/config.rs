@@ -11,6 +11,16 @@ pub enum FloorplanKind {
         /// Number of SAM banks.
         banks: u32,
     },
+    /// LSQCA with **dual-port** point-SAM banks: each bank keeps a scan
+    /// vacancy at a CR port on *both* its west and east edge, so every access
+    /// picks the cheaper side and the second vacancy's faster move protocol
+    /// (Fig. 11) is always available. Costs one extra cell per bank and a
+    /// second CR attachment; an extension beyond the paper's single-port
+    /// design, enabled by the per-anchor vacancy rings.
+    DualPointSam {
+        /// Number of SAM banks.
+        banks: u32,
+    },
     /// LSQCA with line-SAM banks (a scan line per bank); 1, 2, or 4 banks are
     /// evaluated in the paper.
     LineSam {
@@ -27,7 +37,9 @@ impl FloorplanKind {
     /// Number of SAM banks (zero for the conventional floorplan).
     pub fn bank_count(self) -> u32 {
         match self {
-            FloorplanKind::PointSam { banks } | FloorplanKind::LineSam { banks } => banks,
+            FloorplanKind::PointSam { banks }
+            | FloorplanKind::DualPointSam { banks }
+            | FloorplanKind::LineSam { banks } => banks,
             FloorplanKind::Conventional => 0,
         }
     }
@@ -41,6 +53,7 @@ impl FloorplanKind {
     pub fn label(self) -> String {
         match self {
             FloorplanKind::PointSam { banks } => format!("Point #SAM={banks}"),
+            FloorplanKind::DualPointSam { banks } => format!("DualPoint #SAM={banks}"),
             FloorplanKind::LineSam { banks } => format!("Line #SAM={banks}"),
             FloorplanKind::Conventional => "Conventional".to_string(),
         }
@@ -135,6 +148,14 @@ impl ArchConfig {
                 assert!(
                     banks <= 2,
                     "the paper limits point SAM to at most two banks"
+                );
+            }
+            FloorplanKind::DualPointSam { banks } => {
+                assert!(banks > 0, "dual-port point SAM needs at least one bank");
+                assert!(
+                    banks <= 2,
+                    "dual-port point SAM is limited to two banks (each already \
+                     claims two CR attachments)"
                 );
             }
             FloorplanKind::LineSam { banks } => {

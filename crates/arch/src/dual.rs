@@ -1,0 +1,473 @@
+//! The dual-port point-SAM bank model.
+//!
+//! A dual-port point SAM stores `n` logical qubits in `n + 2` cells: every
+//! cell holds data except **two** scan vacancies, one parked at a CR port on
+//! the bank's west edge and one at a port on its east edge. Every access picks
+//! the cheaper side, which roughly halves the worst-case transport distance,
+//! and because a second vacancy always exists the faster two-vacancy move
+//! protocol of Fig. 11 applies to *every* transport — the single-port bank
+//! only gets it while another qubit happens to be checked out.
+//!
+//! This is an extension beyond the paper's single-port design (the paper's CR
+//! touches each point bank on one side only); it exists to exercise the
+//! per-anchor vacancy rings of [`lsqca_lattice::CellGrid::register_anchors`]
+//! and to give hybrid floorplans a third bank flavour whose latency/area
+//! trade-off sits between the point and line SAMs. The price is one extra
+//! cell per bank and a second CR attachment
+//! (see `MemorySystem::cr_cells`).
+//!
+//! [`lsqca_lattice::CellGrid::register_anchors`]: lsqca_lattice::CellGrid::register_anchors
+
+use crate::ledger::CheckoutLedger;
+use lsqca_lattice::{Beats, CellGrid, Coord, LatticeError, ProtocolLatencies, QubitTag};
+
+/// A single dual-port point-SAM bank.
+///
+/// The bank enforces an `n + 2`-cell invariant through its checkout ledger:
+/// at all times `stored + checked_out == n` and the grid holds exactly
+/// `2 + checked_out` vacancies (one scan cell per port plus one per qubit
+/// currently in the CR). Like the single-port bank,
+/// [`DualPointSamBank::store`] rejects any qubit that was not checked out of
+/// *this* bank with [`LatticeError::QubitNotCheckedOut`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DualPointSamBank {
+    grid: CellGrid,
+    /// The two CR-facing cells (west mid-edge, east mid-edge).
+    ports: [Coord; 2],
+    /// Current position of each port's scan vacancy (approximate tracking).
+    scans: [Coord; 2],
+    /// Original home cell of every qubit, for the non-locality-aware store.
+    home: Vec<Option<Coord>>,
+    /// Exactly which of this bank's qubits are checked out to the CR.
+    ledger: CheckoutLedger,
+    latencies: ProtocolLatencies,
+    /// Exact cell count charged to this bank (`data qubits + 2`).
+    cell_count: u64,
+    /// Store returning qubits near the chosen port (true) or at home (false).
+    locality_aware_store: bool,
+}
+
+impl DualPointSamBank {
+    /// Builds a bank holding `qubits`, placed row-major in a near-square grid
+    /// with the two scan cells starting at the west and east ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` is empty.
+    pub fn new(qubits: &[QubitTag], locality_aware_store: bool) -> Self {
+        assert!(
+            !qubits.is_empty(),
+            "a dual-port point-SAM bank needs at least one qubit"
+        );
+        let n = qubits.len() as u64;
+        // Near-square rectangle with room for both scan cells; at least two
+        // columns so the two ports are distinct cells.
+        let width = (((n + 2) as f64).sqrt().ceil() as u32).max(2);
+        let height = ((n + 2) as f64 / width as f64).ceil() as u32;
+        let mut grid = CellGrid::new(width, height);
+        let west = Coord::new(0, height / 2);
+        let east = Coord::new(width - 1, height / 2);
+
+        let mut cells = (0..height)
+            .flat_map(|y| (0..width).map(move |x| Coord::new(x, y)))
+            .filter(|&c| c != west && c != east);
+        let table_len = qubits.iter().map(|q| q.0 as usize + 1).max().unwrap_or(0);
+        let mut home = vec![None; table_len];
+        for &q in qubits {
+            let cell = cells
+                .next()
+                .expect("grid sized to hold every qubit plus both scan cells");
+            grid.place(q, cell)
+                .expect("cells are distinct and in bounds");
+            home[q.0 as usize] = Some(cell);
+        }
+        // One vacancy ring set per port: `nearest_vacant(port)` is an O(1)
+        // bit scan for either side, and every mutation maintains both.
+        grid.register_anchors(&[west, east])
+            .expect("both ports lie inside the bank grid");
+
+        let bank = DualPointSamBank {
+            grid,
+            ports: [west, east],
+            scans: [west, east],
+            home,
+            ledger: CheckoutLedger::new(table_len),
+            latencies: ProtocolLatencies::paper(),
+            cell_count: n + 2,
+            locality_aware_store,
+        };
+        bank.debug_assert_invariants();
+        bank
+    }
+
+    /// Debug-asserts the `n + 2`-cell shape after every mutation.
+    #[inline]
+    fn debug_assert_invariants(&self) {
+        let n = self.cell_count as usize - 2;
+        debug_assert_eq!(
+            self.stored_qubits() + self.ledger.count(),
+            n,
+            "stored + checked_out must equal the bank's data-qubit count"
+        );
+        let padding = self.grid.cell_count() as usize - (n + 2);
+        debug_assert_eq!(
+            self.grid.vacant_count(),
+            2 + padding + self.ledger.count(),
+            "a dual-port bank holds two scan vacancies (plus grid padding) plus one per checkout"
+        );
+        debug_assert!(
+            self.ledger.iter().all(|q| !self.grid.contains(q)),
+            "a checked-out qubit cannot simultaneously occupy a cell"
+        );
+    }
+
+    /// Exact number of cells charged to this bank (data qubits + two scan cells).
+    pub fn cell_count(&self) -> u64 {
+        self.cell_count
+    }
+
+    /// The two bank-local CR-facing cells `(west, east)`, each the anchor of
+    /// one of the grid's vacancy-ring sets.
+    pub fn ports(&self) -> (Coord, Coord) {
+        (self.ports[0], self.ports[1])
+    }
+
+    /// Number of qubits currently stored in the bank.
+    pub fn stored_qubits(&self) -> usize {
+        self.grid.occupied_count()
+    }
+
+    /// True if `qubit` is currently stored in this bank.
+    pub fn contains(&self, qubit: QubitTag) -> bool {
+        self.grid.contains(qubit)
+    }
+
+    /// Number of this bank's qubits currently checked out to the CR.
+    pub fn checked_out_count(&self) -> usize {
+        self.ledger.count()
+    }
+
+    /// True if `qubit` is currently checked out of this bank to the CR.
+    pub fn is_checked_out(&self, qubit: QubitTag) -> bool {
+        self.ledger.is_checked_out(qubit)
+    }
+
+    fn position(&self, qubit: QubitTag) -> Result<Coord, LatticeError> {
+        self.grid
+            .position_of(qubit)
+            .ok_or(LatticeError::QubitNotPresent { qubit })
+    }
+
+    /// Load cost of a qubit at `pos` through port `side`. With two scan cells
+    /// the two-vacancy move protocol always applies.
+    fn load_cost_via(&self, pos: Coord, side: usize) -> Beats {
+        let port = self.ports[side];
+        let seek = Beats(self.scans[side].manhattan_distance(pos) as u64);
+        let transport = self
+            .latencies
+            .point_transport(pos.dx(port), pos.dy(port), true);
+        seek + transport + self.latencies.move_step
+    }
+
+    /// The cheaper port side for a qubit at `pos` (ties go west).
+    fn best_side(&self, pos: Coord) -> usize {
+        if self.load_cost_via(pos, 1) < self.load_cost_via(pos, 0) {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Estimated load latency without mutating the bank state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::QubitNotPresent`] if the qubit is not stored here.
+    pub fn peek_load(&self, qubit: QubitTag) -> Result<Beats, LatticeError> {
+        let pos = self.position(qubit)?;
+        Ok(self.load_cost_via(pos, self.best_side(pos)))
+    }
+
+    /// Loads `qubit` out through the cheaper port and returns the latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::QubitNotPresent`] if the qubit is not stored here.
+    pub fn load(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
+        let pos = self.position(qubit)?;
+        let side = self.best_side(pos);
+        let cost = self.load_cost_via(pos, side);
+        self.grid.remove(qubit)?;
+        self.ledger.check_out(qubit);
+        // The vacancy that carried the target ends up back at its port.
+        self.scans[side] = self.ports[side];
+        self.debug_assert_invariants();
+        Ok(cost)
+    }
+
+    /// Stores `qubit` back through whichever port has the nearer parking
+    /// vacancy (locality-aware) or towards its home cell. Only qubits in the
+    /// checkout ledger are accepted.
+    ///
+    /// # Errors
+    ///
+    /// * [`LatticeError::QubitAlreadyPlaced`] if the qubit never left.
+    /// * [`LatticeError::QubitNotCheckedOut`] if the qubit was never loaded
+    ///   from this bank (including foreign tags).
+    pub fn store(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
+        if let Some(at) = self.grid.position_of(qubit) {
+            return Err(LatticeError::QubitAlreadyPlaced { qubit, at });
+        }
+        if !self.ledger.is_checked_out(qubit) {
+            return Err(LatticeError::QubitNotCheckedOut { qubit });
+        }
+        let (dest, side) = if self.locality_aware_store {
+            // Cheaper side: the port whose nearest vacancy is closer to it.
+            let candidate = |side: usize| {
+                self.grid
+                    .nearest_vacant(self.ports[side])
+                    .map(|c| (c.manhattan_distance(self.ports[side]), side, c))
+            };
+            let (_, side, _) = [candidate(0), candidate(1)]
+                .into_iter()
+                .flatten()
+                .min()
+                .expect("a checked-out qubit keeps a vacancy open");
+            (
+                self.grid
+                    .place_at_nearest_vacancy(qubit, self.ports[side])?,
+                side,
+            )
+        } else {
+            let home = self
+                .home
+                .get(qubit.0 as usize)
+                .copied()
+                .flatten()
+                .ok_or(LatticeError::QubitNotPresent { qubit })?;
+            let dest = if self.grid.is_vacant(home) {
+                self.grid.place(qubit, home)?;
+                home
+            } else {
+                self.grid.place_at_nearest_vacancy(qubit, home)?
+            };
+            (dest, self.best_side(dest))
+        };
+        let port = self.ports[side];
+        let transport = self
+            .latencies
+            .point_transport(dest.dx(port), dest.dy(port), true);
+        self.ledger.check_in(qubit);
+        self.scans[side] = port;
+        self.debug_assert_invariants();
+        Ok(transport + self.latencies.move_step)
+    }
+
+    /// Walks the nearer scan cell next to `qubit` for an in-memory
+    /// single-qubit operation and returns the seek latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::QubitNotPresent`] if the qubit is not stored here.
+    pub fn in_memory_seek(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
+        let pos = self.position(qubit)?;
+        let side = if self.scans[1].manhattan_distance(pos) < self.scans[0].manhattan_distance(pos)
+        {
+            1
+        } else {
+            0
+        };
+        let seek = Beats(self.scans[side].manhattan_distance(pos) as u64);
+        self.scans[side] = pos;
+        Ok(seek)
+    }
+
+    /// Brings `qubit` adjacent to the cheaper port for an in-memory two-qubit
+    /// operation with a CR slot (Sec. V-C semantics, port chosen per access).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::QubitNotPresent`] if the qubit is not stored here.
+    pub fn in_memory_two_qubit_access(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
+        let pos = self.position(qubit)?;
+        let side = self.best_side(pos);
+        let port = self.ports[side];
+        let (from, dest) = self.grid.relocate_into_nearest_vacancy(qubit, port)?;
+        let seek = Beats(self.scans[side].manhattan_distance(from) as u64);
+        let transport = self
+            .latencies
+            .point_transport(from.dx(dest), from.dy(dest), true);
+        self.scans[side] = from;
+        self.debug_assert_invariants();
+        Ok(seek + transport)
+    }
+
+    /// Hot-set migration swap, mirroring
+    /// [`PointSamBank::migrate_swap`](crate::PointSamBank::migrate_swap):
+    /// `outgoing` leaves through its cheaper port, `incoming` parks at the
+    /// vacancy nearest whichever port is cheaper for it.
+    ///
+    /// # Errors
+    ///
+    /// * [`LatticeError::QubitNotPresent`] if `outgoing` is not stored here.
+    /// * [`LatticeError::QubitAlreadyPlaced`] if `incoming` already is.
+    pub fn migrate_swap(
+        &mut self,
+        outgoing: QubitTag,
+        incoming: QubitTag,
+    ) -> Result<Beats, LatticeError> {
+        let pos = self.position(outgoing)?;
+        if let Some(at) = self.grid.position_of(incoming) {
+            return Err(LatticeError::QubitAlreadyPlaced {
+                qubit: incoming,
+                at,
+            });
+        }
+        let out_side = self.best_side(pos);
+        let out_cost = self.load_cost_via(pos, out_side);
+        self.grid.remove(outgoing)?;
+        let table_len = incoming.0 as usize + 1;
+        if table_len > self.home.len() {
+            self.home.resize(table_len, None);
+        }
+        self.ledger.grow(table_len);
+        let in_side = (0..2)
+            .min_by_key(|&side| {
+                self.grid
+                    .nearest_vacant(self.ports[side])
+                    .map(|c| c.manhattan_distance(self.ports[side]))
+                    .unwrap_or(u32::MAX)
+            })
+            .expect("two ports");
+        let port = self.ports[in_side];
+        let dest = self.grid.place_at_nearest_vacancy(incoming, port)?;
+        let in_cost = self
+            .latencies
+            .point_transport(dest.dx(port), dest.dy(port), true)
+            + self.latencies.move_step;
+        self.home[outgoing.0 as usize] = None;
+        self.home[incoming.0 as usize] = Some(dest);
+        self.scans[out_side] = self.ports[out_side];
+        self.debug_assert_invariants();
+        Ok(out_cost + in_cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::PointSamBank;
+
+    fn qubits(n: u32) -> Vec<QubitTag> {
+        (0..n).map(QubitTag).collect()
+    }
+
+    #[test]
+    fn cell_count_is_qubits_plus_two() {
+        let bank = DualPointSamBank::new(&qubits(400), true);
+        assert_eq!(bank.cell_count(), 402);
+        assert_eq!(bank.stored_qubits(), 400);
+        let (west, east) = bank.ports();
+        assert_ne!(west, east);
+        assert_eq!(west.x, 0);
+    }
+
+    #[test]
+    fn worst_case_load_beats_the_single_port_bank() {
+        let n = 200u32;
+        let dual = DualPointSamBank::new(&qubits(n), true);
+        let single = PointSamBank::new(&qubits(n), true);
+        let worst = |peek: &dyn Fn(QubitTag) -> Beats| (0..n).map(|q| peek(QubitTag(q))).max();
+        let dual_worst = worst(&|q| dual.peek_load(q).unwrap()).unwrap();
+        let single_worst = worst(&|q| single.peek_load(q).unwrap()).unwrap();
+        assert!(
+            dual_worst < single_worst,
+            "dual-port worst case {dual_worst} should beat single-port {single_worst}"
+        );
+    }
+
+    #[test]
+    fn load_then_store_round_trip() {
+        let mut bank = DualPointSamBank::new(&qubits(30), true);
+        let q = QubitTag(29);
+        let load = bank.load(q).unwrap();
+        assert!(load > Beats(0));
+        assert!(!bank.contains(q));
+        assert!(bank.is_checked_out(q));
+        let store = bank.store(q).unwrap();
+        assert!(bank.contains(q));
+        assert!(!bank.is_checked_out(q));
+        // Locality-aware store parks next to a port, so reloading is cheap.
+        assert!(store < load);
+        assert!(bank.peek_load(q).unwrap() < load);
+    }
+
+    #[test]
+    fn store_of_a_never_checked_out_qubit_is_rejected() {
+        let mut bank = DualPointSamBank::new(&qubits(9), true);
+        assert!(matches!(
+            bank.store(QubitTag(100)),
+            Err(LatticeError::QubitNotCheckedOut {
+                qubit: QubitTag(100)
+            })
+        ));
+        assert!(matches!(
+            bank.store(QubitTag(3)),
+            Err(LatticeError::QubitAlreadyPlaced { .. })
+        ));
+        assert_eq!(bank.stored_qubits(), 9);
+        assert_eq!(bank.checked_out_count(), 0);
+    }
+
+    #[test]
+    fn home_store_policy_returns_to_the_original_cell() {
+        let mut bank = DualPointSamBank::new(&qubits(36), false);
+        let q = QubitTag(17);
+        let home = bank.grid.position_of(q).unwrap();
+        bank.load(q).unwrap();
+        bank.store(q).unwrap();
+        assert_eq!(bank.grid.position_of(q), Some(home));
+    }
+
+    #[test]
+    fn in_memory_accesses_work_from_both_sides() {
+        let mut bank = DualPointSamBank::new(&qubits(100), true);
+        let target = QubitTag(99);
+        let load_estimate = bank.peek_load(target).unwrap();
+        let seek = bank.in_memory_seek(target).unwrap();
+        assert!(seek < load_estimate);
+        // Seeking again is free: a scan cell is parked next to the qubit.
+        assert_eq!(bank.in_memory_seek(target).unwrap(), Beats(0));
+        let access = bank.in_memory_two_qubit_access(QubitTag(50)).unwrap();
+        assert!(access > Beats(0));
+        let again = bank.in_memory_two_qubit_access(QubitTag(50)).unwrap();
+        assert!(again < access);
+    }
+
+    #[test]
+    fn migrate_swap_conserves_the_bank_shape() {
+        let mut bank = DualPointSamBank::new(&qubits(25), true);
+        let cost = bank.migrate_swap(QubitTag(24), QubitTag(90)).unwrap();
+        assert!(cost > Beats(0));
+        assert!(!bank.contains(QubitTag(24)));
+        assert!(bank.contains(QubitTag(90)));
+        assert_eq!(bank.stored_qubits(), 25);
+        // The admitted qubit can round-trip like a native one.
+        bank.load(QubitTag(90)).unwrap();
+        bank.store(QubitTag(90)).unwrap();
+        assert!(matches!(
+            bank.migrate_swap(QubitTag(24), QubitTag(5)),
+            Err(LatticeError::QubitNotPresent { .. })
+        ));
+        assert!(matches!(
+            bank.migrate_swap(QubitTag(5), QubitTag(90)),
+            Err(LatticeError::QubitAlreadyPlaced { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn empty_bank_panics() {
+        let _ = DualPointSamBank::new(&[], true);
+    }
+}

@@ -1,0 +1,641 @@
+//! Hybrid floorplan composition and runtime hot-set migration.
+//!
+//! The paper's hybrid floorplan (Sec. V-D / VI-C) pins a *statically chosen*
+//! hot set into a conventional unit-latency region and leaves the rest in
+//! SAM. The memory-hierarchy literature it builds on (Thaker et al., ISCA
+//! 2006) treats **dynamic** promotion/demotion between hierarchy levels as
+//! the defining feature of a memory hierarchy; this module supplies the
+//! missing pieces:
+//!
+//! * [`FloorplanSpec`] — a descriptor composing N banks of *mixed* flavours
+//!   (point, dual-port point, line) behind one
+//!   [`MemorySystem`](crate::MemorySystem), via
+//!   [`MemorySystem::from_spec`](crate::MemorySystem::from_spec).
+//! * [`MigrationPolicy`] — the pluggable runtime policy deciding, on every
+//!   load/store event, whether the accessed qubit should swap places with a
+//!   conventional-region resident. [`StaticPolicy`] (never migrate — the
+//!   paper's compile-time hot set), [`LruPolicy`] (promote every cold access,
+//!   evict the least-recently-used hot qubit), and [`FreqDecayPolicy`]
+//!   (promote when a decayed access-frequency score overtakes the coldest
+//!   hot qubit's) are provided; [`PolicyKind`] names them for configuration
+//!   plumbing.
+//!
+//! The migration itself is performed by
+//! [`MemorySystem::migrate`](crate::MemorySystem::migrate), which keeps the
+//! per-bank cell invariants and the cross-bank checkout audit intact; the
+//! simulator charges the returned movement latency plus the policy's
+//! [`overhead`](MigrationPolicy::overhead) to the run's
+//! `ExecutionStats::migration_beats`.
+
+use lsqca_lattice::{Beats, QubitTag};
+use std::fmt;
+
+/// The flavour of one SAM bank inside a [`FloorplanSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BankKind {
+    /// Single-port point SAM (`n + 1` cells, one scan vacancy).
+    PointSam,
+    /// Dual-port point SAM (`n + 2` cells, a scan vacancy at each of two
+    /// opposing CR ports).
+    DualPointSam,
+    /// Line SAM (`n + C` cells, a scan line).
+    LineSam,
+}
+
+impl BankKind {
+    /// Short label used in floorplan descriptors.
+    pub fn label(self) -> &'static str {
+        match self {
+            BankKind::PointSam => "point",
+            BankKind::DualPointSam => "dual-point",
+            BankKind::LineSam => "line",
+        }
+    }
+}
+
+/// A floorplan descriptor composing an arbitrary mix of SAM banks behind one
+/// memory system. [`crate::FloorplanKind`] covers the paper's uniform
+/// designs; a spec additionally expresses heterogeneous hierarchies (e.g. a
+/// fast dual-port point bank backed by a dense line bank).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FloorplanSpec {
+    /// One entry per SAM bank; cold qubits are distributed round-robin over
+    /// them in order. Empty means every qubit lives in the conventional
+    /// region (the baseline floorplan).
+    pub banks: Vec<BankKind>,
+    /// Number of register cells in the CR.
+    pub cr_slots: u32,
+    /// Use the locality-aware store policy (Sec. V-B).
+    pub locality_aware_store: bool,
+}
+
+impl FloorplanSpec {
+    /// A spec of `count` identical banks with the paper's CR defaults.
+    pub fn uniform(kind: BankKind, count: usize) -> Self {
+        FloorplanSpec {
+            banks: vec![kind; count],
+            cr_slots: 2,
+            locality_aware_store: true,
+        }
+    }
+
+    /// A human-readable label, e.g. `"point+line floorplan"`.
+    pub fn label(&self) -> String {
+        if self.banks.is_empty() {
+            return "Conventional".to_string();
+        }
+        let kinds: Vec<&str> = self.banks.iter().map(|k| k.label()).collect();
+        format!("{} floorplan", kinds.join("+"))
+    }
+}
+
+impl fmt::Display for FloorplanSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A runtime promotion/demotion policy for hybrid floorplans.
+///
+/// The simulator calls [`on_access`](MigrationPolicy::on_access) for every
+/// memory operand of every load/store/in-memory instruction. A returned
+/// victim is a *proposal*: the simulator applies it only when the swap is
+/// legal (the accessed qubit is stored in a bank and the victim is a
+/// conventional resident) and then confirms via
+/// [`applied`](MigrationPolicy::applied) — a policy must keep its hot-set
+/// bookkeeping in `applied`, never in `on_access`, because proposals made
+/// while the qubit is checked out (store events) are dropped.
+pub trait MigrationPolicy: fmt::Debug + Send {
+    /// The policy's short name, used in sweep output and labels.
+    fn name(&self) -> &'static str;
+
+    /// Resets the policy for a fresh run over `num_qubits` qubits with `hot`
+    /// initially pinned in the conventional region.
+    fn begin(&mut self, num_qubits: u32, hot: &[QubitTag]);
+
+    /// Records an access to `qubit` at logical time `now` (a monotone event
+    /// counter). Returns the conventional-region victim to demote if `qubit`
+    /// should be promoted, or `None` to leave the floorplan unchanged.
+    fn on_access(&mut self, qubit: QubitTag, now: u64) -> Option<QubitTag>;
+
+    /// Confirms that a proposed migration was applied.
+    fn applied(&mut self, promoted: QubitTag, demoted: QubitTag);
+
+    /// Fixed bookkeeping latency charged per applied migration, on top of the
+    /// physical movement cost returned by
+    /// [`MemorySystem::migrate`](crate::MemorySystem::migrate).
+    fn overhead(&self) -> Beats {
+        Beats(1)
+    }
+
+    /// Clones the policy behind its trait object (policies ride inside the
+    /// clonable `Simulator`).
+    fn boxed_clone(&self) -> Box<dyn MigrationPolicy>;
+}
+
+impl Clone for Box<dyn MigrationPolicy> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+/// Dense per-qubit hot-set membership shared by the stateful policies.
+#[derive(Debug, Clone, Default)]
+struct HotSet {
+    member: Vec<bool>,
+    list: Vec<QubitTag>,
+}
+
+impl HotSet {
+    fn begin(&mut self, num_qubits: u32, hot: &[QubitTag]) {
+        self.member.clear();
+        self.member.resize(num_qubits as usize, false);
+        self.list.clear();
+        for &q in hot {
+            if (q.0 as usize) < self.member.len() && !self.member[q.0 as usize] {
+                self.member[q.0 as usize] = true;
+                self.list.push(q);
+            }
+        }
+    }
+
+    fn contains(&self, q: QubitTag) -> bool {
+        self.member.get(q.0 as usize).copied().unwrap_or(false)
+    }
+
+    fn swap(&mut self, promoted: QubitTag, demoted: QubitTag) {
+        if let Some(m) = self.member.get_mut(promoted.0 as usize) {
+            *m = true;
+        }
+        if let Some(m) = self.member.get_mut(demoted.0 as usize) {
+            *m = false;
+        }
+        if let Some(slot) = self.list.iter_mut().find(|q| **q == demoted) {
+            *slot = promoted;
+        }
+    }
+}
+
+/// Never migrates: the compile-time hot set stays pinned for the whole run —
+/// the paper's static hybrid floorplan, used as the baseline every dynamic
+/// policy is compared against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticPolicy;
+
+impl MigrationPolicy for StaticPolicy {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn begin(&mut self, _num_qubits: u32, _hot: &[QubitTag]) {}
+
+    fn on_access(&mut self, _qubit: QubitTag, _now: u64) -> Option<QubitTag> {
+        None
+    }
+
+    fn applied(&mut self, _promoted: QubitTag, _demoted: QubitTag) {
+        unreachable!("the static policy never proposes a migration");
+    }
+
+    fn overhead(&self) -> Beats {
+        Beats::ZERO
+    }
+
+    fn boxed_clone(&self) -> Box<dyn MigrationPolicy> {
+        Box::new(*self)
+    }
+}
+
+/// Classic LRU: every access to a cold qubit proposes promoting it over the
+/// least-recently-used hot qubit. Aggressive — on streaming access patterns
+/// it thrashes (each migration pays real movement beats), which is exactly
+/// the behaviour the policy comparison in the `hybrid-migrate` sweep is
+/// there to expose.
+#[derive(Debug, Clone, Default)]
+pub struct LruPolicy {
+    last_used: Vec<u64>,
+    hot: HotSet,
+}
+
+impl MigrationPolicy for LruPolicy {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn begin(&mut self, num_qubits: u32, hot: &[QubitTag]) {
+        self.last_used.clear();
+        self.last_used.resize(num_qubits as usize, 0);
+        self.hot.begin(num_qubits, hot);
+    }
+
+    fn on_access(&mut self, qubit: QubitTag, now: u64) -> Option<QubitTag> {
+        let idx = qubit.0 as usize;
+        if idx >= self.last_used.len() {
+            return None;
+        }
+        self.last_used[idx] = now + 1;
+        if self.hot.contains(qubit) {
+            return None;
+        }
+        self.hot
+            .list
+            .iter()
+            .copied()
+            .min_by_key(|v| (self.last_used[v.0 as usize], v.0))
+            .filter(|&v| v != qubit)
+    }
+
+    fn applied(&mut self, promoted: QubitTag, demoted: QubitTag) {
+        self.hot.swap(promoted, demoted);
+    }
+
+    fn boxed_clone(&self) -> Box<dyn MigrationPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// Exponentially-decayed access-frequency ranking: each access adds one to
+/// the qubit's score, and scores halve every [`half_life`] accesses. A cold
+/// qubit is promoted only when its decayed score overtakes the coldest hot
+/// qubit's by the [`margin`] factor, so one-off touches never trigger the
+/// (physically expensive) migration but a phase shift in the working set
+/// does.
+///
+/// [`half_life`]: FreqDecayPolicy::half_life
+/// [`margin`]: FreqDecayPolicy::margin
+#[derive(Debug, Clone)]
+pub struct FreqDecayPolicy {
+    /// Accesses after which a score halves.
+    pub half_life: u64,
+    /// Promote only when `cold_score > margin * coldest_hot_score`.
+    pub margin: f64,
+    score: Vec<f64>,
+    last_seen: Vec<u64>,
+    hot: HotSet,
+}
+
+impl Default for FreqDecayPolicy {
+    fn default() -> Self {
+        FreqDecayPolicy {
+            half_life: 64,
+            margin: 1.5,
+            score: Vec::new(),
+            last_seen: Vec::new(),
+            hot: HotSet::default(),
+        }
+    }
+}
+
+impl FreqDecayPolicy {
+    /// The score of `q` decayed to time `now`.
+    fn decayed(&self, q: QubitTag, now: u64) -> f64 {
+        let idx = q.0 as usize;
+        let age = now.saturating_sub(self.last_seen[idx]);
+        self.score[idx] * 0.5f64.powf(age as f64 / self.half_life as f64)
+    }
+}
+
+impl MigrationPolicy for FreqDecayPolicy {
+    fn name(&self) -> &'static str {
+        "freq-decay"
+    }
+
+    fn begin(&mut self, num_qubits: u32, hot: &[QubitTag]) {
+        self.score.clear();
+        self.score.resize(num_qubits as usize, 0.0);
+        self.last_seen.clear();
+        self.last_seen.resize(num_qubits as usize, 0);
+        self.hot.begin(num_qubits, hot);
+    }
+
+    fn on_access(&mut self, qubit: QubitTag, now: u64) -> Option<QubitTag> {
+        let idx = qubit.0 as usize;
+        if idx >= self.score.len() {
+            return None;
+        }
+        let fresh = self.decayed(qubit, now) + 1.0;
+        self.score[idx] = fresh;
+        self.last_seen[idx] = now;
+        if self.hot.contains(qubit) {
+            return None;
+        }
+        let victim = self
+            .hot
+            .list
+            .iter()
+            .copied()
+            .map(|v| (self.decayed(v, now), v))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1 .0.cmp(&b.1 .0)))?;
+        (victim.1 != qubit && fresh > self.margin * victim.0).then_some(victim.1)
+    }
+
+    fn applied(&mut self, promoted: QubitTag, demoted: QubitTag) {
+        self.hot.swap(promoted, demoted);
+    }
+
+    fn overhead(&self) -> Beats {
+        Beats(2)
+    }
+
+    fn boxed_clone(&self) -> Box<dyn MigrationPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// Names the built-in migration policies, for configuration plumbing (sweep
+/// configs, CLI flags, experiment labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// [`StaticPolicy`]: the compile-time hot set, never migrated.
+    Static,
+    /// [`LruPolicy`]: promote every cold access, evict least-recently-used.
+    Lru,
+    /// [`FreqDecayPolicy`]: promote on decayed-frequency overtake.
+    FreqDecay,
+}
+
+impl PolicyKind {
+    /// Every built-in policy, in comparison order.
+    pub const ALL: [PolicyKind; 3] = [PolicyKind::Static, PolicyKind::Lru, PolicyKind::FreqDecay];
+
+    /// The policy's short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Static => "static",
+            PolicyKind::Lru => "lru",
+            PolicyKind::FreqDecay => "freq-decay",
+        }
+    }
+
+    /// Parses a policy name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<PolicyKind> {
+        let lower = name.to_ascii_lowercase();
+        PolicyKind::ALL.into_iter().find(|k| k.name() == lower)
+    }
+
+    /// Instantiates the policy with its default parameters.
+    pub fn build(self) -> Box<dyn MigrationPolicy> {
+        match self {
+            PolicyKind::Static => Box::new(StaticPolicy),
+            PolicyKind::Lru => Box::new(LruPolicy::default()),
+            PolicyKind::FreqDecay => Box::new(FreqDecayPolicy::default()),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(v: &[u32]) -> Vec<QubitTag> {
+        v.iter().map(|&t| QubitTag(t)).collect()
+    }
+
+    #[test]
+    fn spec_labels_and_uniform_construction() {
+        let spec = FloorplanSpec::uniform(BankKind::LineSam, 2);
+        assert_eq!(spec.banks.len(), 2);
+        assert_eq!(spec.label(), "line+line floorplan");
+        let mixed = FloorplanSpec {
+            banks: vec![BankKind::DualPointSam, BankKind::LineSam],
+            cr_slots: 2,
+            locality_aware_store: true,
+        };
+        assert_eq!(mixed.to_string(), "dual-point+line floorplan");
+        assert_eq!(
+            FloorplanSpec {
+                banks: vec![],
+                cr_slots: 2,
+                locality_aware_store: true
+            }
+            .label(),
+            "Conventional"
+        );
+    }
+
+    #[test]
+    fn static_policy_never_proposes() {
+        let mut policy = StaticPolicy;
+        policy.begin(10, &tags(&[0, 1]));
+        for now in 0..50 {
+            assert_eq!(policy.on_access(QubitTag(5), now), None);
+        }
+        assert_eq!(policy.overhead(), Beats::ZERO);
+    }
+
+    #[test]
+    fn lru_policy_evicts_the_least_recently_used() {
+        let mut policy = LruPolicy::default();
+        policy.begin(10, &tags(&[0, 1, 2]));
+        // Touch hot qubits 1 and 2; qubit 0 becomes the LRU victim.
+        assert_eq!(policy.on_access(QubitTag(1), 0), None);
+        assert_eq!(policy.on_access(QubitTag(2), 1), None);
+        assert_eq!(policy.on_access(QubitTag(7), 2), Some(QubitTag(0)));
+        policy.applied(QubitTag(7), QubitTag(0));
+        // Qubit 7 is now hot; 0 is cold and proposes evicting the stalest.
+        assert_eq!(policy.on_access(QubitTag(7), 3), None);
+        assert_eq!(policy.on_access(QubitTag(0), 4), Some(QubitTag(1)));
+    }
+
+    #[test]
+    fn freq_decay_promotes_only_on_overtake() {
+        let mut policy = FreqDecayPolicy::default();
+        policy.begin(10, &tags(&[0, 1]));
+        // Build up the hot qubits' scores.
+        for now in 0..6 {
+            policy.on_access(QubitTag(now as u32 % 2), now);
+        }
+        // A single cold touch does not overtake.
+        assert_eq!(policy.on_access(QubitTag(5), 6), None);
+        // A burst does.
+        let mut promoted = false;
+        for now in 7..40 {
+            if let Some(victim) = policy.on_access(QubitTag(5), now) {
+                policy.applied(QubitTag(5), victim);
+                promoted = true;
+                break;
+            }
+        }
+        assert!(promoted, "a sustained burst must overtake the hot set");
+    }
+
+    #[test]
+    fn policies_clone_behind_the_trait_object() {
+        for kind in PolicyKind::ALL {
+            let mut policy = kind.build();
+            policy.begin(8, &tags(&[0, 1]));
+            let _ = policy.on_access(QubitTag(5), 0);
+            let cloned = policy.clone();
+            assert_eq!(cloned.name(), policy.name());
+        }
+    }
+
+    #[test]
+    fn policy_kind_round_trips() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.build().name(), kind.name());
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(PolicyKind::from_name("nope"), None);
+        assert_eq!(
+            PolicyKind::from_name("FREQ-DECAY"),
+            Some(PolicyKind::FreqDecay)
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::{HashMap, HashSet};
+
+    /// A deliberately naive LRU model: a `HashMap` of last-use times and a
+    /// `HashSet` hot set, re-ranked from scratch on every access.
+    #[derive(Debug, Default)]
+    struct NaiveLru {
+        last_used: HashMap<u32, u64>,
+        hot: HashSet<u32>,
+    }
+
+    impl NaiveLru {
+        fn on_access(&mut self, q: u32, now: u64) -> Option<u32> {
+            self.last_used.insert(q, now + 1);
+            if self.hot.contains(&q) || self.hot.is_empty() {
+                return None;
+            }
+            self.hot
+                .iter()
+                .copied()
+                .min_by_key(|v| (self.last_used.get(v).copied().unwrap_or(0), *v))
+        }
+
+        fn applied(&mut self, promoted: u32, demoted: u32) {
+            self.hot.remove(&demoted);
+            self.hot.insert(promoted);
+        }
+    }
+
+    /// A naive frequency-decay model recomputing every decayed score with
+    /// plain `powf` on demand.
+    #[derive(Debug)]
+    struct NaiveFreqDecay {
+        half_life: f64,
+        margin: f64,
+        score: HashMap<u32, f64>,
+        last: HashMap<u32, u64>,
+        hot: HashSet<u32>,
+    }
+
+    impl NaiveFreqDecay {
+        fn decayed(&self, q: u32, now: u64) -> f64 {
+            let age = now.saturating_sub(self.last.get(&q).copied().unwrap_or(0));
+            self.score.get(&q).copied().unwrap_or(0.0) * 0.5f64.powf(age as f64 / self.half_life)
+        }
+
+        fn on_access(&mut self, q: u32, now: u64) -> Option<u32> {
+            let fresh = self.decayed(q, now) + 1.0;
+            self.score.insert(q, fresh);
+            self.last.insert(q, now);
+            if self.hot.contains(&q) {
+                return None;
+            }
+            let victim = self
+                .hot
+                .iter()
+                .copied()
+                .map(|v| (self.decayed(v, now), v))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))?;
+            (fresh > self.margin * victim.0).then_some(victim.1)
+        }
+
+        fn applied(&mut self, promoted: u32, demoted: u32) {
+            self.hot.remove(&demoted);
+            self.hot.insert(promoted);
+        }
+    }
+
+    proptest! {
+        /// The dense-table `LruPolicy` proposes exactly what the naive
+        /// map/set reference model proposes over random load/store traces,
+        /// with proposals randomly applied or dropped (the simulator drops
+        /// proposals made while the qubit is checked out).
+        #[test]
+        fn lru_policy_matches_the_naive_model(
+            n in 4u32..60,
+            hot in proptest::collection::hash_set(0u32..60, 1..6),
+            trace in proptest::collection::vec((0u32..60, proptest::bool::ANY), 1..150),
+        ) {
+            let hot: Vec<QubitTag> = hot.into_iter().filter(|&t| t < n).map(QubitTag).collect();
+            let mut policy = LruPolicy::default();
+            policy.begin(n, &hot);
+            let mut naive = NaiveLru {
+                hot: hot.iter().map(|q| q.0).collect(),
+                ..NaiveLru::default()
+            };
+
+            for (now, &(tag, apply)) in trace.iter().enumerate() {
+                let now = now as u64;
+                let q = QubitTag(tag % n);
+                let proposal = policy.on_access(q, now);
+                let expected = naive.on_access(q.0, now);
+                prop_assert_eq!(proposal.map(|v| v.0), expected);
+                if let (Some(victim), true) = (proposal, apply) {
+                    policy.applied(q, victim);
+                    naive.applied(q.0, victim.0);
+                }
+            }
+        }
+
+        /// The incremental `FreqDecayPolicy` scores and proposals equal the
+        /// naive recompute-everything model over random traces.
+        #[test]
+        fn freq_decay_policy_matches_the_naive_model(
+            n in 4u32..60,
+            hot in proptest::collection::hash_set(0u32..60, 1..6),
+            trace in proptest::collection::vec((0u32..60, proptest::bool::ANY), 1..150),
+        ) {
+            let hot: Vec<QubitTag> = hot.into_iter().filter(|&t| t < n).map(QubitTag).collect();
+            let mut policy = FreqDecayPolicy::default();
+            policy.begin(n, &hot);
+            let mut naive = NaiveFreqDecay {
+                half_life: policy.half_life as f64,
+                margin: policy.margin,
+                score: HashMap::new(),
+                last: HashMap::new(),
+                hot: hot.iter().map(|q| q.0).collect(),
+            };
+
+            for (now, &(tag, apply)) in trace.iter().enumerate() {
+                let now = now as u64;
+                let q = QubitTag(tag % n);
+                let proposal = policy.on_access(q, now);
+                let expected = naive.on_access(q.0, now);
+                prop_assert_eq!(proposal.map(|v| v.0), expected);
+                if let (Some(victim), true) = (proposal, apply) {
+                    policy.applied(q, victim);
+                    naive.applied(q.0, victim.0);
+                }
+            }
+        }
+
+        /// The static policy is inert on any trace.
+        #[test]
+        fn static_policy_matches_the_pinned_hot_set(
+            trace in proptest::collection::vec(0u32..40, 1..60),
+        ) {
+            let mut policy = StaticPolicy;
+            policy.begin(40, &[QubitTag(0)]);
+            for (now, &tag) in trace.iter().enumerate() {
+                prop_assert_eq!(policy.on_access(QubitTag(tag), now as u64), None);
+            }
+        }
+    }
+}

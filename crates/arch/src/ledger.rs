@@ -44,6 +44,16 @@ impl CheckoutLedger {
         self.capacity
     }
 
+    /// Extends the covered tag range to at least `capacity` (hot-set
+    /// migration can demote a qubit whose tag is beyond the range the bank
+    /// was built for). Shrinking is not supported; a smaller value is a no-op.
+    pub fn grow(&mut self, capacity: usize) {
+        if capacity > self.capacity {
+            self.capacity = capacity;
+            self.words.resize(capacity.div_ceil(64), 0);
+        }
+    }
+
     /// Number of qubits currently checked out.
     pub fn count(&self) -> usize {
         self.count
@@ -158,6 +168,20 @@ mod tests {
         // The last in-capacity tag works.
         assert!(ledger.check_out(QubitTag(9)));
         assert_eq!(ledger.count(), 1);
+    }
+
+    #[test]
+    fn grow_extends_the_covered_range() {
+        let mut ledger = CheckoutLedger::new(10);
+        assert!(!ledger.check_out(QubitTag(70)));
+        ledger.grow(100);
+        assert_eq!(ledger.capacity(), 100);
+        assert!(ledger.check_out(QubitTag(70)));
+        assert!(ledger.is_checked_out(QubitTag(70)));
+        // Growing never shrinks or disturbs existing state.
+        ledger.grow(5);
+        assert_eq!(ledger.capacity(), 100);
+        assert!(ledger.is_checked_out(QubitTag(70)));
     }
 
     #[test]

@@ -12,12 +12,21 @@
 //! * [`point`] — the point-SAM bank: a single scan cell, sliding-puzzle loads
 //!   (`W + H` seek plus `6·min(W,H) + 5·|W−H|` transport), locality-aware stores
 //!   into the vacant cell nearest the CR.
+//! * [`dual`] — the **dual-port** point-SAM bank: a scan vacancy at a CR port
+//!   on both the west and east edge, every access through the cheaper side,
+//!   the two-vacancy move protocol always active.
 //! * [`line`](mod@line) — the line-SAM bank: a scan line, loads costing the row distance,
 //!   locality-aware stores into the most recently accessed row.
 //! * [`memory`] — [`MemorySystem`]: hybrid floorplans (hot
 //!   qubits in a conventional 1/2-density region, cold qubits distributed
-//!   round-robin over SAM banks), memory-density accounting, and the load / store
-//!   / in-memory access latencies the simulator consumes.
+//!   round-robin over SAM banks — mixed bank flavours via
+//!   [`MemorySystem::from_spec`]), memory-density accounting, the load / store
+//!   / in-memory access latencies the simulator consumes, the cross-bank
+//!   checkout audit, and runtime hot-set migration
+//!   ([`MemorySystem::migrate`]).
+//! * [`floorplan`] — [`FloorplanSpec`] descriptors composing mixed banks, and
+//!   the pluggable [`MigrationPolicy`] trait with its [`StaticPolicy`] /
+//!   [`LruPolicy`] / [`FreqDecayPolicy`] implementations.
 //! * [`msf`] — the magic-state factory model (one state per 15 beats per factory,
 //!   buffer of `2 × factories`).
 //!
@@ -39,6 +48,8 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dual;
+pub mod floorplan;
 pub mod ledger;
 pub mod line;
 pub mod memory;
@@ -46,6 +57,10 @@ pub mod msf;
 pub mod point;
 
 pub use config::{ArchConfig, FloorplanKind};
+pub use dual::DualPointSamBank;
+pub use floorplan::{
+    BankKind, FloorplanSpec, FreqDecayPolicy, LruPolicy, MigrationPolicy, PolicyKind, StaticPolicy,
+};
 pub use ledger::CheckoutLedger;
 pub use line::LineSamBank;
 pub use memory::{BankPort, MemorySystem, Residence};

@@ -293,6 +293,58 @@ impl LineSamBank {
         self.in_memory_seek(qubit)
     }
 
+    /// Hot-set migration swap: extracts `outgoing` from its row (promotion
+    /// into the conventional region) and parks `incoming` (the demoted qubit)
+    /// in the row with a vacancy nearest the freed one, conserving the bank's
+    /// row accounting. Returns the combined seek + transfer latency of both
+    /// movements. Neither qubit touches the checkout ledger — migration moves
+    /// *stored* qubits, never checked-out ones.
+    ///
+    /// # Errors
+    ///
+    /// * [`LatticeError::QubitNotPresent`] if `outgoing` is not stored here.
+    /// * [`LatticeError::QubitAlreadyPlaced`] if `incoming` already is.
+    pub fn migrate_swap(
+        &mut self,
+        outgoing: QubitTag,
+        incoming: QubitTag,
+    ) -> Result<Beats, LatticeError> {
+        let row = self.require_row(outgoing)?;
+        if let Some(at) = self.row_of(incoming) {
+            return Err(LatticeError::QubitAlreadyPlaced {
+                qubit: incoming,
+                at: lsqca_lattice::Coord::new(0, at),
+            });
+        }
+        let out_cost = self.distance(row) + Beats(1);
+        self.row_of[outgoing.0 as usize] = None;
+        self.stored -= 1;
+        self.occupancy[row as usize] -= 1;
+        self.scan_row = row;
+        // The freed slot guarantees a destination exists.
+        let dest = (0..self.storage_rows)
+            .filter(|&r| self.occupancy[r as usize] < self.cols)
+            .min_by_key(|&r| r.abs_diff(row))
+            .expect("the outgoing qubit freed a row slot");
+        let in_cost = self.distance(dest) + Beats(1);
+        // The demoted qubit may carry a tag beyond the range this bank was
+        // built for; the dense per-tag tables grow to admit it.
+        let table_len = incoming.0 as usize + 1;
+        if table_len > self.row_of.len() {
+            self.row_of.resize(table_len, None);
+            self.home_row.resize(table_len, None);
+        }
+        self.ledger.grow(table_len);
+        self.row_of[incoming.0 as usize] = Some(dest);
+        self.stored += 1;
+        self.occupancy[dest as usize] += 1;
+        self.home_row[outgoing.0 as usize] = None;
+        self.home_row[incoming.0 as usize] = Some(dest);
+        self.scan_row = dest;
+        self.debug_assert_invariants();
+        Ok(out_cost + in_cost)
+    }
+
     /// Applies an in-memory operation to a whole row at once (the line-SAM bulk
     /// Hadamard/phase of Fig. 12c): returns the seek latency to that row.
     ///

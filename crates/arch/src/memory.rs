@@ -4,14 +4,23 @@
 //!
 //! * an optional **conventional region** holding the "hot" qubits of a hybrid
 //!   floorplan (Sec. V-D / VI-C) at 50% density with zero access latency, and
-//! * zero or more **SAM banks** (point or line) holding the remaining qubits,
-//!   distributed round-robin over the banks as in the paper's evaluation, plus
-//! * the **CR** cell accounting.
+//! * zero or more **SAM banks** (point, dual-port point, or line — mixed
+//!   flavours are allowed via [`MemorySystem::from_spec`]) holding the
+//!   remaining qubits, distributed round-robin over the banks as in the
+//!   paper's evaluation, plus
+//! * the **CR** cell accounting, and
+//! * the **memory-level checkout audit**: a record of which bank every
+//!   checked-out qubit left, so a store that would land in a *different* bank
+//!   (possible once hot-set migration mutates residences at runtime) is a
+//!   typed [`LatticeError::CrossBankCheckout`] instead of silent scan-vacancy
+//!   corruption.
 //!
 //! Memory density is `application qubits / (conventional cells + SAM cells + CR
 //! cells)`, excluding MSFs, exactly as defined in Sec. VI-A.
 
 use crate::config::{ArchConfig, FloorplanKind};
+use crate::dual::DualPointSamBank;
+use crate::floorplan::{BankKind, FloorplanSpec};
 use crate::line::LineSamBank;
 use crate::point::PointSamBank;
 use lsqca_lattice::{Beats, LatticeError, QubitTag};
@@ -26,44 +35,67 @@ pub enum Residence {
     SamBank(usize),
 }
 
-/// The CR-facing port of one SAM bank, in bank-local coordinates.
+/// The CR-facing port(s) of one SAM bank, in bank-local coordinates.
 ///
-/// Point-SAM banks register this as the anchor of their grid's vacancy index
-/// at construction; line-SAM banks expose the anchor row their scan line
-/// starts at (the CR column spans the full bank height).
+/// Point-SAM banks register their port(s) as the anchor(s) of their grid's
+/// vacancy-ring sets at construction; line-SAM banks expose the anchor row
+/// their scan line starts at (the CR column spans the full bank height).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BankPort {
     /// A point-SAM port: the single cell adjacent to the CR.
     Cell(lsqca_lattice::Coord),
+    /// A dual-port point-SAM bank's two port cells (west, east).
+    Cells(lsqca_lattice::Coord, lsqca_lattice::Coord),
     /// A line-SAM port: the anchor row facing the full-height CR column.
     Row(u32),
 }
 
-/// One SAM bank of either flavour.
+/// One SAM bank of any flavour.
 #[derive(Debug, Clone, PartialEq)]
 enum Bank {
     Point(PointSamBank),
+    Dual(DualPointSamBank),
     Line(LineSamBank),
 }
 
 impl Bank {
+    fn build(kind: BankKind, qubits: &[QubitTag], locality_aware_store: bool) -> Bank {
+        match kind {
+            BankKind::PointSam => Bank::Point(PointSamBank::new(qubits, locality_aware_store)),
+            BankKind::DualPointSam => {
+                Bank::Dual(DualPointSamBank::new(qubits, locality_aware_store))
+            }
+            BankKind::LineSam => Bank::Line(LineSamBank::new(qubits, locality_aware_store)),
+        }
+    }
+
     fn cell_count(&self) -> u64 {
         match self {
             Bank::Point(b) => b.cell_count(),
+            Bank::Dual(b) => b.cell_count(),
             Bank::Line(b) => b.cell_count(),
         }
     }
 
     fn total_height(&self) -> u32 {
         match self {
-            Bank::Point(_) => 3,
+            Bank::Point(_) | Bank::Dual(_) => 3,
             Bank::Line(b) => b.total_height(),
+        }
+    }
+
+    fn contains(&self, q: QubitTag) -> bool {
+        match self {
+            Bank::Point(b) => b.contains(q),
+            Bank::Dual(b) => b.contains(q),
+            Bank::Line(b) => b.contains(q),
         }
     }
 
     fn peek_load(&self, q: QubitTag) -> Result<Beats, LatticeError> {
         match self {
             Bank::Point(b) => b.peek_load(q),
+            Bank::Dual(b) => b.peek_load(q),
             Bank::Line(b) => b.peek_load(q),
         }
     }
@@ -71,6 +103,7 @@ impl Bank {
     fn load(&mut self, q: QubitTag) -> Result<Beats, LatticeError> {
         match self {
             Bank::Point(b) => b.load(q),
+            Bank::Dual(b) => b.load(q),
             Bank::Line(b) => b.load(q),
         }
     }
@@ -78,6 +111,7 @@ impl Bank {
     fn store(&mut self, q: QubitTag) -> Result<Beats, LatticeError> {
         match self {
             Bank::Point(b) => b.store(q),
+            Bank::Dual(b) => b.store(q),
             Bank::Line(b) => b.store(q),
         }
     }
@@ -85,6 +119,7 @@ impl Bank {
     fn in_memory_seek(&mut self, q: QubitTag) -> Result<Beats, LatticeError> {
         match self {
             Bank::Point(b) => b.in_memory_seek(q),
+            Bank::Dual(b) => b.in_memory_seek(q),
             Bank::Line(b) => b.in_memory_seek(q),
         }
     }
@@ -92,20 +127,27 @@ impl Bank {
     fn in_memory_two_qubit_access(&mut self, q: QubitTag) -> Result<Beats, LatticeError> {
         match self {
             Bank::Point(b) => b.in_memory_two_qubit_access(q),
+            Bank::Dual(b) => b.in_memory_two_qubit_access(q),
             Bank::Line(b) => b.in_memory_two_qubit_access(q),
         }
     }
 
-    fn is_checked_out(&self, q: QubitTag) -> bool {
+    fn migrate_swap(
+        &mut self,
+        outgoing: QubitTag,
+        incoming: QubitTag,
+    ) -> Result<Beats, LatticeError> {
         match self {
-            Bank::Point(b) => b.is_checked_out(q),
-            Bank::Line(b) => b.is_checked_out(q),
+            Bank::Point(b) => b.migrate_swap(outgoing, incoming),
+            Bank::Dual(b) => b.migrate_swap(outgoing, incoming),
+            Bank::Line(b) => b.migrate_swap(outgoing, incoming),
         }
     }
 
     fn checked_out_count(&self) -> usize {
         match self {
             Bank::Point(b) => b.checked_out_count(),
+            Bank::Dual(b) => b.checked_out_count(),
             Bank::Line(b) => b.checked_out_count(),
         }
     }
@@ -114,20 +156,29 @@ impl Bank {
 /// The complete memory system for one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MemorySystem {
-    floorplan: FloorplanKind,
+    /// Human-readable floorplan label (the `FloorplanKind` label for uniform
+    /// systems, the [`FloorplanSpec`] label for mixed ones).
+    label: String,
     cr_slots: u32,
     /// Residence per qubit tag, indexed directly by `QubitTag::index()`.
     /// Tags are contiguous `0..num_qubits`, so a dense table replaces the
     /// former `HashMap<QubitTag, Residence>` and turns every lookup on the
-    /// simulator's hot path into one bounds-checked array read.
+    /// simulator's hot path into one bounds-checked array read. Hot-set
+    /// migration rewrites entries at runtime via [`MemorySystem::migrate`].
     residence: Vec<Residence>,
     banks: Vec<Bank>,
     conventional_qubits: u64,
     num_qubits: u32,
+    /// Memory-level checkout audit: for every qubit currently checked out to
+    /// the CR, the index of the bank it left. Cross-checked against the
+    /// residence table on every load/store so a migrated residence can never
+    /// silently redirect a store into a foreign bank.
+    out_of: Vec<Option<u32>>,
 }
 
 impl MemorySystem {
-    /// Builds the memory system for `num_qubits` data qubits.
+    /// Builds the memory system for `num_qubits` data qubits from a uniform
+    /// [`ArchConfig`] floorplan.
     ///
     /// `hot_qubits` lists the qubits pinned into the conventional region of a
     /// hybrid floorplan (ignored duplicates and out-of-range tags are dropped).
@@ -139,13 +190,49 @@ impl MemorySystem {
     ///
     /// Panics if `num_qubits` is zero.
     pub fn new(config: &ArchConfig, num_qubits: u32, hot_qubits: &[QubitTag]) -> Self {
+        let kind = match config.floorplan {
+            FloorplanKind::PointSam { .. } => Some(BankKind::PointSam),
+            FloorplanKind::DualPointSam { .. } => Some(BankKind::DualPointSam),
+            FloorplanKind::LineSam { .. } => Some(BankKind::LineSam),
+            FloorplanKind::Conventional => None,
+        };
+        let spec = FloorplanSpec {
+            banks: match kind {
+                Some(kind) => vec![kind; config.floorplan.bank_count() as usize],
+                None => Vec::new(),
+            },
+            cr_slots: config.cr_slots,
+            locality_aware_store: config.locality_aware_store,
+        };
+        Self::build(config.floorplan.label(), &spec, num_qubits, hot_qubits)
+    }
+
+    /// Builds the memory system from a [`FloorplanSpec`], which may compose
+    /// banks of *different* flavours (e.g. a fast dual-port point bank backed
+    /// by a dense line bank). An empty bank list is the conventional
+    /// baseline: every qubit is hot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero.
+    pub fn from_spec(spec: &FloorplanSpec, num_qubits: u32, hot_qubits: &[QubitTag]) -> Self {
+        Self::build(spec.label(), spec, num_qubits, hot_qubits)
+    }
+
+    fn build(
+        label: String,
+        spec: &FloorplanSpec,
+        num_qubits: u32,
+        hot_qubits: &[QubitTag],
+    ) -> Self {
         assert!(num_qubits > 0, "the memory system needs at least one qubit");
 
         // Dense hot-set membership: tags are contiguous, so a bit per tag
         // replaces the former `HashSet` dedup pass.
-        let mut is_hot = vec![config.floorplan.is_conventional(); num_qubits as usize];
+        let all_hot = spec.banks.is_empty();
+        let mut is_hot = vec![all_hot; num_qubits as usize];
         let mut hot_count: u64 = 0;
-        if config.floorplan.is_conventional() {
+        if all_hot {
             hot_count = num_qubits as u64;
         } else {
             for &q in hot_qubits {
@@ -161,11 +248,7 @@ impl MemorySystem {
             .filter(|q| !is_hot[q.0 as usize])
             .collect();
 
-        let bank_count = if cold.is_empty() {
-            0
-        } else {
-            config.floorplan.bank_count().max(1) as usize
-        };
+        let bank_count = if cold.is_empty() { 0 } else { spec.banks.len() };
         let mut residence = vec![Residence::Conventional; num_qubits as usize];
         let mut per_bank: Vec<Vec<QubitTag>> = vec![Vec::new(); bank_count];
         for (i, &q) in cold.iter().enumerate() {
@@ -174,33 +257,32 @@ impl MemorySystem {
             per_bank[bank].push(q);
         }
 
-        let banks: Vec<Bank> = per_bank
-            .into_iter()
-            .filter(|qs| !qs.is_empty())
-            .map(|qs| match config.floorplan {
-                FloorplanKind::PointSam { .. } => {
-                    Bank::Point(PointSamBank::new(&qs, config.locality_aware_store))
-                }
-                FloorplanKind::LineSam { .. } => {
-                    Bank::Line(LineSamBank::new(&qs, config.locality_aware_store))
-                }
-                FloorplanKind::Conventional => unreachable!("conventional has no cold qubits"),
-            })
+        // Round-robin fills banks front to back, so only *trailing* banks can
+        // be empty; dropping them keeps the bank indices in `residence` valid.
+        let banks: Vec<Bank> = spec
+            .banks
+            .iter()
+            .zip(per_bank)
+            .filter(|(_, qs)| !qs.is_empty())
+            .map(|(&kind, qs)| Bank::build(kind, &qs, spec.locality_aware_store))
             .collect();
 
         MemorySystem {
-            floorplan: config.floorplan,
-            cr_slots: config.cr_slots,
+            label,
+            cr_slots: spec.cr_slots,
             residence,
             banks,
             conventional_qubits: hot_count,
             num_qubits,
+            out_of: vec![None; num_qubits as usize],
         }
     }
 
-    /// The floorplan this memory system implements.
-    pub fn floorplan(&self) -> FloorplanKind {
-        self.floorplan
+    /// The floorplan label this memory system was built with (a
+    /// [`FloorplanKind`] label for uniform systems, a [`FloorplanSpec`] label
+    /// for mixed ones).
+    pub fn label(&self) -> &str {
+        &self.label
     }
 
     /// Number of data qubits managed by the system.
@@ -213,7 +295,9 @@ impl MemorySystem {
         self.banks.len()
     }
 
-    /// Number of qubits pinned in the conventional region.
+    /// Number of qubits currently resident in the conventional region. With a
+    /// migration policy attached this is still constant over a run — hot-set
+    /// migration is a strict swap.
     pub fn conventional_qubits(&self) -> u64 {
         self.conventional_qubits
     }
@@ -231,11 +315,15 @@ impl MemorySystem {
         }
     }
 
-    /// The CR-facing port of bank `bank`, registered as the bank's vacancy
-    /// anchor at construction. `None` for out-of-range bank indices.
+    /// The CR-facing port(s) of bank `bank`, registered as the bank's vacancy
+    /// anchor(s) at construction. `None` for out-of-range bank indices.
     pub fn bank_port(&self, bank: usize) -> Option<BankPort> {
         self.banks.get(bank).map(|b| match b {
             Bank::Point(p) => BankPort::Cell(p.port()),
+            Bank::Dual(d) => {
+                let (west, east) = d.ports();
+                BankPort::Cells(west, east)
+            }
             Bank::Line(l) => BankPort::Row(l.port_row()),
         })
     }
@@ -245,11 +333,8 @@ impl MemorySystem {
     /// resident until they are stored back.
     pub fn is_resident(&self, qubit: QubitTag) -> bool {
         match self.residence(qubit) {
-            Some(Residence::Conventional) => true,
-            Some(Residence::SamBank(i)) => match &self.banks[i] {
-                Bank::Point(b) => b.contains(qubit),
-                Bank::Line(b) => b.contains(qubit),
-            },
+            Some(Residence::Conventional) => self.checked_out_of(qubit).is_none(),
+            Some(Residence::SamBank(i)) => self.banks[i].contains(qubit),
             None => false,
         }
     }
@@ -272,28 +357,43 @@ impl MemorySystem {
     /// [`MemorySystem::MIN_CR_SLOTS`] register cells (plus surgery-ancilla and
     /// routing space), and a wider configured CR grows proportionally, so the
     /// area charged always contains the slot count the simulator schedules
-    /// with ([`MemorySystem::effective_cr_slots`]). The line-SAM CR is two
-    /// columns spanning the bank height (Fig. 10b); with more than two banks
-    /// the CR is stacked, growing proportionally. When every qubit is hot (or
-    /// the floorplan is conventional) no CR is charged.
+    /// with ([`MemorySystem::effective_cr_slots`]). A dual-port point bank
+    /// claims that block on *both* its sides, doubling the charge. The
+    /// line-SAM CR is two columns spanning the bank height (Fig. 10b); with
+    /// more than two line banks the CR is stacked, growing proportionally.
+    /// Mixed floorplans are charged the sum of both shapes. When every qubit
+    /// is hot (or the floorplan is conventional) no CR is charged.
     pub fn cr_cells(&self) -> u64 {
         if self.banks.is_empty() {
             return 0;
         }
-        match self.floorplan {
-            FloorplanKind::PointSam { .. } => 3 * self.effective_cr_slots() as u64,
-            FloorplanKind::LineSam { .. } => {
-                let height = self
-                    .banks
-                    .iter()
-                    .map(|b| b.total_height() as u64)
-                    .max()
-                    .unwrap_or(0);
-                let stacks = (self.banks.len() as u64).div_ceil(2);
-                2 * height * stacks
-            }
-            FloorplanKind::Conventional => 0,
+        let mut cells = 0u64;
+        let line_count = self
+            .banks
+            .iter()
+            .filter(|b| matches!(b, Bank::Line(_)))
+            .count() as u64;
+        if line_count > 0 {
+            let height = self
+                .banks
+                .iter()
+                .filter(|b| matches!(b, Bank::Line(_)))
+                .map(|b| b.total_height() as u64)
+                .max()
+                .unwrap_or(0);
+            cells += 2 * height * line_count.div_ceil(2);
         }
+        // One Fig. 10a CR block per point-bank side facing it: single-port
+        // banks share one block, a dual-port bank claims one on each side.
+        let point_sides = if self.banks.iter().any(|b| matches!(b, Bank::Dual(_))) {
+            2
+        } else if self.banks.iter().any(|b| matches!(b, Bank::Point(_))) {
+            1
+        } else {
+            0
+        };
+        cells += point_sides * 3 * self.effective_cr_slots() as u64;
+        cells
     }
 
     /// Total cells charged to the architecture (conventional + SAM + CR),
@@ -338,10 +438,13 @@ impl MemorySystem {
     /// Conventional residents never check out (every access is in place), and
     /// unknown tags are never checked out.
     pub fn is_checked_out(&self, qubit: QubitTag) -> bool {
-        match self.residence(qubit) {
-            Some(Residence::SamBank(i)) => self.banks[i].is_checked_out(qubit),
-            _ => false,
-        }
+        self.checked_out_of(qubit).is_some()
+    }
+
+    /// The bank `qubit` is currently checked out of, per the memory-level
+    /// audit record, or `None` if it is not checked out.
+    pub fn checked_out_of(&self, qubit: QubitTag) -> Option<u32> {
+        self.out_of.get(qubit.0 as usize).copied().flatten()
     }
 
     /// Total number of qubits currently checked out across all SAM banks.
@@ -372,28 +475,86 @@ impl MemorySystem {
     }
 
     /// Loads `qubit` towards the CR; returns the latency. Zero (and a no-op) for
-    /// conventional residents, which are always directly accessible.
+    /// conventional residents, which are always directly accessible. The
+    /// memory-level audit records which bank the qubit left.
     ///
     /// # Errors
     ///
-    /// Returns a [`LatticeError`] if the qubit is unknown or already checked out.
+    /// Returns a [`LatticeError`] if the qubit is unknown, already checked
+    /// out, or fails the cross-bank audit.
     pub fn load(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
-        match self.bank_mut(qubit)? {
-            None => Ok(Beats::ZERO),
-            Some(bank) => bank.load(qubit),
+        match self.residence(qubit) {
+            None => Err(LatticeError::QubitNotPresent { qubit }),
+            Some(Residence::Conventional) => match self.checked_out_of(qubit) {
+                None => Ok(Beats::ZERO),
+                // The qubit left a bank but its residence was since migrated
+                // into the conventional region: surface the inconsistency.
+                Some(bank) => Err(LatticeError::CrossBankCheckout {
+                    qubit,
+                    checked_out_of: bank,
+                    resident_bank: None,
+                }),
+            },
+            Some(Residence::SamBank(i)) => {
+                if let Some(bank) = self.checked_out_of(qubit) {
+                    if bank as usize != i {
+                        return Err(LatticeError::CrossBankCheckout {
+                            qubit,
+                            checked_out_of: bank,
+                            resident_bank: Some(i as u32),
+                        });
+                    }
+                    // Checked out of this very bank: fall through so the bank
+                    // reports the same double-load error as before the audit.
+                }
+                let cost = self.banks[i].load(qubit)?;
+                self.out_of[qubit.0 as usize] = Some(i as u32);
+                Ok(cost)
+            }
         }
     }
 
     /// Stores `qubit` back into its bank (locality-aware by configuration);
-    /// returns the latency. Zero for conventional residents.
+    /// returns the latency. Zero for conventional residents. The store is
+    /// audited against the memory-level checkout record: it must return the
+    /// qubit to the bank it was loaded from.
     ///
     /// # Errors
     ///
-    /// Returns a [`LatticeError`] if the qubit is unknown or was never loaded.
+    /// * [`LatticeError::CrossBankCheckout`] if the qubit's residence no
+    ///   longer names the bank it was checked out of (the audit the runtime
+    ///   hot-set migration makes necessary).
+    /// * Other [`LatticeError`]s if the qubit is unknown or was never loaded.
     pub fn store(&mut self, qubit: QubitTag) -> Result<Beats, LatticeError> {
-        match self.bank_mut(qubit)? {
-            None => Ok(Beats::ZERO),
-            Some(bank) => bank.store(qubit),
+        match self.residence(qubit) {
+            None => Err(LatticeError::QubitNotPresent { qubit }),
+            Some(Residence::Conventional) => match self.checked_out_of(qubit) {
+                None => Ok(Beats::ZERO),
+                Some(bank) => Err(LatticeError::CrossBankCheckout {
+                    qubit,
+                    checked_out_of: bank,
+                    resident_bank: None,
+                }),
+            },
+            Some(Residence::SamBank(i)) => {
+                match self.checked_out_of(qubit) {
+                    Some(bank) if bank as usize == i => {
+                        let cost = self.banks[i].store(qubit)?;
+                        self.out_of[qubit.0 as usize] = None;
+                        Ok(cost)
+                    }
+                    Some(bank) => Err(LatticeError::CrossBankCheckout {
+                        qubit,
+                        checked_out_of: bank,
+                        resident_bank: Some(i as u32),
+                    }),
+                    // Never checked out at the system level: delegate so the
+                    // bank produces its own typed error (`QubitAlreadyPlaced`
+                    // for a store of a qubit that never left,
+                    // `QubitNotCheckedOut` for a foreign tag).
+                    None => self.banks[i].store(qubit),
+                }
+            }
         }
     }
 
@@ -423,6 +584,63 @@ impl MemorySystem {
             Some(bank) => bank.in_memory_two_qubit_access(qubit),
         }
     }
+
+    /// Runtime hot-set migration: promotes `promote` out of its SAM bank into
+    /// the conventional region and demotes `demote` (a conventional resident)
+    /// into the freed bank capacity, as one balanced swap. Returns the
+    /// physical movement latency (the promoted qubit's extraction plus the
+    /// demoted qubit's insertion); the conventional-region size and every
+    /// bank's cell shape are conserved.
+    ///
+    /// # Errors
+    ///
+    /// * [`LatticeError::InvalidMigration`] if `promote` is not a SAM-bank
+    ///   resident or `demote` is not a conventional resident.
+    /// * [`LatticeError::CrossBankCheckout`] if `promote` is currently
+    ///   checked out to the CR — migrating it would desynchronize its
+    ///   residence from the bank holding its checkout record.
+    pub fn migrate(&mut self, promote: QubitTag, demote: QubitTag) -> Result<Beats, LatticeError> {
+        let bank = match self.residence(promote) {
+            Some(Residence::SamBank(i)) => i,
+            _ => return Err(LatticeError::InvalidMigration { promote, demote }),
+        };
+        if let Some(out) = self.checked_out_of(promote) {
+            return Err(LatticeError::CrossBankCheckout {
+                qubit: promote,
+                checked_out_of: out,
+                resident_bank: Some(bank as u32),
+            });
+        }
+        match self.residence(demote) {
+            Some(Residence::Conventional) => {}
+            _ => return Err(LatticeError::InvalidMigration { promote, demote }),
+        }
+        if self.checked_out_of(demote).is_some() {
+            // Unreachable through the audited load path (conventional
+            // residents never check out), kept as defense in depth.
+            return Err(LatticeError::InvalidMigration { promote, demote });
+        }
+        let cost = self.banks[bank].migrate_swap(promote, demote)?;
+        self.residence[promote.0 as usize] = Residence::Conventional;
+        self.residence[demote.0 as usize] = Residence::SamBank(bank);
+        debug_assert_eq!(
+            self.residence
+                .iter()
+                .filter(|r| matches!(r, Residence::Conventional))
+                .count() as u64,
+            self.conventional_qubits,
+            "migration must conserve the conventional-region size"
+        );
+        Ok(cost)
+    }
+
+    /// Test-only hook: rewrites a residence entry *without* moving anything,
+    /// to stage the desynchronized states the cross-bank audit exists to
+    /// catch. Hidden from docs; never called outside tests.
+    #[doc(hidden)]
+    pub fn force_residence_for_audit_test(&mut self, qubit: QubitTag, residence: Residence) {
+        self.residence[qubit.0 as usize] = residence;
+    }
 }
 
 impl fmt::Display for MemorySystem {
@@ -430,7 +648,7 @@ impl fmt::Display for MemorySystem {
         write!(
             f,
             "{}: {} qubits in {} cells ({} conventional, {} SAM, {} CR), density {:.1}%",
-            self.floorplan,
+            self.label,
             self.num_qubits,
             self.total_cells(),
             self.conventional_cells(),
@@ -470,6 +688,54 @@ mod tests {
         assert_eq!(mem.sam_cells(), 401);
         assert_eq!(mem.cr_cells(), 6);
         assert!(mem.memory_density() > 0.97);
+    }
+
+    #[test]
+    fn dual_point_sam_trades_density_for_latency() {
+        let config = ArchConfig::new(FloorplanKind::DualPointSam { banks: 1 }, 1);
+        let mem = MemorySystem::new(&config, 400, &[]);
+        // One extra cell per bank plus a CR block on both sides.
+        assert_eq!(mem.sam_cells(), 402);
+        assert_eq!(mem.cr_cells(), 12);
+        assert!(mem.memory_density() > 0.95);
+        let single = MemorySystem::new(&point(1), 400, &[]);
+        assert!(mem.memory_density() < single.memory_density());
+        // Worst-case loads are cheaper through the nearer port.
+        let worst = |m: &MemorySystem| {
+            (0..400)
+                .map(|q| m.peek_load(QubitTag(q)).unwrap())
+                .max()
+                .unwrap()
+        };
+        assert!(worst(&mem) < worst(&single));
+        assert!(matches!(mem.bank_port(0), Some(BankPort::Cells(_, _))));
+    }
+
+    #[test]
+    fn mixed_spec_composes_heterogeneous_banks() {
+        use crate::floorplan::{BankKind, FloorplanSpec};
+        let spec = FloorplanSpec {
+            banks: vec![BankKind::DualPointSam, BankKind::LineSam],
+            cr_slots: 2,
+            locality_aware_store: true,
+        };
+        let mut mem = MemorySystem::from_spec(&spec, 100, &[]);
+        assert_eq!(mem.bank_count(), 2);
+        assert_eq!(mem.label(), "dual-point+line floorplan");
+        assert!(matches!(mem.bank_port(0), Some(BankPort::Cells(_, _))));
+        assert!(matches!(mem.bank_port(1), Some(BankPort::Row(_))));
+        // CR charge combines both shapes: two point blocks + line columns.
+        assert!(mem.cr_cells() > 12);
+        // Round-robin: even tags in bank 0, odd in bank 1.
+        assert_eq!(mem.bank_of(QubitTag(0)), Some(0));
+        assert_eq!(mem.bank_of(QubitTag(1)), Some(1));
+        // Both flavours serve loads and stores through one facade.
+        for q in [QubitTag(4), QubitTag(5)] {
+            let load = mem.load(q).unwrap();
+            assert!(load > Beats::ZERO);
+            mem.store(q).unwrap();
+        }
+        assert_eq!(mem.checked_out_count(), 0);
     }
 
     #[test]
@@ -569,6 +835,7 @@ mod tests {
         let q = QubitTag(5);
         mem.load(q).unwrap();
         assert!(mem.is_checked_out(q));
+        assert_eq!(mem.checked_out_of(q), Some(1));
         assert_eq!(mem.checked_out_count(), 1);
         // Another bank's qubit is independent.
         let other = QubitTag(6);
@@ -577,6 +844,7 @@ mod tests {
         assert_eq!(mem.checked_out_count(), 2);
         mem.store(q).unwrap();
         assert!(!mem.is_checked_out(q));
+        assert_eq!(mem.checked_out_of(q), None);
         assert_eq!(mem.checked_out_count(), 1);
         // Conventional residents and unknown tags never check out.
         let mut hybrid = MemorySystem::new(&point(1).with_hybrid_fraction(0.5), 10, &[QubitTag(0)]);
@@ -597,6 +865,97 @@ mod tests {
         let err = mem.store(QubitTag(3)).unwrap_err();
         assert!(matches!(err, LatticeError::QubitAlreadyPlaced { .. }));
         mem.store(QubitTag(5)).unwrap();
+        assert_eq!(mem.checked_out_count(), 0);
+    }
+
+    #[test]
+    fn migration_swaps_hot_and_cold_residences() {
+        let hot: Vec<QubitTag> = vec![QubitTag(0), QubitTag(1)];
+        let config = point(1).with_hybrid_fraction(0.1);
+        let mut mem = MemorySystem::new(&config, 20, &hot);
+        let cold = QubitTag(10);
+        assert_eq!(mem.residence(cold), Some(Residence::SamBank(0)));
+        let before = mem.conventional_qubits();
+        let cost = mem.migrate(cold, QubitTag(0)).unwrap();
+        assert!(cost > Beats::ZERO);
+        assert_eq!(mem.residence(cold), Some(Residence::Conventional));
+        assert_eq!(mem.residence(QubitTag(0)), Some(Residence::SamBank(0)));
+        assert_eq!(mem.conventional_qubits(), before);
+        // The promoted qubit now loads for free; the demoted one pays.
+        assert_eq!(mem.load(cold).unwrap(), Beats::ZERO);
+        assert!(mem.load(QubitTag(0)).unwrap() > Beats::ZERO);
+        mem.store(QubitTag(0)).unwrap();
+        // Shape violations are typed errors.
+        assert!(matches!(
+            mem.migrate(QubitTag(1), QubitTag(2)),
+            Err(LatticeError::InvalidMigration { .. })
+        ));
+        assert!(matches!(
+            mem.migrate(QubitTag(5), QubitTag(6)),
+            Err(LatticeError::InvalidMigration { .. })
+        ));
+    }
+
+    #[test]
+    fn migrating_a_checked_out_qubit_is_a_cross_bank_error() {
+        let hot = vec![QubitTag(0)];
+        let config = point(1).with_hybrid_fraction(0.05);
+        let mut mem = MemorySystem::new(&config, 20, &hot);
+        let q = QubitTag(7);
+        mem.load(q).unwrap();
+        let err = mem.migrate(q, QubitTag(0)).unwrap_err();
+        assert!(matches!(
+            err,
+            LatticeError::CrossBankCheckout {
+                qubit: QubitTag(7),
+                ..
+            }
+        ));
+        // Nothing moved: the round trip still settles cleanly.
+        mem.store(q).unwrap();
+        assert_eq!(mem.checked_out_count(), 0);
+    }
+
+    #[test]
+    fn foreign_bank_store_after_migration_is_the_typed_audit_error() {
+        // Regression for the cross-bank audit: check a qubit out of bank 0,
+        // then desynchronize its residence (as a buggy migration engine
+        // might). The store must be the typed `CrossBankCheckout`, *not* a
+        // silent consumption of the other bank's scan vacancy.
+        let mut mem = MemorySystem::new(&point(2), 40, &[]);
+        let q = QubitTag(0);
+        assert_eq!(mem.bank_of(q), Some(0));
+        mem.load(q).unwrap();
+        let vacancies_before: usize = mem.checked_out_count();
+        mem.force_residence_for_audit_test(q, Residence::SamBank(1));
+        let err = mem.store(q).unwrap_err();
+        assert_eq!(
+            err,
+            LatticeError::CrossBankCheckout {
+                qubit: q,
+                checked_out_of: 0,
+                resident_bank: Some(1),
+            }
+        );
+        // A load through the desynchronized residence is audited too.
+        assert!(matches!(
+            mem.load(q),
+            Err(LatticeError::CrossBankCheckout { .. })
+        ));
+        // ... and a residence migrated into the conventional region as well.
+        mem.force_residence_for_audit_test(q, Residence::Conventional);
+        assert!(matches!(
+            mem.store(q),
+            Err(LatticeError::CrossBankCheckout {
+                resident_bank: None,
+                ..
+            })
+        ));
+        // The rejections consumed nothing.
+        assert_eq!(mem.checked_out_count(), vacancies_before);
+        // Restoring the true residence lets the round trip settle.
+        mem.force_residence_for_audit_test(q, Residence::SamBank(0));
+        mem.store(q).unwrap();
         assert_eq!(mem.checked_out_count(), 0);
     }
 
@@ -650,6 +1009,7 @@ mod tests {
         let s = mem.to_string();
         assert!(s.contains("density"));
         assert!(s.contains("Line #SAM=1"));
+        assert_eq!(mem.label(), "Line #SAM=1");
     }
 
     #[test]
@@ -736,8 +1096,103 @@ mod proptests {
                     1 => { let _ = mem.in_memory_seek(q); }
                     _ => { let _ = mem.in_memory_two_qubit_access(q); }
                 }
-                // Mutating accesses never change where a qubit *belongs*.
+                // Non-migrating accesses never change where a qubit *belongs*.
                 prop_assert_eq!(mem.residence(q), mirror.get(&q).copied());
+            }
+        }
+
+        /// Random migration traces interleaved with load/store/seek traffic
+        /// keep the system consistent: the conventional-region size is
+        /// conserved, residences and bank membership agree, the memory-level
+        /// checkout audit matches the per-bank ledgers, and rejected
+        /// operations (including every typed cross-bank/shape error) never
+        /// corrupt any count.
+        #[test]
+        fn random_migration_traces_preserve_consistency(
+            n in 12u32..120,
+            hot_count in 1u32..6,
+            ops in proptest::collection::vec(
+                (0u32..130, 0u32..130, 0u32..4), 1..120
+            ),
+            flavour in 0u32..3,
+        ) {
+            let floorplan = match flavour {
+                0 => FloorplanKind::PointSam { banks: 2 },
+                1 => FloorplanKind::DualPointSam { banks: 1 },
+                _ => FloorplanKind::LineSam { banks: 2 },
+            };
+            let hot: Vec<QubitTag> = (0..hot_count.min(n / 2)).map(QubitTag).collect();
+            let config = ArchConfig::new(floorplan, 1).with_hybrid_fraction(0.2);
+            let mut mem = MemorySystem::new(&config, n, &hot);
+            let conventional = mem.conventional_qubits();
+            let total_cells = mem.total_cells();
+            let mut out: std::collections::HashSet<QubitTag> =
+                std::collections::HashSet::new();
+
+            for (a, b, op) in ops {
+                let (qa, qb) = (QubitTag(a), QubitTag(b));
+                match op {
+                    0 => {
+                        // Conventional loads are free no-ops; only bank loads
+                        // check the qubit out.
+                        if mem.load(qa).is_ok() && mem.is_checked_out(qa) {
+                            prop_assert!(a < n);
+                            out.insert(qa);
+                        }
+                    }
+                    1 => {
+                        if mem.store(qa).is_ok() && out.contains(&qa) {
+                            out.remove(&qa);
+                        }
+                    }
+                    2 => {
+                        let before_a = mem.residence(qa);
+                        let before_b = mem.residence(qb);
+                        match mem.migrate(qa, qb) {
+                            Ok(_) => {
+                                // Legal swaps flip exactly the two residences.
+                                prop_assert!(matches!(before_a, Some(Residence::SamBank(_))));
+                                prop_assert_eq!(before_b, Some(Residence::Conventional));
+                                prop_assert_eq!(
+                                    mem.residence(qa),
+                                    Some(Residence::Conventional)
+                                );
+                                prop_assert_eq!(mem.residence(qb), before_a);
+                                prop_assert!(!out.contains(&qa));
+                            }
+                            Err(_) => {
+                                // Rejections leave both residences untouched.
+                                prop_assert_eq!(mem.residence(qa), before_a);
+                                prop_assert_eq!(mem.residence(qb), before_b);
+                            }
+                        }
+                    }
+                    _ => { let _ = mem.in_memory_seek(qa); }
+                }
+                // Global invariants after every operation.
+                prop_assert_eq!(mem.conventional_qubits(), conventional);
+                prop_assert_eq!(mem.total_cells(), total_cells);
+                prop_assert_eq!(mem.checked_out_count(), out.len());
+                for &q in &out {
+                    prop_assert!(mem.is_checked_out(q));
+                    // The audit record names the bank whose ledger has it.
+                    let bank = mem.checked_out_of(q).unwrap() as usize;
+                    prop_assert_eq!(mem.bank_of(q), Some(bank));
+                }
+                for q in (0..n).map(QubitTag) {
+                    match mem.residence(q).unwrap() {
+                        Residence::Conventional => {
+                            prop_assert!(!out.contains(&q));
+                        }
+                        Residence::SamBank(i) => {
+                            prop_assert!(i < mem.bank_count());
+                            prop_assert_eq!(
+                                mem.is_resident(q),
+                                !out.contains(&q)
+                            );
+                        }
+                    }
+                }
             }
         }
     }

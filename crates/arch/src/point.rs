@@ -301,6 +301,53 @@ impl PointSamBank {
             .position_of(qubit)
             .map(|p| p.manhattan_distance(self.port))
     }
+
+    /// Hot-set migration swap: extracts `outgoing` from the bank (it is being
+    /// promoted into the conventional region) and parks `incoming` (the
+    /// demoted qubit walking in through the port) at the vacancy nearest the
+    /// port, in one balanced operation that conserves the bank's
+    /// `n + 1`-cell shape. Returns the combined movement latency: the
+    /// outgoing qubit's full load cost plus the incoming qubit's
+    /// store-equivalent transport. Neither qubit touches the checkout ledger
+    /// — migration moves *stored* qubits, never checked-out ones.
+    ///
+    /// # Errors
+    ///
+    /// * [`LatticeError::QubitNotPresent`] if `outgoing` is not stored here.
+    /// * [`LatticeError::QubitAlreadyPlaced`] if `incoming` already is.
+    pub fn migrate_swap(
+        &mut self,
+        outgoing: QubitTag,
+        incoming: QubitTag,
+    ) -> Result<Beats, LatticeError> {
+        let pos = self.position(outgoing)?;
+        if let Some(at) = self.grid.position_of(incoming) {
+            return Err(LatticeError::QubitAlreadyPlaced {
+                qubit: incoming,
+                at,
+            });
+        }
+        let out_cost = self.load_cost(pos);
+        self.grid.remove(outgoing)?;
+        // The demoted qubit may carry a tag beyond the range this bank was
+        // built for; the dense per-tag tables grow to admit it.
+        let table_len = incoming.0 as usize + 1;
+        if table_len > self.home.len() {
+            self.home.resize(table_len, None);
+        }
+        self.ledger.grow(table_len);
+        let two = self.has_second_vacancy();
+        let dest = self.grid.place_at_nearest_vacancy(incoming, self.port)?;
+        let in_cost = self
+            .latencies
+            .point_transport(dest.dx(self.port), dest.dy(self.port), two)
+            + self.latencies.move_step;
+        self.home[outgoing.0 as usize] = None;
+        self.home[incoming.0 as usize] = Some(dest);
+        self.scan = self.port;
+        self.debug_assert_invariants();
+        Ok(out_cost + in_cost)
+    }
 }
 
 #[cfg(test)]

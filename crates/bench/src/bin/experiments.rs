@@ -9,11 +9,12 @@
 //!   fig13      CPI for every benchmark, floorplan, and factory count
 //!   fig14      hybrid-floorplan trade-off curves (density vs overhead)
 //!   fig15      SELECT scaling with hybrid layouts
-//!   headline   the headline density/overhead claims
-//!   ablation   store-policy × in-memory-ops ablation on the point SAM
-//!   hotpath    legacy-vs-optimized hot-path micro measurements
-//!   all        every deterministic generator above (excludes `hotpath`,
-//!              whose timing output differs run to run)
+//!   headline        the headline density/overhead claims
+//!   ablation        store-policy × in-memory-ops ablation on the point SAM
+//!   hybrid-migrate  runtime hot-set migration policies vs the static hot set
+//!   hotpath         legacy-vs-optimized hot-path micro measurements
+//!   all             every deterministic generator above (excludes `hotpath`,
+//!                   whose timing output differs run to run)
 //! ```
 //!
 //! Flag matrix (any combination is valid; unknown flags are rejected):
@@ -39,13 +40,23 @@
 //! with `LSQCA_NO_CACHE=1`) to force recompilation.
 
 use lsqca_bench::{
-    ablation, fig08, fig13, fig14, fig15, headline, hotpath, table1, Scale, FACTORY_COUNTS,
+    ablation, fig08, fig13, fig14, fig15, headline, hotpath, hybrid_migrate, table1, Scale,
+    FACTORY_COUNTS,
 };
 use lsqca_json::ToJson;
 use std::process::ExitCode;
 
-const COMMANDS: [&str; 9] = [
-    "table1", "fig8", "fig13", "fig14", "fig15", "headline", "ablation", "hotpath", "all",
+const COMMANDS: [&str; 10] = [
+    "table1",
+    "fig8",
+    "fig13",
+    "fig14",
+    "fig15",
+    "headline",
+    "ablation",
+    "hybrid-migrate",
+    "hotpath",
+    "all",
 ];
 
 fn usage_line() -> String {
@@ -157,6 +168,15 @@ fn main() -> ExitCode {
                     ablation::generate(scale, &[], floorplan).to_json().pretty()
                 } else {
                     ablation::render(scale, &[], floorplan)
+                }
+            }
+            "hybrid-migrate" => {
+                if json {
+                    hybrid_migrate::generate(scale, &[], &factories)
+                        .to_json()
+                        .pretty()
+                } else {
+                    hybrid_migrate::render(scale, &[], &factories)
                 }
             }
             "hotpath" => {

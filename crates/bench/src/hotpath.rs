@@ -125,6 +125,90 @@ pub mod legacy {
         Err(LatticeError::NoVacantPath { from, to })
     }
 
+    /// The pre-bitmask `VacancyIndex`: vacant cells bucketed by Manhattan
+    /// distance to the anchor with each ring kept as a **sorted `Vec`** of
+    /// cell indices — every arbitrary removal is a binary search plus an
+    /// O(ring) element shuffle, where the bitmask rings clear one bit.
+    #[derive(Debug, Clone)]
+    pub struct SortedRingIndex {
+        anchor: Coord,
+        width: u32,
+        rings: Vec<Vec<u32>>,
+        min_ring: usize,
+        len: usize,
+    }
+
+    impl SortedRingIndex {
+        /// Builds the index for a `width × height` grid from the vacant cells.
+        pub fn new(
+            anchor: Coord,
+            width: u32,
+            height: u32,
+            vacancies: impl Iterator<Item = Coord>,
+        ) -> Self {
+            let max_distance = (width - 1 + height - 1) as usize;
+            let mut index = SortedRingIndex {
+                anchor,
+                width,
+                rings: vec![Vec::new(); max_distance + 1],
+                min_ring: max_distance + 1,
+                len: 0,
+            };
+            for coord in vacancies {
+                index.insert(coord);
+            }
+            index
+        }
+
+        fn cell_index(&self, coord: Coord) -> u32 {
+            coord.y * self.width + coord.x
+        }
+
+        /// Number of vacancies currently tracked.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// True if no vacancy is tracked.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+
+        /// Records that `coord` became vacant (sorted insert).
+        pub fn insert(&mut self, coord: Coord) {
+            let d = coord.manhattan_distance(self.anchor) as usize;
+            let idx = self.cell_index(coord);
+            let ring = &mut self.rings[d];
+            if let Err(pos) = ring.binary_search(&idx) {
+                ring.insert(pos, idx);
+                self.len += 1;
+                self.min_ring = self.min_ring.min(d);
+            }
+        }
+
+        /// Records that `coord` became occupied (binary search + removal).
+        pub fn remove(&mut self, coord: Coord) {
+            let d = coord.manhattan_distance(self.anchor) as usize;
+            let idx = self.cell_index(coord);
+            let ring = &mut self.rings[d];
+            if let Ok(pos) = ring.binary_search(&idx) {
+                ring.remove(pos);
+                self.len -= 1;
+                while self.min_ring < self.rings.len() && self.rings[self.min_ring].is_empty() {
+                    self.min_ring += 1;
+                }
+            }
+        }
+
+        /// The vacant cell nearest the anchor, ties broken row-major.
+        pub fn nearest(&self) -> Option<Coord> {
+            self.rings
+                .get(self.min_ring)?
+                .first()
+                .map(|&idx| Coord::new(idx % self.width, idx / self.width))
+        }
+    }
+
     /// The pre-classification CPI command count: one `is_negligible` latency
     /// match per instruction, as the engine used to do every run.
     pub fn command_count(table: &LatencyTable, program: &Program) -> usize {
@@ -293,6 +377,50 @@ pub fn relocation_working_set(grid: &CellGrid) -> Vec<QubitTag> {
         .collect()
 }
 
+/// The working set of the ring-removal micro: a deterministically shuffled
+/// list of vacant coordinates on a `size × size` grid with roughly half the
+/// cells vacant — the state a vacancy index holds when many qubits are
+/// checked out or a bank runs half-full. Shuffled so the removals are
+/// *arbitrary* (hitting random positions inside rings), not front-pops.
+pub fn ring_removal_working_set(size: u32) -> (Coord, Vec<Coord>) {
+    let anchor = Coord::new(0, size / 2);
+    let mut coords: Vec<Coord> = (0..size)
+        .flat_map(|y| (0..size).map(move |x| Coord::new(x, y)))
+        .filter(|c| (c.x + c.y) % 2 == 0)
+        .collect();
+    // Deterministic LCG shuffle (no RNG dependency, stable across runs).
+    let mut state = 0x2545f491u64;
+    for i in (1..coords.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        coords.swap(i, j);
+    }
+    (anchor, coords)
+}
+
+/// One round of arbitrary ring removals through the bitmask
+/// [`VacancyIndex`](lsqca::lattice::VacancyIndex):
+/// every working-set cell is removed and re-inserted, the update pattern
+/// `place`/`remove`/`relocate` drive on every simulated store.
+pub fn ring_removal_walk(index: &mut lsqca::lattice::VacancyIndex, coords: &[Coord]) -> usize {
+    for &c in coords {
+        index.remove(c);
+        index.insert(c);
+    }
+    index.len()
+}
+
+/// The same round through the legacy sorted-`Vec` rings.
+pub fn ring_removal_walk_legacy(index: &mut legacy::SortedRingIndex, coords: &[Coord]) -> usize {
+    for &c in coords {
+        index.remove(c);
+        index.insert(c);
+    }
+    index.len()
+}
+
 /// A point-SAM-shaped occupancy grid at `num_qubits` scale: near-square with
 /// the port on the west edge, filled row-major except the scan vacancy at the
 /// port and two vacancies that stores have peeled open, with the port
@@ -385,6 +513,13 @@ pub struct HotpathReport {
     pub comparisons: Vec<Comparison>,
     /// Absolute end-to-end throughput per floorplan.
     pub end_to_end: Vec<EndToEnd>,
+    /// Same-machine calibration: nanoseconds per run of a fixed reference
+    /// workload (the frozen legacy HashMap BFS on an open 48×48 grid) that
+    /// never changes across PRs. The CI regression gate compares
+    /// `ns_per_instruction / calibration_ns_per_op` *ratios* between the
+    /// committed baseline and a fresh run, so a slower or noisier machine
+    /// shifts both sides equally instead of tripping the gate.
+    pub calibration_ns_per_op: f64,
 }
 
 impl ToJson for HotpathReport {
@@ -392,6 +527,10 @@ impl ToJson for HotpathReport {
         Json::obj([
             ("schema", "lsqca-bench-hotpath-v1".to_json()),
             ("scale", self.scale.name().to_json()),
+            (
+                "calibration_ns_per_op",
+                self.calibration_ns_per_op.to_json(),
+            ),
             ("comparisons", self.comparisons.to_json()),
             ("end_to_end", self.end_to_end.to_json()),
         ])
@@ -488,6 +627,42 @@ pub fn generate_with(scale: Scale, budget: MeasureBudget) -> HotpathReport {
         optimized_ns,
     });
 
+    // Arbitrary ring removal: the bitmask rings (one bit clear/set per
+    // update) vs the legacy sorted-`Vec` rings (binary search + element
+    // shuffle), over a shuffled half-vacant working set — the update pattern
+    // behind every place/remove/relocate once qubits are checked out.
+    let ring_size = 64u32.max((workload.num_qubits() as f64).sqrt() as u32 * 2);
+    let (ring_anchor, ring_coords) = ring_removal_working_set(ring_size);
+    let mut legacy_rings = legacy::SortedRingIndex::new(
+        ring_anchor,
+        ring_size,
+        ring_size,
+        ring_coords.iter().copied(),
+    );
+    let legacy_ns = measure_ns(budget, || {
+        black_box(ring_removal_walk_legacy(
+            &mut legacy_rings,
+            black_box(&ring_coords),
+        ));
+    }) / ring_coords.len() as f64;
+    let mut bitmask_rings = lsqca::lattice::VacancyIndex::new(
+        ring_anchor,
+        ring_size,
+        ring_size,
+        ring_coords.iter().copied(),
+    );
+    let optimized_ns = measure_ns(budget, || {
+        black_box(ring_removal_walk(
+            &mut bitmask_rings,
+            black_box(&ring_coords),
+        ));
+    }) / ring_coords.len() as f64;
+    comparisons.push(Comparison {
+        name: "ring_removal".to_string(),
+        legacy_ns,
+        optimized_ns,
+    });
+
     // Vacant-path BFS: the reusable dense `PathScratch` distance grid vs the
     // legacy `HashMap` frontier, per corner-to-corner query on an open region
     // of the same dimensions (the worst case: the frontier visits every cell).
@@ -527,6 +702,18 @@ pub fn generate_with(scale: Scale, budget: MeasureBudget) -> HotpathReport {
         optimized_ns,
     });
 
+    // Same-machine calibration for the ratio-based CI gate: the frozen
+    // legacy BFS on a fixed open grid, untouched by any optimization work,
+    // so its wall time tracks only the machine's speed.
+    let cal_grid = CellGrid::new(48, 48);
+    let cal_from = Coord::new(0, 0);
+    let cal_to = Coord::new(47, 47);
+    let calibration_ns_per_op = measure_ns(budget, || {
+        black_box(
+            legacy::vacant_path_len(black_box(&cal_grid), cal_from, cal_to).expect("open region"),
+        );
+    });
+
     // End-to-end simulator throughput per floorplan (absolute numbers; the
     // trajectory across PRs is what matters here).
     let end_to_end = [
@@ -552,6 +739,7 @@ pub fn generate_with(scale: Scale, budget: MeasureBudget) -> HotpathReport {
         scale,
         comparisons,
         end_to_end,
+        calibration_ns_per_op,
     }
 }
 
@@ -623,15 +811,18 @@ mod tests {
         // Shape-only with a near-zero time budget: timing assertions live in
         // the benches, not unit tests.
         let report = generate_with(Scale::Quick, MeasureBudget::smoke());
-        assert_eq!(report.comparisons.len(), 6);
+        assert_eq!(report.comparisons.len(), 7);
         assert_eq!(report.end_to_end.len(), 3);
+        assert!(report.calibration_ns_per_op > 0.0);
         let json = report.to_json().pretty();
         assert!(json.contains("lsqca-bench-hotpath-v1"));
+        assert!(json.contains("calibration_ns_per_op"));
         for name in [
             "operand_extraction",
             "residence_lookup",
             "nearest_vacant",
             "relocate",
+            "ring_removal",
             "vacant_path",
             "latency_class",
         ] {
@@ -640,6 +831,37 @@ mod tests {
         for c in &report.comparisons {
             assert!(c.legacy_ns > 0.0 && c.optimized_ns > 0.0);
         }
+    }
+
+    #[test]
+    fn legacy_sorted_rings_match_the_bitmask_rings() {
+        let (anchor, coords) = ring_removal_working_set(24);
+        assert!(coords.len() > 200);
+        let mut legacy = legacy::SortedRingIndex::new(anchor, 24, 24, coords.iter().copied());
+        let mut bitmask = lsqca::lattice::VacancyIndex::new(anchor, 24, 24, coords.iter().copied());
+        assert_eq!(legacy.len(), bitmask.len());
+        assert_eq!(legacy.nearest(), bitmask.nearest());
+        // Arbitrary removals and reinserts stay in lock-step.
+        for (i, &c) in coords.iter().enumerate() {
+            legacy.remove(c);
+            bitmask.remove(c);
+            if i % 3 == 0 {
+                legacy.insert(c);
+                bitmask.insert(c);
+            }
+            assert_eq!(legacy.len(), bitmask.len());
+            assert_eq!(legacy.nearest(), bitmask.nearest());
+        }
+        assert_eq!(legacy.is_empty(), bitmask.is_empty());
+        // The walk used by the micro leaves both at the same state.
+        let (anchor, coords) = ring_removal_working_set(16);
+        let mut legacy = legacy::SortedRingIndex::new(anchor, 16, 16, coords.iter().copied());
+        let mut bitmask = lsqca::lattice::VacancyIndex::new(anchor, 16, 16, coords.iter().copied());
+        assert_eq!(
+            ring_removal_walk_legacy(&mut legacy, &coords),
+            ring_removal_walk(&mut bitmask, &coords)
+        );
+        assert_eq!(legacy.nearest(), bitmask.nearest());
     }
 
     #[test]

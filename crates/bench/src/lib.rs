@@ -751,6 +751,186 @@ pub mod fig15 {
     }
 }
 
+/// The `hybrid-migrate` sweep: runtime hot-set migration policies versus the
+/// paper's static (compile-time) hot set, on hybrid floorplans.
+///
+/// For each benchmark × floorplan × policy the sweep reports total execution
+/// time, the **seek cycles** (`memory_access_beats` — the beats spent moving
+/// qubits through the SAM, the quantity migration exists to shrink), and the
+/// migration cost the policy paid for it. Every run starts from the same
+/// access-count hot set, so the `static` rows are the exact baseline the
+/// dynamic policies are measured against (`seek_vs_static` / `vs_static`
+/// ratios < 1 mean the policy wins).
+pub mod hybrid_migrate {
+    use super::*;
+    use lsqca::experiment::ExperimentConfig;
+
+    /// The hybrid fraction the sweep pins (a small conventional region, where
+    /// adapting its contents matters most).
+    pub const FRACTION: f64 = 0.10;
+
+    /// The floorplans compared: one of each bank flavour.
+    pub fn floorplans() -> Vec<FloorplanKind> {
+        vec![
+            FloorplanKind::PointSam { banks: 1 },
+            FloorplanKind::DualPointSam { banks: 1 },
+            FloorplanKind::LineSam { banks: 1 },
+        ]
+    }
+
+    /// One policy's measurement on one benchmark × floorplan.
+    #[derive(Debug, Clone)]
+    pub struct Point {
+        /// Benchmark name.
+        pub benchmark: String,
+        /// Floorplan label.
+        pub floorplan: String,
+        /// Migration policy name (`static` is the baseline).
+        pub policy: String,
+        /// Hybrid fraction `f`.
+        pub fraction: f64,
+        /// Number of magic-state factories.
+        pub factories: u32,
+        /// Execution time in beats.
+        pub beats: u64,
+        /// Seek cycles: beats spent on SAM movement (loads, stores, seeks).
+        pub seek_beats: u64,
+        /// Beats spent on hot-set migration (movement + policy overhead).
+        pub migration_beats: u64,
+        /// Number of migrations applied.
+        pub migrations: u64,
+        /// Memory density of the floorplan.
+        pub density: f64,
+        /// Seek cycles relative to the static baseline (< 1 is a win).
+        pub seek_vs_static: f64,
+        /// Execution time relative to the static baseline (< 1 is a win).
+        pub vs_static: f64,
+    }
+
+    impl ToJson for Point {
+        fn to_json(&self) -> Json {
+            Json::obj([
+                ("benchmark", self.benchmark.to_json()),
+                ("floorplan", self.floorplan.to_json()),
+                ("policy", self.policy.to_json()),
+                ("fraction", self.fraction.to_json()),
+                ("factories", self.factories.to_json()),
+                ("beats", self.beats.to_json()),
+                ("seek_beats", self.seek_beats.to_json()),
+                ("migration_beats", self.migration_beats.to_json()),
+                ("migrations", self.migrations.to_json()),
+                ("density", self.density.to_json()),
+                ("seek_vs_static", self.seek_vs_static.to_json()),
+                ("vs_static", self.vs_static.to_json()),
+            ])
+        }
+    }
+
+    /// Generates the sweep (defaults to SELECT and the multiplier when
+    /// `benchmarks` is empty). Workloads compile or cache-load through the
+    /// shared on-disk cache like every other sweep; the `(benchmark ×
+    /// factories × floorplan)` grid runs in parallel, with the three policy
+    /// runs of one cell kept together so the `vs_static` ratios are computed
+    /// against the cell's own baseline.
+    pub fn generate(scale: Scale, benchmarks: &[Benchmark], factories: &[u32]) -> Vec<Point> {
+        let list: Vec<Benchmark> = if benchmarks.is_empty() {
+            vec![Benchmark::Select, Benchmark::Multiplier]
+        } else {
+            benchmarks.to_vec()
+        };
+        let workloads =
+            crate::par::par_map(&list, |&benchmark| crate::cached_workload(benchmark, scale));
+
+        let mut jobs = Vec::new();
+        for (i, &benchmark) in list.iter().enumerate() {
+            for &factories in factories {
+                for floorplan in floorplans() {
+                    jobs.push((i, benchmark, factories, floorplan));
+                }
+            }
+        }
+        crate::par::par_flat_map(&jobs, |&(i, benchmark, factories, floorplan)| {
+            let base = ExperimentConfig::new(floorplan, factories).with_hybrid_fraction(FRACTION);
+            let runs: Vec<_> = PolicyKind::ALL
+                .iter()
+                .map(|&policy| {
+                    (
+                        policy,
+                        workloads[i].run(&base.clone().with_migration(policy)),
+                    )
+                })
+                .collect();
+            let baseline = &runs
+                .iter()
+                .find(|(policy, _)| *policy == PolicyKind::Static)
+                .expect("PolicyKind::ALL contains the static baseline")
+                .1;
+            let ratio = |a: u64, b: u64| {
+                if b == 0 {
+                    1.0
+                } else {
+                    a as f64 / b as f64
+                }
+            };
+            runs.iter()
+                .map(|(policy, result)| Point {
+                    benchmark: benchmark.name().to_string(),
+                    floorplan: floorplan.label(),
+                    policy: policy.name().to_string(),
+                    fraction: FRACTION,
+                    factories,
+                    beats: result.total_beats.as_u64(),
+                    seek_beats: result.stats.memory_access_beats.as_u64(),
+                    migration_beats: result.stats.migration_beats.as_u64(),
+                    migrations: result.stats.migrations,
+                    density: result.memory_density,
+                    seek_vs_static: ratio(
+                        result.stats.memory_access_beats.as_u64(),
+                        baseline.stats.memory_access_beats.as_u64(),
+                    ),
+                    vs_static: ratio(result.total_beats.as_u64(), baseline.total_beats.as_u64()),
+                })
+                .collect()
+        })
+    }
+
+    /// Renders the sweep as a text table.
+    pub fn render(scale: Scale, benchmarks: &[Benchmark], factories: &[u32]) -> String {
+        let rows: Vec<Vec<String>> = generate(scale, benchmarks, factories)
+            .into_iter()
+            .map(|p| {
+                vec![
+                    p.benchmark,
+                    p.floorplan,
+                    format!("{}", p.factories),
+                    p.policy,
+                    p.beats.to_string(),
+                    p.seek_beats.to_string(),
+                    p.migrations.to_string(),
+                    p.migration_beats.to_string(),
+                    fmt2(p.seek_vs_static),
+                    fmt2(p.vs_static),
+                ]
+            })
+            .collect();
+        render_table(
+            &[
+                "benchmark",
+                "floorplan",
+                "MSF",
+                "policy",
+                "beats",
+                "seek beats",
+                "migrations",
+                "mig beats",
+                "seek/static",
+                "time/static",
+            ],
+            &rows,
+        )
+    }
+}
+
 /// Ablation study of the two LSQCA-specific optimizations: the locality-aware
 /// store (Sec. V-B) and in-memory operations (Sec. V-C).
 pub mod ablation {
@@ -1073,6 +1253,46 @@ mod tests {
         assert!(points.iter().all(|p| p.density > 0.0 && p.overhead > 0.0));
         let text = fig15::render(Scale::Quick, &[1], Some(30));
         assert!(text.contains("Hybrid"));
+    }
+
+    #[test]
+    fn hybrid_migrate_freq_decay_beats_the_static_hot_set_on_select() {
+        // The subsystem's acceptance criterion: on the SELECT-Heisenberg
+        // workload, FreqDecay migration reports fewer total seek cycles than
+        // the static hot-set baseline, on every floorplan of the sweep.
+        let points = hybrid_migrate::generate(Scale::Quick, &[Benchmark::Select], &[1]);
+        assert_eq!(points.len(), 3 * 3);
+        for floorplan in hybrid_migrate::floorplans() {
+            let of = |policy: &str| {
+                points
+                    .iter()
+                    .find(|p| p.floorplan == floorplan.label() && p.policy == policy)
+                    .unwrap()
+            };
+            let pinned = of("static");
+            let freq = of("freq-decay");
+            assert_eq!(pinned.migrations, 0);
+            assert!(freq.migrations > 0);
+            assert!(
+                freq.seek_beats < pinned.seek_beats,
+                "{}: freq-decay seeks {} must beat static {}",
+                floorplan.label(),
+                freq.seek_beats,
+                pinned.seek_beats
+            );
+            assert!(freq.seek_vs_static < 1.0);
+            assert!((pinned.seek_vs_static - 1.0).abs() < 1e-12);
+            // LRU zeroes seeks (it promotes before every cold access) but
+            // pays for it in migrations — the comparison the sweep exists
+            // to expose.
+            let lru = of("lru");
+            assert!(lru.migrations > freq.migrations);
+            assert!(lru.seek_beats <= freq.seek_beats);
+            assert!(lru.migration_beats > freq.migration_beats);
+        }
+        let text = hybrid_migrate::render(Scale::Quick, &[Benchmark::Select], &[1]);
+        assert!(text.contains("freq-decay"));
+        assert!(text.contains("seek/static"));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! [`Workload::from_artifact`], in which case nothing is compiled at all.
 
 use lsqca_analysis::{hot_set_by_access_count, hot_set_by_role_map, hot_set_size};
-use lsqca_arch::{ArchConfig, FloorplanKind};
+use lsqca_arch::{ArchConfig, FloorplanKind, PolicyKind};
 use lsqca_circuit::{Circuit, RegisterMap, RegisterRole};
 use lsqca_compiler::CompilerConfig;
 use lsqca_lattice::{Beats, QubitTag};
@@ -48,6 +48,12 @@ pub struct ExperimentConfig {
     /// Use the locality-aware store policy (Sec. V-B). Enabled by default, as
     /// in the paper's evaluation; disable it for ablation studies.
     pub locality_aware_store: bool,
+    /// Runtime hot-set migration policy for hybrid floorplans. `None` (the
+    /// default) and [`PolicyKind::Static`] both keep the compile-time hot set
+    /// pinned; [`PolicyKind::Lru`] / [`PolicyKind::FreqDecay`] promote and
+    /// demote qubits between the conventional region and the SAM banks at
+    /// runtime, metered into `ExecutionStats::migration_beats`.
+    pub migration: Option<PolicyKind>,
     /// Simulator options.
     pub sim: SimConfig,
 }
@@ -61,6 +67,7 @@ impl ExperimentConfig {
             hybrid_fraction: 0.0,
             hot_set: HotSetStrategy::default(),
             locality_aware_store: true,
+            migration: None,
             sim: SimConfig::default(),
         }
     }
@@ -79,6 +86,14 @@ impl ExperimentConfig {
     /// Returns a copy with the given hot-set strategy.
     pub fn with_hot_set(mut self, strategy: HotSetStrategy) -> Self {
         self.hot_set = strategy;
+        self
+    }
+
+    /// Returns a copy with a runtime hot-set migration policy attached (only
+    /// meaningful for hybrid floorplans, where a conventional region exists
+    /// to promote into).
+    pub fn with_migration(mut self, policy: PolicyKind) -> Self {
+        self.migration = Some(policy);
         self
     }
 
@@ -111,9 +126,10 @@ impl ExperimentConfig {
         arch
     }
 
-    /// A short label for tables, e.g. `"Line #SAM=2, f=0.30, 4 MSF"`.
+    /// A short label for tables, e.g. `"Line #SAM=2, f=0.30, 4 MSF"` (with
+    /// `, lru` appended when a migration policy is attached).
     pub fn label(&self) -> String {
-        if self.hybrid_fraction > 0.0 && !self.floorplan.is_conventional() {
+        let mut label = if self.hybrid_fraction > 0.0 && !self.floorplan.is_conventional() {
             format!(
                 "{}, f={:.2}, {} MSF",
                 self.floorplan.label(),
@@ -122,7 +138,12 @@ impl ExperimentConfig {
             )
         } else {
             format!("{}, {} MSF", self.floorplan.label(), self.factories)
+        };
+        if let Some(policy) = self.migration {
+            label.push_str(", ");
+            label.push_str(policy.name());
         }
+        label
     }
 }
 
@@ -209,6 +230,9 @@ impl Workload {
             .max(self.artifact.memory_footprint())
             .max(1);
         let mut simulator = Simulator::new(&arch, qubits, &hot, config.sim);
+        if let Some(policy) = config.migration {
+            simulator.set_migration_policy(policy.build());
+        }
         let outcome = match simulator.run_compiled(&self.artifact) {
             Ok(outcome) => outcome,
             Err(err) => panic!(
@@ -390,5 +414,45 @@ mod tests {
         let hybrid = plain.with_hybrid_fraction(0.25);
         assert!(hybrid.label().contains("f=0.25"));
         assert_eq!(ExperimentConfig::baseline(2).label(), "Conventional, 2 MSF");
+        let migrating = hybrid.with_migration(PolicyKind::FreqDecay);
+        assert!(migrating.label().ends_with(", freq-decay"));
+    }
+
+    #[test]
+    fn migration_policies_run_through_the_experiment_facade() {
+        let w = workload();
+        let base = ExperimentConfig::new(FloorplanKind::PointSam { banks: 1 }, 1)
+            .with_hybrid_fraction(0.15);
+        let pinned = w.run(&base.clone().with_migration(PolicyKind::Static));
+        assert_eq!(pinned.stats.migrations, 0);
+        // The static policy is observationally the policy-free run.
+        let plain = w.run(&base);
+        assert_eq!(pinned.stats, plain.stats);
+        let adaptive = w.run(&base.with_migration(PolicyKind::FreqDecay));
+        // Determinism: the same adaptive run twice is identical.
+        let again = w.run(
+            &ExperimentConfig::new(FloorplanKind::PointSam { banks: 1 }, 1)
+                .with_hybrid_fraction(0.15)
+                .with_migration(PolicyKind::FreqDecay),
+        );
+        assert_eq!(adaptive.stats, again.stats);
+    }
+
+    #[test]
+    fn dual_point_floorplan_runs_end_to_end() {
+        let w = workload();
+        let dual = w.run(&ExperimentConfig::new(
+            FloorplanKind::DualPointSam { banks: 1 },
+            1,
+        ));
+        let single = w.run(&ExperimentConfig::new(
+            FloorplanKind::PointSam { banks: 1 },
+            1,
+        ));
+        // One extra cell + doubled CR: lower density (the CR overhead weighs
+        // heavily on the reduced instance), far faster access.
+        assert!(dual.memory_density < single.memory_density);
+        assert!(dual.memory_density > 0.6);
+        assert!(dual.total_beats < single.total_beats);
     }
 }

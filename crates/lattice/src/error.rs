@@ -57,6 +57,27 @@ pub enum LatticeError {
         /// The qubit that is not in the checkout ledger.
         qubit: QubitTag,
     },
+    /// The memory-system-level checkout audit found the qubit's residence and
+    /// checkout records pointing at different banks: it left one bank but its
+    /// residence now names another (or the conventional region). Accepting
+    /// the access would silently consume the wrong bank's scan vacancy.
+    CrossBankCheckout {
+        /// The qubit whose records disagree.
+        qubit: QubitTag,
+        /// The bank the qubit was checked out of.
+        checked_out_of: u32,
+        /// The bank its residence currently names (`None` = conventional).
+        resident_bank: Option<u32>,
+    },
+    /// A hot-set migration request violated the swap shape: the promoted
+    /// qubit must be stored in a SAM bank and the demoted qubit must live in
+    /// the conventional region (and the two must differ).
+    InvalidMigration {
+        /// The qubit requested to move into the conventional region.
+        promote: QubitTag,
+        /// The qubit requested to take its place in the SAM bank.
+        demote: QubitTag,
+    },
 }
 
 impl fmt::Display for LatticeError {
@@ -83,6 +104,26 @@ impl fmt::Display for LatticeError {
             LatticeError::GridFull => write!(f, "grid has no vacant cell"),
             LatticeError::QubitNotCheckedOut { qubit } => {
                 write!(f, "qubit {qubit} was never checked out of this bank")
+            }
+            LatticeError::CrossBankCheckout {
+                qubit,
+                checked_out_of,
+                resident_bank,
+            } => match resident_bank {
+                Some(bank) => write!(
+                    f,
+                    "qubit {qubit} is checked out of bank {checked_out_of} but resident in bank {bank}"
+                ),
+                None => write!(
+                    f,
+                    "qubit {qubit} is checked out of bank {checked_out_of} but resident in the conventional region"
+                ),
+            },
+            LatticeError::InvalidMigration { promote, demote } => {
+                write!(
+                    f,
+                    "migration of {promote} (to conventional) against {demote} (to SAM) violates the swap shape"
+                )
             }
         }
     }
@@ -120,6 +161,20 @@ mod tests {
             },
             LatticeError::GridFull,
             LatticeError::QubitNotCheckedOut { qubit: QubitTag(8) },
+            LatticeError::CrossBankCheckout {
+                qubit: QubitTag(4),
+                checked_out_of: 0,
+                resident_bank: Some(1),
+            },
+            LatticeError::CrossBankCheckout {
+                qubit: QubitTag(4),
+                checked_out_of: 1,
+                resident_bank: None,
+            },
+            LatticeError::InvalidMigration {
+                promote: QubitTag(2),
+                demote: QubitTag(3),
+            },
         ];
         for e in errors {
             let msg = e.to_string();

@@ -41,10 +41,11 @@ pub struct CellGrid {
     positions: Vec<Option<Coord>>,
     /// Number of occupied cells (`Some` entries in `positions`).
     occupied: usize,
-    /// Distance-bucketed vacancy index, present once an anchor (the bank
-    /// port) is registered. Derived acceleration state: excluded from
-    /// equality, kept in sync by `place`/`remove`/`relocate`.
-    vacancy: Option<VacancyIndex>,
+    /// Distance-bucketed vacancy indices, one per registered anchor (bank
+    /// port). Single-port banks register one; multi-port banks (the dual-port
+    /// point SAM) register one per port. Derived acceleration state: excluded
+    /// from equality, kept in sync by `place`/`remove`/`relocate`.
+    vacancy: Vec<VacancyIndex>,
 }
 
 impl PartialEq for CellGrid {
@@ -79,31 +80,63 @@ impl CellGrid {
             cells: vec![CellState::Vacant; (width * height) as usize],
             positions: Vec::new(),
             occupied: 0,
-            vacancy: None,
+            vacancy: Vec::new(),
         }
     }
 
     /// Registers `anchor` (typically the bank port) and builds the
     /// [`VacancyIndex`] that makes `nearest_vacant(anchor)` amortized O(1).
-    /// Re-registering replaces the previous anchor.
+    /// Re-registering replaces every previously registered anchor; use
+    /// [`CellGrid::register_anchors`] for multi-port banks.
     ///
     /// # Errors
     ///
     /// Returns [`LatticeError::OutOfBounds`] if `anchor` is outside the grid.
     pub fn register_anchor(&mut self, anchor: Coord) -> Result<(), LatticeError> {
-        self.check_bounds(anchor)?;
-        self.vacancy = Some(VacancyIndex::new(
-            anchor,
-            self.width,
-            self.height,
-            self.vacant_cells(),
-        ));
+        self.register_anchors(&[anchor])
+    }
+
+    /// Registers one vacancy index per anchor (one per bank port), replacing
+    /// any previously registered set. Duplicate coordinates collapse to one
+    /// index. Every anchor's `nearest_vacant` query becomes an O(1) ring
+    /// read; mutations update all indices (multi-port banks register two).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::OutOfBounds`] if any anchor is outside the
+    /// grid; nothing is registered in that case.
+    pub fn register_anchors(&mut self, anchors: &[Coord]) -> Result<(), LatticeError> {
+        for &anchor in anchors {
+            self.check_bounds(anchor)?;
+        }
+        self.vacancy.clear();
+        for &anchor in anchors {
+            if self.vacancy.iter().any(|index| index.anchor() == anchor) {
+                continue;
+            }
+            self.vacancy.push(VacancyIndex::new(
+                anchor,
+                self.width,
+                self.height,
+                self.vacant_cells(),
+            ));
+        }
         Ok(())
     }
 
-    /// The registered anchor, if any.
+    /// The first registered anchor, if any.
     pub fn anchor(&self) -> Option<Coord> {
-        self.vacancy.as_ref().map(VacancyIndex::anchor)
+        self.vacancy.first().map(VacancyIndex::anchor)
+    }
+
+    /// Every registered anchor, in registration order.
+    pub fn anchors(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.vacancy.iter().map(VacancyIndex::anchor)
+    }
+
+    /// The vacancy index registered for `target`, if any.
+    fn index_for(&self, target: Coord) -> Option<&VacancyIndex> {
+        self.vacancy.iter().find(|index| index.anchor() == target)
     }
 
     /// Grid width in cells.
@@ -202,7 +235,7 @@ impl CellGrid {
             return Err(LatticeError::CellOccupied { coord, occupant });
         }
         self.cells[idx] = CellState::Occupied(qubit);
-        if let Some(index) = &mut self.vacancy {
+        for index in &mut self.vacancy {
             index.remove(coord);
         }
         self.set_position(qubit, Some(coord));
@@ -249,7 +282,7 @@ impl CellGrid {
         self.set_position(qubit, None);
         let idx = self.index(coord);
         self.cells[idx] = CellState::Vacant;
-        if let Some(index) = &mut self.vacancy {
+        for index in &mut self.vacancy {
             index.insert(coord);
         }
         Ok(coord)
@@ -279,7 +312,7 @@ impl CellGrid {
         let from_idx = self.index(from);
         self.cells[from_idx] = CellState::Vacant;
         self.cells[to_idx] = CellState::Occupied(qubit);
-        if let Some(index) = &mut self.vacancy {
+        for index in &mut self.vacancy {
             index.insert(from);
             index.remove(to);
         }
@@ -311,14 +344,9 @@ impl CellGrid {
             .position_of(qubit)
             .ok_or(LatticeError::QubitNotPresent { qubit })?;
         let key = |c: Coord| (c.manhattan_distance(target), c.y, c.x);
-        let anchored = self
-            .vacancy
-            .as_ref()
-            .is_some_and(|index| index.anchor() == target);
-        let candidate = if anchored {
-            self.vacancy.as_ref().and_then(VacancyIndex::nearest)
-        } else {
-            self.ring_search(target, |c, cell| cell.is_vacant() || c == from)
+        let candidate = match self.index_for(target) {
+            Some(index) => index.nearest(),
+            None => self.ring_search(target, |c, cell| cell.is_vacant() || c == from),
         };
         // The qubit's own cell counts as vacant: removing it always leaves at
         // least one vacancy, so the destination always exists.
@@ -334,7 +362,7 @@ impl CellGrid {
         debug_assert!(self.cells[to_idx].is_vacant());
         self.cells[from_idx] = CellState::Vacant;
         self.cells[to_idx] = CellState::Occupied(qubit);
-        if let Some(index) = &mut self.vacancy {
+        for index in &mut self.vacancy {
             index.swap(from, to);
         }
         self.positions[qubit.0 as usize] = Some(to);
@@ -343,10 +371,9 @@ impl CellGrid {
 
     /// Places `qubit` (not currently on the grid) into the vacant cell nearest
     /// `target`, returning the chosen cell. Equivalent to `nearest_vacant` →
-    /// `place` but fused: when `target` is the registered anchor the
-    /// destination is popped straight off the vacancy index's minimal ring
-    /// ([`VacancyIndex::take_nearest`]) instead of being read and then
-    /// binary-searched for removal.
+    /// `place` but fused: when `target` is a registered anchor the destination
+    /// comes straight from that anchor's ring mask (an O(1) bit scan), and
+    /// every registered index sees one O(1) bit clear.
     ///
     /// # Errors
     ///
@@ -360,25 +387,28 @@ impl CellGrid {
         if let Some(at) = self.position_of(qubit) {
             return Err(LatticeError::QubitAlreadyPlaced { qubit, at });
         }
-        let anchored = self
-            .vacancy
-            .as_ref()
-            .is_some_and(|index| index.anchor() == target);
-        if anchored {
-            let index = self.vacancy.as_mut().expect("anchored implies an index");
-            let dest = index.take_nearest().ok_or(LatticeError::GridFull)?;
-            let idx = self.index(dest);
-            debug_assert!(self.cells[idx].is_vacant());
-            self.cells[idx] = CellState::Occupied(qubit);
-            self.set_position(qubit, Some(dest));
-            return Ok(dest);
+        // Single-anchor fast path (every single-port bank): pop the cached
+        // nearest cell straight off the one index instead of reading it and
+        // then removing it by coordinate.
+        if let [index] = self.vacancy.as_mut_slice() {
+            if index.anchor() == target {
+                let dest = index.take_nearest().ok_or(LatticeError::GridFull)?;
+                let idx = self.index(dest);
+                debug_assert!(self.cells[idx].is_vacant());
+                self.cells[idx] = CellState::Occupied(qubit);
+                self.set_position(qubit, Some(dest));
+                return Ok(dest);
+            }
         }
-        let dest = self
-            .ring_search(target, |_, cell| cell.is_vacant())
-            .ok_or(LatticeError::GridFull)?;
+        let dest = match self.index_for(target) {
+            Some(index) => index.nearest(),
+            None => self.ring_search(target, |_, cell| cell.is_vacant()),
+        }
+        .ok_or(LatticeError::GridFull)?;
         let idx = self.index(dest);
+        debug_assert!(self.cells[idx].is_vacant());
         self.cells[idx] = CellState::Occupied(qubit);
-        if let Some(index) = &mut self.vacancy {
+        for index in &mut self.vacancy {
             index.remove(dest);
         }
         self.set_position(qubit, Some(dest));
@@ -405,17 +435,15 @@ impl CellGrid {
     /// Finds the vacant cell closest (Manhattan metric) to `target`, breaking ties
     /// by row-major order. Returns `None` if the grid is full.
     ///
-    /// When `target` is the registered anchor (see [`CellGrid::register_anchor`])
-    /// this is an amortized O(1) read of the [`VacancyIndex`]; otherwise it is
-    /// an outward ring search that visits O(ring) cells per distance instead of
-    /// scanning every cell.
+    /// When `target` is a registered anchor (see [`CellGrid::register_anchor`]
+    /// / [`CellGrid::register_anchors`]) this is an amortized O(1) read of
+    /// that anchor's [`VacancyIndex`]; otherwise it is an outward ring search
+    /// that visits O(ring) cells per distance instead of scanning every cell.
     pub fn nearest_vacant(&self, target: Coord) -> Option<Coord> {
-        if let Some(index) = &self.vacancy {
-            if index.anchor() == target {
-                return index.nearest();
-            }
+        match self.index_for(target) {
+            Some(index) => index.nearest(),
+            None => self.ring_search(target, |_, cell| cell.is_vacant()),
         }
-        self.ring_search(target, |_, cell| cell.is_vacant())
     }
 
     /// Finds the occupied cell closest (Manhattan metric) to `target` by the
@@ -881,6 +909,35 @@ mod tests {
     }
 
     #[test]
+    fn multi_anchor_indices_answer_for_every_port() {
+        let mut grid = filled_grid(5, 5, 20);
+        let west = Coord::new(0, 2);
+        let east = Coord::new(4, 2);
+        grid.register_anchors(&[west, east, west]).unwrap();
+        // Duplicates collapse; registration order is preserved.
+        assert_eq!(grid.anchors().collect::<Vec<_>>(), vec![west, east]);
+        assert_eq!(grid.anchor(), Some(west));
+        fn scan(grid: &CellGrid, target: Coord) -> Option<Coord> {
+            grid.vacant_cells()
+                .min_by_key(|&c| (c.manhattan_distance(target), c.y, c.x))
+        }
+        assert_eq!(grid.nearest_vacant(west), scan(&grid, west));
+        assert_eq!(grid.nearest_vacant(east), scan(&grid, east));
+        // Mutations keep both indices in sync.
+        grid.remove(QubitTag(0)).unwrap();
+        let dest = grid.place_at_nearest_vacancy(QubitTag(50), east).unwrap();
+        assert_eq!(grid.occupant(dest), Some(QubitTag(50)));
+        assert_eq!(grid.nearest_vacant(west), scan(&grid, west));
+        assert_eq!(grid.nearest_vacant(east), scan(&grid, east));
+        grid.relocate_into_nearest_vacancy(QubitTag(7), west)
+            .unwrap();
+        assert_eq!(grid.nearest_vacant(west), scan(&grid, west));
+        assert_eq!(grid.nearest_vacant(east), scan(&grid, east));
+        // An out-of-bounds anchor in the set rejects the whole registration.
+        assert!(grid.register_anchors(&[west, Coord::new(9, 9)]).is_err());
+    }
+
+    #[test]
     fn scratch_reuse_across_queries_is_consistent() {
         let mut grid = CellGrid::new(5, 5);
         grid.place(QubitTag(0), Coord::new(1, 0)).unwrap();
@@ -980,6 +1037,44 @@ mod proptests {
                     grid.nearest_occupied(coord),
                     grid.iter().map(|(_, c)| c)
                         .min_by_key(|&c| (c.manhattan_distance(coord), c.y, c.x))
+                );
+            }
+        }
+
+        /// With two registered anchors, each anchor's indexed `nearest_vacant`
+        /// answer equals the legacy linear scan under random mutation
+        /// sequences — including the fused relocate/place primitives, which
+        /// must keep every ring mask in sync, not just the targeted anchor's.
+        #[test]
+        fn dual_anchor_indices_match_the_linear_scan(
+            a in (0u32..6, 0u32..6),
+            b in (0u32..6, 0u32..6),
+            ops in proptest::collection::vec(
+                (0u32..20, 0u32..6, 0u32..6, 0u32..5, proptest::bool::ANY), 1..60
+            ),
+        ) {
+            let a = Coord::new(a.0, a.1);
+            let b = Coord::new(b.0, b.1);
+            let mut grid = CellGrid::new(6, 6);
+            grid.register_anchors(&[a, b]).unwrap();
+            for (q, x, y, op, pick_a) in ops {
+                let qubit = QubitTag(q);
+                let coord = Coord::new(x, y);
+                let target = if pick_a { a } else { b };
+                match op {
+                    0 => { let _ = grid.place(qubit, coord); }
+                    1 => { let _ = grid.remove(qubit); }
+                    2 => { let _ = grid.relocate(qubit, coord); }
+                    3 => { let _ = grid.relocate_into_nearest_vacancy(qubit, target); }
+                    _ => { let _ = grid.place_at_nearest_vacancy(qubit, target); }
+                }
+                prop_assert_eq!(
+                    grid.nearest_vacant(a),
+                    nearest_vacant_scan(&grid, a)
+                );
+                prop_assert_eq!(
+                    grid.nearest_vacant(b),
+                    nearest_vacant_scan(&grid, b)
                 );
             }
         }

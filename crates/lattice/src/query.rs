@@ -24,22 +24,36 @@ use std::collections::VecDeque;
 /// Incrementally-maintained index of vacant cells, bucketed by Manhattan
 /// distance to a fixed anchor coordinate.
 ///
-/// Cell indices inside each bucket are kept sorted ascending; since a cell
-/// index is `y * width + x`, ascending index order is exactly the row-major
-/// `(y, x)` tie-break of the legacy linear scan, so the index answers are
-/// bit-identical to `min_by_key(|c| (manhattan, y, x))`.
+/// Each distance-`d` bucket is a **bitmask** over the ring's fixed slot
+/// layout rather than a sorted `Vec` of cell indices: slot `2·r + side`
+/// covers the cell in the ring's `r`-th row (`y = anchor.y - d + r`) on the
+/// left (`x = anchor.x - rem`) or right (`x = anchor.x + rem`) flank, where
+/// `rem = d - |y - anchor.y|`. Slots whose cell falls outside the grid are
+/// simply never set. Ascending slot order is ascending `(y, x)` order, so
+/// scanning for the lowest set bit reproduces the row-major tie-break of the
+/// legacy linear scan bit-for-bit — and arbitrary insertion/removal is a
+/// single O(1) bit flip instead of a binary search plus `Vec` shuffle.
 #[derive(Debug, Clone)]
 pub struct VacancyIndex {
     anchor: Coord,
-    width: u32,
-    /// `rings[d]` holds the cell indices of vacancies at distance `d` from the
-    /// anchor, sorted ascending (row-major order).
-    rings: Vec<Vec<u32>>,
-    /// Index of the first possibly non-empty ring; maintained so that
-    /// [`VacancyIndex::nearest`] is a plain bucket read.
+    /// All rings' mask words, concatenated; ring `d` spans
+    /// `words[offsets[d]..offsets[d + 1]]` and owns `4d + 2` slots.
+    words: Vec<u64>,
+    /// Per-ring start offset into `words` (`rings + 1` entries).
+    offsets: Vec<u32>,
+    /// Number of set bits per ring, so emptiness checks are O(1).
+    counts: Vec<u32>,
+    /// Index of the first non-empty ring; maintained so recomputing the
+    /// nearest cache starts at the right ring.
     min_ring: usize,
     /// Total number of vacancies tracked.
     len: usize,
+    /// Cached minimal `(ring, slot, coord)`: the nearest vacancy, maintained
+    /// incrementally so [`VacancyIndex::nearest`] — the query every simulated
+    /// store issues — is a single field read. Inserting a nearer cell
+    /// replaces it in O(1); removing the cached cell rescans the minimal
+    /// ring's one or two mask words.
+    cached: Option<(u32, u32, Coord)>,
 }
 
 impl VacancyIndex {
@@ -51,18 +65,37 @@ impl VacancyIndex {
         height: u32,
         vacancies: impl Iterator<Item = Coord>,
     ) -> Self {
-        let max_distance = (width - 1 + height - 1) as usize;
+        // Farthest grid cell from the anchor, not the grid diameter: rings
+        // beyond it can never hold a vacancy.
+        let max_distance =
+            (anchor.x.max(width - 1 - anchor.x) + anchor.y.max(height - 1 - anchor.y)) as usize;
+        let rings = max_distance + 1;
+        let mut offsets = Vec::with_capacity(rings + 1);
+        let mut total = 0u32;
+        for d in 0..rings {
+            offsets.push(total);
+            total += Self::ring_words(d);
+        }
+        offsets.push(total);
         let mut index = VacancyIndex {
             anchor,
-            width,
-            rings: vec![Vec::new(); max_distance + 1],
-            min_ring: max_distance + 1,
+            words: vec![0; total as usize],
+            offsets,
+            counts: vec![0; rings],
+            min_ring: rings,
             len: 0,
+            cached: None,
         };
         for coord in vacancies {
             index.insert(coord);
         }
         index
+    }
+
+    /// Words needed for ring `d`'s `4d + 2` slots.
+    #[inline]
+    fn ring_words(d: usize) -> u32 {
+        (4 * d + 2).div_ceil(64) as u32
     }
 
     /// The anchor this index accelerates queries against.
@@ -80,95 +113,125 @@ impl VacancyIndex {
         self.len == 0
     }
 
-    fn cell_index(&self, coord: Coord) -> u32 {
-        coord.y * self.width + coord.x
+    /// The `(ring, slot)` coordinates of `coord` in the fixed ring layout.
+    #[inline]
+    fn slot_of(&self, coord: Coord) -> (u32, u32) {
+        let d = coord.manhattan_distance(self.anchor);
+        // `d >= |coord.y - anchor.y|`, so the row offset never underflows.
+        let row = coord.y + d - self.anchor.y;
+        let side = u32::from(coord.x > self.anchor.x);
+        (d, 2 * row + side)
     }
 
-    fn decode(&self, index: u32) -> Coord {
-        Coord::new(index % self.width, index / self.width)
+    /// The cell covered by `slot` of ring `d` (only called for set slots,
+    /// which always decode to in-grid cells).
+    #[inline]
+    fn decode(&self, d: u32, slot: u32) -> Coord {
+        let row = slot / 2;
+        let y = self.anchor.y + row - d;
+        let rem = d - y.abs_diff(self.anchor.y);
+        let x = if slot % 2 == 1 {
+            self.anchor.x + rem
+        } else {
+            self.anchor.x - rem
+        };
+        Coord::new(x, y)
     }
 
-    /// Records that `coord` became vacant. O(ring) for the sorted insert.
+    /// Records that `coord` became vacant. One bit set plus a cache compare,
+    /// O(1).
     pub fn insert(&mut self, coord: Coord) {
-        let d = coord.manhattan_distance(self.anchor) as usize;
-        let idx = self.cell_index(coord);
-        let ring = &mut self.rings[d];
-        if let Err(pos) = ring.binary_search(&idx) {
-            ring.insert(pos, idx);
+        let (d, slot) = self.slot_of(coord);
+        let word = &mut self.words[self.offsets[d as usize] as usize + (slot / 64) as usize];
+        let bit = 1u64 << (slot % 64);
+        if *word & bit == 0 {
+            *word |= bit;
+            self.counts[d as usize] += 1;
             self.len += 1;
-            self.min_ring = self.min_ring.min(d);
-        }
-    }
-
-    /// Records that `coord` became occupied. O(ring) for the sorted removal,
-    /// plus an amortized advance of the first-non-empty hint.
-    pub fn remove(&mut self, coord: Coord) {
-        let d = coord.manhattan_distance(self.anchor) as usize;
-        let idx = self.cell_index(coord);
-        let ring = &mut self.rings[d];
-        if let Ok(pos) = ring.binary_search(&idx) {
-            ring.remove(pos);
-            self.len -= 1;
-            while self.min_ring < self.rings.len() && self.rings[self.min_ring].is_empty() {
-                self.min_ring += 1;
+            self.min_ring = self.min_ring.min(d as usize);
+            // A nearer cell (ring, then slot = row-major order) replaces the
+            // cached nearest.
+            match self.cached {
+                Some((cd, cs, _)) if (cd, cs) <= (d, slot) => {}
+                _ => self.cached = Some((d, slot, coord)),
             }
         }
+    }
+
+    /// Records that `coord` became occupied. One bit cleared, O(1), plus a
+    /// rescan of the minimal ring's mask words when the cached nearest cell
+    /// is the one removed.
+    pub fn remove(&mut self, coord: Coord) {
+        let (d, slot) = self.slot_of(coord);
+        let word = &mut self.words[self.offsets[d as usize] as usize + (slot / 64) as usize];
+        let bit = 1u64 << (slot % 64);
+        if *word & bit != 0 {
+            *word &= !bit;
+            self.counts[d as usize] -= 1;
+            self.len -= 1;
+            if let Some((cd, cs, _)) = self.cached {
+                if (cd, cs) == (d, slot) {
+                    self.recompute_nearest();
+                }
+            }
+        }
+    }
+
+    /// First set slot of ring `d`, if any.
+    #[inline]
+    fn first_slot(&self, d: usize) -> Option<u32> {
+        let start = self.offsets[d] as usize;
+        let end = self.offsets[d + 1] as usize;
+        for (i, &word) in self.words[start..end].iter().enumerate() {
+            if word != 0 {
+                return Some((i as u32) * 64 + word.trailing_zeros());
+            }
+        }
+        None
+    }
+
+    /// Rebuilds the cached nearest cell: advance the first-non-empty ring
+    /// hint, then scan that ring's (one or two) mask words.
+    fn recompute_nearest(&mut self) {
+        if self.len == 0 {
+            self.min_ring = self.counts.len();
+            self.cached = None;
+            return;
+        }
+        while self.min_ring < self.counts.len() && self.counts[self.min_ring] == 0 {
+            self.min_ring += 1;
+        }
+        let d = self.min_ring as u32;
+        let slot = self
+            .first_slot(self.min_ring)
+            .expect("min_ring points at a non-empty ring");
+        self.cached = Some((d, slot, self.decode(d, slot)));
     }
 
     /// The vacant cell nearest the anchor, ties broken row-major — the same
-    /// answer as the legacy linear scan, in O(1).
+    /// answer as the legacy linear scan, served from the incrementally
+    /// maintained cache in O(1).
     pub fn nearest(&self) -> Option<Coord> {
-        self.rings
-            .get(self.min_ring)?
-            .first()
-            .map(|&idx| self.decode(idx))
+        self.cached.map(|(_, _, coord)| coord)
     }
 
     /// Removes and returns the vacant cell nearest the anchor. Equivalent to
-    /// `nearest()` followed by `remove()`, but the removal pops the front of
-    /// the minimal ring directly instead of binary-searching for it.
+    /// `nearest()` followed by `remove()`.
     pub fn take_nearest(&mut self) -> Option<Coord> {
-        let ring = self.rings.get_mut(self.min_ring)?;
-        debug_assert!(!ring.is_empty(), "min_ring always points at a vacancy");
-        let idx = ring.remove(0);
+        let (d, slot, coord) = self.cached?;
+        self.words[self.offsets[d as usize] as usize + (slot / 64) as usize] &=
+            !(1u64 << (slot % 64));
+        self.counts[d as usize] -= 1;
         self.len -= 1;
-        while self.min_ring < self.rings.len() && self.rings[self.min_ring].is_empty() {
-            self.min_ring += 1;
-        }
-        Some(self.decode(idx))
+        self.recompute_nearest();
+        Some(coord)
     }
 
     /// Records that `freed` became vacant and `taken` became occupied in one
-    /// pass — the index update of a fused relocation. Equivalent to
-    /// `insert(freed)` followed by `remove(taken)`, but when both cells sit on
-    /// the same ring the first-non-empty hint needs no maintenance at all, and
-    /// the hint is otherwise walked once instead of twice.
+    /// call — the index update of a fused relocation. With bitmask rings both
+    /// halves are O(1) bit flips, so this is plain `insert` + `remove`.
     pub fn swap(&mut self, freed: Coord, taken: Coord) {
         if freed == taken {
-            return;
-        }
-        let d_freed = freed.manhattan_distance(self.anchor) as usize;
-        let d_taken = taken.manhattan_distance(self.anchor) as usize;
-        let freed_idx = self.cell_index(freed);
-        let taken_idx = self.cell_index(taken);
-        if d_freed == d_taken {
-            // One ring gains a cell and loses another: its size (and therefore
-            // `min_ring` and `len`) is unchanged.
-            let ring = &mut self.rings[d_freed];
-            if let Ok(pos) = ring.binary_search(&taken_idx) {
-                ring.remove(pos);
-            } else {
-                self.len += 1;
-                self.min_ring = self.min_ring.min(d_freed);
-            }
-            if let Err(pos) = ring.binary_search(&freed_idx) {
-                ring.insert(pos, freed_idx);
-            } else {
-                self.len -= 1;
-            }
-            while self.min_ring < self.rings.len() && self.rings[self.min_ring].is_empty() {
-                self.min_ring += 1;
-            }
             return;
         }
         self.insert(freed);

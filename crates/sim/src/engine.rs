@@ -3,7 +3,7 @@
 use crate::config::SimConfig;
 use crate::metrics::ExecutionStats;
 use crate::trace::MemoryTrace;
-use lsqca_arch::{ArchConfig, MagicStateSupply, MemorySystem, MsfConfig};
+use lsqca_arch::{ArchConfig, MagicStateSupply, MemorySystem, MigrationPolicy, MsfConfig};
 use lsqca_isa::{ClassicalId, Instruction, LatencyClass, LatencyTable, MemAddr, Program, RegId};
 use lsqca_lattice::{Beats, LatticeError, QubitTag};
 use lsqca_workloads::CompiledWorkload;
@@ -75,6 +75,11 @@ pub struct Simulator {
     hot_qubits: Vec<QubitTag>,
     /// True once `run` has mutated the architectural state.
     dirty: bool,
+    /// Optional runtime hot-set migration policy. Consulted for every memory
+    /// operand of every load/store/in-memory instruction; legal proposals are
+    /// applied through [`MemorySystem::migrate`] and metered into
+    /// `ExecutionStats::migration_beats`.
+    migration: Option<Box<dyn MigrationPolicy>>,
 }
 
 impl Simulator {
@@ -110,6 +115,7 @@ impl Simulator {
             num_qubits,
             hot_qubits: hot_qubits.to_vec(),
             dirty: false,
+            migration: None,
             memory,
             magic,
             config,
@@ -134,6 +140,26 @@ impl Simulator {
     /// The memory system being simulated (for density queries).
     pub fn memory(&self) -> &MemorySystem {
         &self.memory
+    }
+
+    /// Attaches a runtime hot-set [`MigrationPolicy`]. The policy is
+    /// (re)initialized with this simulator's qubit count and pinned hot set,
+    /// here and on every [`Simulator::reset`], so consecutive runs each start
+    /// from the compile-time hot set. Pass the boxed policy from
+    /// [`lsqca_arch::PolicyKind::build`] or a custom implementation.
+    pub fn set_migration_policy(&mut self, mut policy: Box<dyn MigrationPolicy>) {
+        policy.begin(self.num_qubits, &self.hot_qubits);
+        self.migration = Some(policy);
+    }
+
+    /// Detaches the migration policy, if any.
+    pub fn clear_migration_policy(&mut self) {
+        self.migration = None;
+    }
+
+    /// The attached migration policy's name, if any.
+    pub fn migration_policy_name(&self) -> Option<&'static str> {
+        self.migration.as_deref().map(MigrationPolicy::name)
     }
 
     /// Restores the simulator to its just-constructed state: memory system,
@@ -161,6 +187,9 @@ impl Simulator {
             *t = Beats::ZERO;
         }
         self.skip_guard = None;
+        if let Some(policy) = &mut self.migration {
+            policy.begin(self.num_qubits, &self.hot_qubits);
+        }
         self.dirty = false;
     }
 
@@ -352,6 +381,37 @@ impl Simulator {
                 cx_slot = Some(slot);
             }
 
+            // Runtime hot-set migration: the policy observes every memory
+            // operand of every bank-touching instruction and may propose
+            // promoting the accessed qubit over a conventional-region victim.
+            // Proposals are applied *before* the access (so a promoted
+            // qubit's access is already conventional-free) and only when the
+            // swap is legal — for a store the operand is checked out, so the
+            // proposal is observed-and-dropped. Migration movement plus the
+            // policy's bookkeeping overhead delay this instruction and are
+            // metered separately from `memory_access_beats`.
+            let mut migration_delay = Beats::ZERO;
+            if let Some(policy) = &mut self.migration {
+                if Self::needs_scan_resource(instr) {
+                    for m in mems {
+                        let qubit = Self::tag(m);
+                        let Some(victim) = policy.on_access(qubit, index as u64) else {
+                            continue;
+                        };
+                        if self.memory.is_checked_out(qubit) {
+                            continue;
+                        }
+                        if let Ok(cost) = self.memory.migrate(qubit, victim) {
+                            policy.applied(qubit, victim);
+                            let total = cost + policy.overhead();
+                            stats.migrations += 1;
+                            stats.migration_beats += total;
+                            migration_delay += total;
+                        }
+                    }
+                }
+            }
+
             // Duration.
             let duration = match *instr {
                 Instruction::Ld { mem, .. } => {
@@ -434,7 +494,7 @@ impl Simulator {
                 }
             };
 
-            let finish = start + duration;
+            let finish = start + migration_delay + duration;
 
             // Bookkeeping.
             stats.instruction_count += 1;
@@ -876,6 +936,123 @@ mod tests {
         let sam = simulate(&program, 31, &point(1), &[], SimConfig::default());
         assert!(conventional.stats.total_beats <= sam.stats.total_beats);
         assert!(conventional.stats.memory_density <= sam.stats.memory_density);
+    }
+
+    #[test]
+    fn migration_policy_promotes_a_hot_loop_qubit() {
+        use lsqca_arch::PolicyKind;
+        // Qubit 30 is hammered but the compile-time hot set pins qubit 0;
+        // the frequency policy should promote 30 and strip its seek costs.
+        let mut program = Program::new("loop");
+        for _ in 0..40 {
+            program.push(Instruction::HdM { mem: MemAddr(30) });
+            program.push(Instruction::Cx {
+                control: MemAddr(30),
+                target: MemAddr(31),
+            });
+        }
+        let arch = point(1).with_hybrid_fraction(0.05);
+        let hot = [QubitTag(0), QubitTag(1)];
+        let mut pinned = Simulator::new(&arch, 64, &hot, SimConfig::default());
+        let static_run = pinned.run(&program).unwrap();
+        assert_eq!(static_run.stats.migrations, 0);
+
+        let mut adaptive = Simulator::new(&arch, 64, &hot, SimConfig::default());
+        adaptive.set_migration_policy(PolicyKind::FreqDecay.build());
+        assert_eq!(adaptive.migration_policy_name(), Some("freq-decay"));
+        let dynamic_run = adaptive.run(&program).unwrap();
+        assert!(dynamic_run.stats.migrations > 0);
+        assert!(dynamic_run.stats.migration_beats > Beats::ZERO);
+        assert!(
+            dynamic_run.stats.memory_access_beats < static_run.stats.memory_access_beats,
+            "promotion should strip seek beats ({} >= {})",
+            dynamic_run.stats.memory_access_beats,
+            static_run.stats.memory_access_beats
+        );
+        // Reruns re-begin the policy from the pinned hot set: deterministic.
+        let again = adaptive.run(&program).unwrap();
+        assert_eq!(dynamic_run, again);
+        // The static policy is observationally the pinned baseline.
+        let mut inert = Simulator::new(&arch, 64, &hot, SimConfig::default());
+        inert.set_migration_policy(PolicyKind::Static.build());
+        let inert_run = inert.run(&program).unwrap();
+        assert_eq!(inert_run.stats.migrations, 0);
+        assert_eq!(inert_run.stats.total_beats, static_run.stats.total_beats);
+        // Detaching restores the plain simulator.
+        adaptive.clear_migration_policy();
+        assert_eq!(adaptive.migration_policy_name(), None);
+        let detached = adaptive.run(&program).unwrap();
+        assert_eq!(detached, static_run);
+    }
+
+    #[test]
+    fn store_time_proposals_are_dropped_not_applied() {
+        use lsqca_arch::{FreqDecayPolicy, MigrationPolicy};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        /// Wraps the frequency policy and counts its proposals, so the test
+        /// can observe proposals the engine dropped (vs applied).
+        #[derive(Debug, Clone)]
+        struct Counting {
+            inner: FreqDecayPolicy,
+            proposals: Arc<AtomicU64>,
+        }
+        impl MigrationPolicy for Counting {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn begin(&mut self, num_qubits: u32, hot: &[QubitTag]) {
+                self.inner.begin(num_qubits, hot);
+            }
+            fn on_access(&mut self, qubit: QubitTag, now: u64) -> Option<QubitTag> {
+                let proposal = self.inner.on_access(qubit, now);
+                if proposal.is_some() {
+                    self.proposals.fetch_add(1, Ordering::Relaxed);
+                }
+                proposal
+            }
+            fn applied(&mut self, promoted: QubitTag, demoted: QubitTag) {
+                self.inner.applied(promoted, demoted);
+            }
+            fn boxed_clone(&self) -> Box<dyn MigrationPolicy> {
+                Box::new(self.clone())
+            }
+        }
+
+        // With the default margin (1.5) and one warm-up touch of the hot
+        // qubit, qubit 9's score first crosses the promotion threshold at
+        // its ST event — where it is checked out, so the proposal must be
+        // dropped — and lands on the following LD instead.
+        let mut program = Program::new("st-drop");
+        program.push(Instruction::HdM { mem: MemAddr(0) });
+        for _ in 0..2 {
+            program.push(Instruction::Ld {
+                mem: MemAddr(9),
+                reg: RegId(0),
+            });
+            program.push(Instruction::St {
+                reg: RegId(0),
+                mem: MemAddr(9),
+            });
+        }
+        let arch = point(1).with_hybrid_fraction(0.1);
+        let hot = [QubitTag(0)];
+        let proposals = Arc::new(AtomicU64::new(0));
+        let mut simulator = Simulator::new(&arch, 16, &hot, SimConfig::default());
+        simulator.set_migration_policy(Box::new(Counting {
+            inner: FreqDecayPolicy::default(),
+            proposals: Arc::clone(&proposals),
+        }));
+        let outcome = simulator.run(&program).unwrap();
+        assert_eq!(outcome.stats.loads, 2);
+        assert_eq!(outcome.stats.stores, 2);
+        assert_eq!(outcome.stats.migrations, 1, "exactly one promotion lands");
+        assert_eq!(
+            proposals.load(Ordering::Relaxed),
+            2,
+            "the ST-time proposal is made but dropped, the LD-time one applied"
+        );
     }
 
     #[test]

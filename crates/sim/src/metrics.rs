@@ -43,6 +43,16 @@ pub struct ExecutionStats {
     pub magic_wait_beats: Beats,
     /// Beats spent on memory movement (loads, stores, seeks, in-memory access).
     pub memory_access_beats: Beats,
+    /// Number of hot-set migrations applied by the run's migration policy
+    /// (zero without a policy or under the static policy).
+    pub migrations: u64,
+    /// Beats spent on hot-set migration: the physical swap movement plus the
+    /// per-policy bookkeeping overhead, charged to the triggering
+    /// instruction. Kept separate from
+    /// [`memory_access_beats`](Self::memory_access_beats) so the seek-cycle
+    /// savings a policy buys and the migration cost it pays are individually
+    /// visible.
+    pub migration_beats: Beats,
 }
 
 impl ExecutionStats {

@@ -8,6 +8,12 @@
 
 use lsqca_circuit::register::RegisterRole;
 use lsqca_circuit::Circuit;
+
+/// Emission-logic revision of this generator, part of the workload-cache
+/// key (see `lsqca_workloads::cache`). Bump it whenever the circuit emitted
+/// for an *unchanged* configuration changes, so stale cached artifacts are
+/// invalidated; a config-field change already changes the key by itself.
+pub const REVISION: u32 = 1;
 /// Deterministic seed-expanded bit stream (splitmix64), replacing the external
 /// `rand` dependency for secret generation. Note: this produces a *different*
 /// bit-string for a given seed than the previous `StdRng`-based stream, so the

@@ -11,10 +11,32 @@
 //!   path, falling back to `./target/lsqca-cache`). `LSQCA_NO_CACHE=1`
 //!   disables the disk entirely.
 //! * **Key** — the FNV-1a content hash of the workload-generator descriptor
-//!   (every generator parameter, see
+//!   (every generator parameter **plus the generator's emission-logic
+//!   revision**, see
 //!   [`BenchmarkConfig::descriptor`](crate::registry::BenchmarkConfig::descriptor)),
 //!   the compiler configuration, and [`ISA_VERSION`]. Changing any of them
 //!   changes the file name, so stale entries are simply never found again.
+//!
+//! # When to bump what
+//!
+//! The key protects against two different kinds of staleness; each has its
+//! own version knob, and using the wrong one over-invalidates:
+//!
+//! * **A generator's emission logic changed** (the circuit emitted for an
+//!   *unchanged* configuration is different — reordered gates, a fixed
+//!   off-by-one, a new decomposition): bump that generator module's
+//!   `REVISION` constant (e.g. `lsqca_workloads::select::REVISION`). Only
+//!   that generator's cached artifacts are invalidated. A `Debug`-rendered
+//!   config alone cannot catch this case — the descriptor text would be
+//!   byte-identical before and after the logic change.
+//! * **The instruction set or its serialized form changed** (new opcode,
+//!   changed operand encoding, different latency-class mapping): bump
+//!   [`ISA_VERSION`] in `lsqca-isa`. Every cached artifact of every
+//!   generator is invalidated, because all of them embed programs in the old
+//!   dialect.
+//! * **A generator config field was renamed or added**: nothing to bump —
+//!   the `Debug` rendering (and therefore the key) already changed; the old
+//!   entries are simply never found again.
 //! * **Integrity** — each artifact stores the key it was compiled for, the ISA
 //!   version, and a payload hash. A truncated file, a hand-edited field, a
 //!   hash-colliding key, or a version mismatch is detected at load time and

@@ -18,6 +18,12 @@
 use lsqca_circuit::register::RegisterRole;
 use lsqca_circuit::{Circuit, Qubit};
 
+/// Emission-logic revision of this generator, part of the workload-cache
+/// key (see `lsqca_workloads::cache`). Bump it whenever the circuit emitted
+/// for an *unchanged* configuration changes, so stale cached artifacts are
+/// invalidated; a config-field change already changes the key by itself.
+pub const REVISION: u32 = 1;
+
 /// Parameters of the multiplier benchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MultiplierConfig {

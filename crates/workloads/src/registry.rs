@@ -164,10 +164,29 @@ impl BenchmarkConfig {
         }
     }
 
-    /// A content-accurate cache-key descriptor: the generator name plus every
-    /// parameter value.
+    /// Emission-logic revision of the generator this configuration names.
+    /// Part of the cache key: bumping a generator's `REVISION` invalidates
+    /// that generator's cached artifacts (and only those) even when the
+    /// configuration is unchanged — the footgun a `Debug`-rendered config
+    /// alone cannot catch. See `crate::cache` for the
+    /// revision-vs-`ISA_VERSION` bump rule.
+    pub fn revision(&self) -> u32 {
+        match self {
+            BenchmarkConfig::Adder(_) => crate::adder::REVISION,
+            BenchmarkConfig::Bv(_) => crate::bv::REVISION,
+            BenchmarkConfig::Cat(_) => crate::cat::REVISION,
+            BenchmarkConfig::Ghz(_) => crate::ghz::REVISION,
+            BenchmarkConfig::Multiplier(_) => crate::multiplier::REVISION,
+            BenchmarkConfig::SquareRoot(_) => crate::square_root::REVISION,
+            BenchmarkConfig::Select(_) => crate::select::REVISION,
+        }
+    }
+
+    /// A content-accurate cache-key descriptor: the generator name, every
+    /// parameter value, and the generator's emission-logic
+    /// [`revision`](Self::revision).
     pub fn descriptor(&self) -> String {
-        format!("{self:?}")
+        format!("{self:?}#rev{}", self.revision())
     }
 }
 
@@ -245,6 +264,25 @@ mod tests {
         }
         assert_eq!(Benchmark::from_name("select"), Some(Benchmark::Select));
         assert_eq!(Benchmark::from_name("nope"), None);
+    }
+
+    #[test]
+    fn descriptors_carry_the_generator_revision() {
+        for b in Benchmark::ALL {
+            let cfg = b.config(InstanceSize::Reduced);
+            let descriptor = cfg.descriptor();
+            assert!(
+                descriptor.ends_with(&format!("#rev{}", cfg.revision())),
+                "descriptor `{descriptor}` must end with the revision suffix"
+            );
+            // A revision bump would change the descriptor (and therefore the
+            // cache key) without any config change.
+            let bumped = descriptor.replace(
+                &format!("#rev{}", cfg.revision()),
+                &format!("#rev{}", cfg.revision() + 1),
+            );
+            assert_ne!(descriptor, bumped);
+        }
     }
 
     #[test]

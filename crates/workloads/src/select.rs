@@ -31,6 +31,12 @@ use lsqca_circuit::register::RegisterRole;
 use lsqca_circuit::{Circuit, Qubit};
 use lsqca_lattice::Pauli;
 
+/// Emission-logic revision of this generator, part of the workload-cache
+/// key (see `lsqca_workloads::cache`). Bump it whenever the circuit emitted
+/// for an *unchanged* configuration changes, so stale cached artifacts are
+/// invalidated; a config-field change already changes the key by itself.
+pub const REVISION: u32 = 1;
+
 /// A nearest-neighbour 2-D Heisenberg model on an `L×L` square lattice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HeisenbergModel {

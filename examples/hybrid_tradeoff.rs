@@ -1,6 +1,7 @@
 //! Hybrid floorplans: sweep the conventional-region fraction `f` and print the
 //! memory-density / execution-time trade-off curve of Fig. 14 for one
-//! benchmark.
+//! benchmark, then compare the runtime hot-set migration policies (static /
+//! LRU / frequency-decay) at a fixed fraction.
 //!
 //! ```text
 //! cargo run --release --example hybrid_tradeoff [benchmark] [factories]
@@ -60,5 +61,45 @@ fn main() {
     println!(
         "\nreading the curve: f = 0 is pure LSQCA (highest density), f = 1 matches the \
          conventional baseline (50% density, 1.00x time)."
+    );
+
+    // Runtime migration: same floorplan and hot-set budget, but the policy
+    // may promote/demote qubits between the conventional region and the SAM
+    // at runtime. `static` is the compile-time hot set above.
+    let fraction = 0.10;
+    println!("\nmigration policies at f = {fraction:.2} (Point #SAM=1 and DualPoint #SAM=1):");
+    println!(
+        "{:>28} {:>11} {:>11} {:>11} {:>11} {:>11}",
+        "policy", "beats", "seek beats", "migrations", "mig beats", "vs static"
+    );
+    for floorplan in [
+        FloorplanKind::PointSam { banks: 1 },
+        FloorplanKind::DualPointSam { banks: 1 },
+    ] {
+        let base = ExperimentConfig::new(floorplan, factories).with_hybrid_fraction(fraction);
+        let runs = PolicyKind::ALL
+            .map(|policy| (policy, workload.run(&base.clone().with_migration(policy))));
+        let pinned = &runs
+            .iter()
+            .find(|(policy, _)| *policy == PolicyKind::Static)
+            .expect("PolicyKind::ALL contains the static baseline")
+            .1;
+        for (policy, result) in &runs {
+            println!(
+                "{:>28} {:>11} {:>11} {:>11} {:>11} {:>10.2}x",
+                format!("{} {}", floorplan.label(), policy),
+                result.total_beats.as_u64(),
+                result.stats.memory_access_beats.as_u64(),
+                result.stats.migrations,
+                result.stats.migration_beats.as_u64(),
+                result.total_beats.as_f64() / pinned.total_beats.as_f64().max(1.0),
+            );
+        }
+    }
+    println!(
+        "\nreading the policies: `lru` promotes on every cold access (zero seeks, heavy \
+         migration traffic); `freq-decay` promotes only when a decayed access-frequency \
+         score overtakes the coldest pinned qubit — fewer seeks than `static` at a \
+         fraction of `lru`'s migration cost."
     );
 }

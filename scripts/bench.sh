@@ -15,9 +15,17 @@
 #   CRITERION_JSON=out.ndjson scripts/bench.sh   # also dump raw ndjson records
 #
 # Environment:
-#   LSQCA_BENCH_TOLERANCE   fractional end-to-end ns/instruction regression
-#                           allowed by --quick before failing (default 0.25,
-#                           i.e. >25% slower than BENCH_hotpath.json fails)
+#   LSQCA_BENCH_TOLERANCE   fractional end-to-end regression allowed by
+#                           --quick before failing (default 0.25, i.e. >25%
+#                           slower than BENCH_hotpath.json fails). The gate is
+#                           machine-independent: both the baseline and the
+#                           fresh report carry a calibration measurement (the
+#                           frozen legacy BFS) taken in the same run, and the
+#                           comparison is on ns_per_instruction/calibration
+#                           *ratios*, so a slower CI runner shifts both sides
+#                           equally. If the baseline predates the calibration
+#                           field, the gate falls back to absolute
+#                           ns/instruction with a warning.
 #
 # Outputs:
 #   BENCH_hotpath.json   stable-schema (lsqca-bench-hotpath-v1) baseline with
@@ -40,8 +48,10 @@ validate_hotpath_json() {
     '"residence_lookup"' \
     '"nearest_vacant"' \
     '"relocate"' \
+    '"ring_removal"' \
     '"vacant_path"' \
     '"latency_class"' \
+    '"calibration_ns_per_op"' \
     '"ns_per_instruction"'; do
     if ! grep -qF "$needle" "$file"; then
       echo "error: $file is missing $needle (schema lsqca-bench-hotpath-v1)" >&2
@@ -73,12 +83,39 @@ extract_end_to_end() {
   ' "$1"
 }
 
-# Fails if any end-to-end ns/instruction in $2 regressed more than the
-# tolerance fraction against the committed baseline $1.
+# Extracts the same-machine calibration measurement from a hotpath JSON
+# document; empty when the document predates the field.
+extract_calibration() {
+  awk '
+    /"calibration_ns_per_op":/ {
+      line = $0
+      sub(/.*"calibration_ns_per_op": */, "", line)
+      sub(/,.*/, "", line)
+      print line
+      exit
+    }
+  ' "$1"
+}
+
+# Fails if any end-to-end measurement in $2 regressed more than the tolerance
+# fraction against the committed baseline $1. Both reports carry a
+# calibration measurement taken in the same run, and the gate compares
+# ns_per_instruction/calibration ratios, so the result does not depend on the
+# absolute speed of the machine the baseline was recorded on.
 check_regression() {
   local baseline="$1" fresh="$2"
   local tolerance="${LSQCA_BENCH_TOLERANCE:-0.25}"
   local ok=0
+  local base_cal fresh_cal
+  base_cal="$(extract_calibration "$baseline")"
+  fresh_cal="$(extract_calibration "$fresh")"
+  if [[ -z "$base_cal" || -z "$fresh_cal" ]]; then
+    echo "warning: calibration missing from baseline; falling back to absolute ns/instruction" >&2
+    base_cal=1
+    fresh_cal=1
+  else
+    echo "  calibration: fresh ${fresh_cal} ns/op vs baseline ${base_cal} ns/op (gating on ratios)"
+  fi
   while IFS=$'\t' read -r floorplan base_ns; do
     local fresh_ns
     fresh_ns="$(extract_end_to_end "$fresh" | awk -F'\t' -v fp="$floorplan" '$1 == fp { print $2 }')"
@@ -87,9 +124,10 @@ check_regression() {
       ok=1
       continue
     fi
-    if awk -v base="$base_ns" -v fresh="$fresh_ns" -v tol="$tolerance" \
-         'BEGIN { exit !(fresh > base * (1 + tol)) }'; then
-      echo "error: end-to-end regression on '$floorplan': ${fresh_ns} ns/instruction vs baseline ${base_ns} (tolerance ${tolerance})" >&2
+    if awk -v base="$base_ns" -v fresh="$fresh_ns" \
+         -v bcal="$base_cal" -v fcal="$fresh_cal" -v tol="$tolerance" \
+         'BEGIN { exit !((fresh / fcal) > (base / bcal) * (1 + tol)) }'; then
+      echo "error: end-to-end regression on '$floorplan': ${fresh_ns} ns/instruction (calibration ${fresh_cal}) vs baseline ${base_ns} (calibration ${base_cal}, tolerance ${tolerance})" >&2
       ok=1
     else
       echo "  ${floorplan}: ${fresh_ns} ns/instruction (baseline ${base_ns}) OK"
