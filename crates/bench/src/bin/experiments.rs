@@ -38,6 +38,16 @@
 //! performs zero compilation on the second run. A one-line cache summary is
 //! printed to stderr after every command; delete the cache directory (or run
 //! with `LSQCA_NO_CACHE=1`) to force recompilation.
+//!
+//! Simulation results are likewise persisted to a crash-safe result store
+//! (default `target/lsqca-store/`, override with `--store-dir`/`LSQCA_STORE_DIR`,
+//! disable with `--no-store`/`LSQCA_NO_STORE=1`). Every point is journaled and
+//! durably written before use, so an invocation killed mid-sweep loses at most
+//! the in-flight points: rerunning the same command picks up the stored
+//! results and produces the same report, and `--resume` prints a journal
+//! audit (intact/torn/missing record counts) before doing so. A one-line
+//! `result store: N computed, M hits, K quarantined` summary is printed to
+//! stderr after every command.
 
 use lsqca_bench::{
     ablation, fig08, fig13, fig14, fig15, headline, hotpath, hybrid_migrate, table1, Scale,
@@ -61,7 +71,7 @@ const COMMANDS: [&str; 10] = [
 
 fn usage_line() -> String {
     format!(
-        "usage: experiments <{}> [--full] [--json]",
+        "usage: experiments <{}> [--full] [--json] [--store-dir <dir>] [--no-store] [--resume]",
         COMMANDS.join("|")
     )
 }
@@ -79,10 +89,22 @@ fn main() -> ExitCode {
     let mut command: Option<&str> = None;
     let mut full = false;
     let mut json = false;
-    for arg in &args {
+    let mut no_store = false;
+    let mut store_dir: Option<String> = None;
+    let mut resume = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--full" => full = true,
             "--json" => json = true,
+            "--no-store" => no_store = true,
+            "--resume" => resume = true,
+            "--store-dir" => {
+                let Some(dir) = iter.next() else {
+                    return usage("`--store-dir` requires a directory argument");
+                };
+                store_dir = Some(dir.clone());
+            }
             "--help" | "-h" => {
                 println!("{}", usage_line());
                 return ExitCode::SUCCESS;
@@ -104,6 +126,25 @@ fn main() -> ExitCode {
     let Some(command) = command else {
         return usage("missing command");
     };
+    if resume && no_store {
+        return usage("`--resume` needs the result store; drop `--no-store`");
+    }
+
+    // The store flags travel to `lsqca_bench::result_store()` via the same
+    // environment variables a wrapper script would set; the store is
+    // initialized lazily on first use, strictly after this point.
+    if no_store {
+        std::env::set_var("LSQCA_NO_STORE", "1");
+    }
+    if let Some(dir) = &store_dir {
+        std::env::set_var("LSQCA_STORE_DIR", dir);
+    }
+    if resume {
+        // Audit the shard journals against the records on disk before the
+        // sweeps run: intact records will be served as hits, torn or missing
+        // ones recomputed.
+        eprintln!("{}", lsqca_bench::result_store().verify_resume());
+    }
 
     let scale = Scale::from_flag(full);
     let factories: Vec<u32> = if full {
@@ -204,5 +245,6 @@ fn main() -> ExitCode {
     // Stderr so `--json` stdout stays machine-readable; `table1` compiles no
     // workloads, everything else reports its compile/hit split here.
     eprintln!("{}", lsqca_bench::cache_summary());
+    eprintln!("{}", lsqca_bench::store_summary());
     ExitCode::SUCCESS
 }

@@ -21,6 +21,7 @@ use lsqca::experiment::Workload;
 use lsqca::prelude::*;
 use lsqca::workloads::{Benchmark, BenchmarkConfig, InstanceSize};
 use lsqca_json::{Json, ToJson};
+use lsqca_store::ResultStore;
 
 pub mod hotpath;
 pub mod par;
@@ -104,6 +105,63 @@ pub fn cached_workload_with(
 ) -> Workload {
     let (artifact, _) = workload_cache().load_or_compile(descriptor, config, build);
     Workload::from_artifact(artifact)
+}
+
+/// The process-wide crash-safe result store every sweep driver runs through
+/// (`$LSQCA_STORE_DIR` / `$LSQCA_NO_STORE` aware; see `lsqca_store`). A second
+/// `experiments` invocation over the same sweep performs zero simulation, and
+/// a SIGKILLed invocation resumes from its journal.
+pub fn result_store() -> &'static ResultStore {
+    static STORE: std::sync::OnceLock<ResultStore> = std::sync::OnceLock::new();
+    STORE.get_or_init(ResultStore::from_env)
+}
+
+/// One-line summary of this process's result-store activity, for operator
+/// output (mirrors [`cache_summary`]).
+pub fn store_summary() -> String {
+    let store = result_store();
+    match (store.dir(), store.is_degraded()) {
+        (Some(dir), false) => format!("result store: {} ({})", store.stats(), dir.display()),
+        (Some(dir), true) => format!(
+            "result store: {} (degraded to memory; {})",
+            store.stats(),
+            dir.display()
+        ),
+        (None, _) => format!("result store: disabled; {}", store.stats()),
+    }
+}
+
+/// Runs `workload` under `config` through the process-wide result store:
+/// a verified stored record skips the simulation entirely, a computed result
+/// is published durably before being returned.
+///
+/// Trace-recording configurations bypass the store — traces are not persisted
+/// and a trace-hungry caller (fig. 8) must always simulate.
+pub fn stored_run(workload: &Workload, config: &ExperimentConfig) -> ExperimentResult {
+    stored_run_in(result_store(), workload, config)
+}
+
+/// [`stored_run`] against an explicit store — the fault-injection and
+/// kill-resume tests drive this with a [`lsqca_store::FaultyIo`] backend.
+pub fn stored_run_in(
+    store: &ResultStore,
+    workload: &Workload,
+    config: &ExperimentConfig,
+) -> ExperimentResult {
+    if config.sim.record_trace {
+        return workload.run(config);
+    }
+    let key = workload.result_key(config);
+    let (payload, _event) = store.load_or_compute(&key, || workload.run(config).stats.to_json());
+    match ExecutionStats::from_json(&payload) {
+        // Both the hit and the computed path reconstruct the result from the
+        // stored payload, so a resumed sweep is byte-identical to a clean one
+        // by construction.
+        Ok(stats) => workload.result_from_stats(config, stats),
+        // Unreachable past the record checksum (the payload schema is part of
+        // the result key), but never trust a store over a recomputation.
+        Err(_) => workload.run(config),
+    }
 }
 
 /// The factory counts evaluated in the paper's figures.
@@ -262,7 +320,8 @@ pub mod fig08 {
         let config = ExperimentConfig::baseline(1)
             .with_trace()
             .with_infinite_magic();
-        let result = workload.run(&config);
+        // Trace-recording config: `stored_run` always simulates this one.
+        let result = crate::stored_run(&workload, &config);
         let report =
             AccessLocalityReport::from_trace(&result.trace, Some(result.stats.magic_states));
         BenchmarkLocality {
@@ -407,7 +466,7 @@ pub mod fig13 {
         }
         crate::par::par_map(&jobs, |&(i, benchmark, factories, floorplan)| {
             let config = ExperimentConfig::new(floorplan, factories);
-            let result = workloads[i].run(&config);
+            let result = crate::stored_run(&workloads[i], &config);
             Point {
                 benchmark: benchmark.name().to_string(),
                 floorplan: floorplan.label(),
@@ -513,7 +572,7 @@ pub mod fig14 {
             }
         }
         let baselines = crate::par::par_map(&baseline_keys, |&(i, factories)| {
-            workloads[i].run(&ExperimentConfig::baseline(factories))
+            crate::stored_run(&workloads[i], &ExperimentConfig::baseline(factories))
         });
         let baseline_of = |i: usize, f_idx: usize| &baselines[i * factories.len() + f_idx];
 
@@ -533,7 +592,7 @@ pub mod fig14 {
                 let fraction = (step as f64 * fraction_step).min(1.0);
                 let config =
                     ExperimentConfig::new(floorplan, factories).with_hybrid_fraction(fraction);
-                let result = workloads[i].run(&config);
+                let result = crate::stored_run(&workloads[i], &config);
                 Point {
                     benchmark: benchmark.name().to_string(),
                     floorplan: floorplan.label(),
@@ -682,7 +741,7 @@ pub mod fig15 {
             }
         }
         let baselines = crate::par::par_map(&baseline_keys, |&(i, factories)| {
-            instances[i].2.run(&ExperimentConfig::baseline(factories))
+            crate::stored_run(&instances[i].2, &ExperimentConfig::baseline(factories))
         });
 
         let mut jobs = Vec::new();
@@ -698,9 +757,10 @@ pub mod fig15 {
             let (qubits, hybrid_fraction, ref workload) = instances[i];
             let baseline = &baselines[i * factory_count + f_idx];
             // Plain LSQCA.
-            let plain = workload.run(&ExperimentConfig::new(floorplan, factories));
+            let plain = crate::stored_run(workload, &ExperimentConfig::new(floorplan, factories));
             // Hybrid: pin control + temporal registers.
-            let hybrid = workload.run(
+            let hybrid = crate::stored_run(
+                workload,
                 &ExperimentConfig::new(floorplan, factories)
                     .with_hybrid_fraction(hybrid_fraction)
                     .with_hot_set(HotSetStrategy::ByRole(vec![
@@ -856,7 +916,7 @@ pub mod hybrid_migrate {
                 .map(|&policy| {
                     (
                         policy,
-                        workloads[i].run(&base.clone().with_migration(policy)),
+                        crate::stored_run(&workloads[i], &base.clone().with_migration(policy)),
                     )
                 })
                 .collect();
@@ -995,13 +1055,13 @@ pub mod ablation {
                 // two ablation arms get distinct artifacts.
                 let workload =
                     crate::cached_workload_with(&cfg.descriptor(), compiler, || cfg.build());
-                let baseline = workload.run(&ExperimentConfig::baseline(1));
+                let baseline = crate::stored_run(&workload, &ExperimentConfig::baseline(1));
                 for locality in [true, false] {
                     let mut config = ExperimentConfig::new(floorplan, 1);
                     if !locality {
                         config = config.with_home_store();
                     }
-                    let result = workload.run(&config);
+                    let result = crate::stored_run(&workload, &config);
                     points.push(Point {
                         benchmark: benchmark.name().to_string(),
                         floorplan: floorplan.label(),
@@ -1099,7 +1159,14 @@ pub mod headline {
                 cfg.build()
             });
         let config = ExperimentConfig::new(FloorplanKind::LineSam { banks: 1 }, 1);
-        let (lsqca, baseline) = workload.run_with_baseline(&config);
+        let lsqca = crate::stored_run(&workload, &config);
+        let baseline = crate::stored_run(
+            &workload,
+            &ExperimentConfig {
+                floorplan: FloorplanKind::Conventional,
+                ..config.clone()
+            },
+        );
         claims.push(Claim {
             description: "multiplier, Line SAM (1 bank), 1 MSF".to_string(),
             paper_density: 0.87,
@@ -1128,7 +1195,14 @@ pub mod headline {
                 RegisterRole::Control,
                 RegisterRole::Temporal,
             ]));
-        let (lsqca, baseline) = workload.run_with_baseline(&config);
+        let lsqca = crate::stored_run(&workload, &config);
+        let baseline = crate::stored_run(
+            &workload,
+            &ExperimentConfig {
+                floorplan: FloorplanKind::Conventional,
+                ..config.clone()
+            },
+        );
         claims.push(Claim {
             description: format!("SELECT width {width}, Hybrid Point SAM, 1 MSF"),
             paper_density: 0.92,

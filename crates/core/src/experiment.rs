@@ -212,6 +212,56 @@ impl Workload {
         }
     }
 
+    /// The content-addressed result-store key for running this workload under
+    /// `config`.
+    ///
+    /// The key covers everything the resulting statistics depend on: the full
+    /// compiled-workload identity (the generator/compiler descriptor, pinned
+    /// to the exact instruction stream by the payload hash), the complete
+    /// experiment configuration (floorplan, factories, hybrid fraction,
+    /// hot-set strategy, store policy, migration policy, simulator options,
+    /// via `Debug`), the instruction-set version, and the
+    /// simulation-semantics revision ([`lsqca_sim::RESULTS_REVISION`]) plus
+    /// the stats payload schema. Changing any of them changes the key, so
+    /// stale records are simply never found again — the same invalidation
+    /// contract as the workload cache.
+    pub fn result_key(&self, config: &ExperimentConfig) -> String {
+        format!(
+            "{}|payload={:016x}|experiment={:?}|isa=v{}|sim=r{}|stats={}",
+            self.artifact.descriptor(),
+            self.artifact.payload_hash(),
+            config,
+            lsqca_isa::ISA_VERSION,
+            lsqca_sim::RESULTS_REVISION,
+            lsqca_sim::STATS_SCHEMA,
+        )
+    }
+
+    /// Reconstructs the [`ExperimentResult`] for `config` from previously
+    /// computed statistics (a result-store hit) without simulating. Every
+    /// derived field (CPI, hot-set size, labels) is recomputed exactly as
+    /// [`Workload::run`] computes it, so a reconstructed result is
+    /// indistinguishable from a fresh one — except the memory trace, which is
+    /// not persisted and comes back empty (store-backed runners bypass the
+    /// store when tracing is enabled).
+    pub fn result_from_stats(
+        &self,
+        config: &ExperimentConfig,
+        stats: ExecutionStats,
+    ) -> ExperimentResult {
+        ExperimentResult {
+            workload: self.artifact.program.name().to_string(),
+            config_label: config.label(),
+            total_beats: stats.total_beats,
+            cpi: stats.cpi(),
+            memory_density: stats.memory_density,
+            total_cells: stats.total_cells,
+            hot_qubits: self.hot_qubits(config).len() as u32,
+            stats,
+            trace: MemoryTrace::new(),
+        }
+    }
+
     /// Simulates this workload (compiled exactly once, at construction or
     /// cache-load time) under `config`.
     ///
@@ -436,6 +486,46 @@ mod tests {
                 .with_migration(PolicyKind::FreqDecay),
         );
         assert_eq!(adaptive.stats, again.stats);
+    }
+
+    #[test]
+    fn reconstructed_results_match_fresh_runs() {
+        let w = workload();
+        let config = ExperimentConfig::new(FloorplanKind::PointSam { banks: 1 }, 1)
+            .with_hybrid_fraction(0.25);
+        let fresh = w.run(&config);
+        let rebuilt = w.result_from_stats(&config, fresh.stats.clone());
+        // Traces are not persisted; everything else must be identical.
+        assert!(rebuilt.trace.is_empty());
+        let mut fresh_no_trace = fresh.clone();
+        fresh_no_trace.trace = lsqca_sim::MemoryTrace::new();
+        assert_eq!(rebuilt, fresh_no_trace);
+    }
+
+    #[test]
+    fn result_keys_cover_workload_and_configuration() {
+        let w = workload();
+        let config = ExperimentConfig::new(FloorplanKind::PointSam { banks: 1 }, 1);
+        let key = w.result_key(&config);
+        assert_eq!(key, w.result_key(&config), "keys are deterministic");
+        assert!(key.contains("sim=r"));
+        assert!(key.contains("isa=v"), "artifact descriptor embeds the ISA");
+        // Any configuration change must change the key.
+        assert_ne!(key, w.result_key(&config.clone().with_hybrid_fraction(0.5)));
+        assert_ne!(
+            key,
+            w.result_key(&ExperimentConfig::new(
+                FloorplanKind::LineSam { banks: 1 },
+                1
+            ))
+        );
+        assert_ne!(
+            key,
+            w.result_key(&config.clone().with_migration(PolicyKind::Lru))
+        );
+        // A different workload must change the key.
+        let other = Workload::from_circuit(Benchmark::Cat.reduced_instance());
+        assert_ne!(key, other.result_key(&config));
     }
 
     #[test]

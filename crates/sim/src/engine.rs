@@ -9,33 +9,76 @@ use lsqca_lattice::{Beats, LatticeError, QubitTag};
 use lsqca_workloads::CompiledWorkload;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// An error raised while executing a program (a malformed instruction stream,
-/// e.g. an in-memory operation on a qubit that is checked out to the CR).
+/// Number of simulation runs performed by this process (every entry into
+/// [`Simulator::run_classified`], which all run paths funnel through). The
+/// warm-store acceptance tests assert this stays flat across a sweep served
+/// entirely from the result store.
+static SIM_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Total simulation runs performed by this process so far.
+pub fn simulation_count() -> u64 {
+    SIM_COUNT.load(Ordering::Relaxed)
+}
+
+/// An error raised by the simulator: an invalid configuration rejected at
+/// construction, or a malformed instruction stream rejected during execution
+/// (e.g. an in-memory operation on a qubit that is checked out to the CR).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SimError {
-    /// Index of the offending instruction in the program.
-    pub index: usize,
-    /// The offending instruction; rendered as text only when the error is
-    /// displayed, so the happy path never formats anything.
-    pub instruction: Instruction,
-    /// The underlying memory-system error.
-    pub source: LatticeError,
+pub enum SimError {
+    /// An instruction failed against the memory state.
+    Instruction {
+        /// Index of the offending instruction in the program.
+        index: usize,
+        /// The offending instruction; rendered as text only when the error is
+        /// displayed, so the happy path never formats anything.
+        instruction: Instruction,
+        /// The underlying memory-system error.
+        source: LatticeError,
+    },
+    /// The architecture bounds CR registers but provides zero register slots,
+    /// so no `CX` (or any register-dependent instruction) could ever be
+    /// scheduled. Detected at [`Simulator::try_new`] so a sweep fails before
+    /// executing a single instruction instead of panicking mid-program.
+    NoCrSlots {
+        /// Debug rendering of the offending floorplan.
+        floorplan: String,
+    },
+}
+
+impl SimError {
+    /// Index of the offending instruction, when the error is tied to one.
+    pub fn instruction_index(&self) -> Option<usize> {
+        match self {
+            SimError::Instruction { index, .. } => Some(*index),
+            SimError::NoCrSlots { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "instruction {} (`{}`) failed: {}",
-            self.index, self.instruction, self.source
-        )
+        match self {
+            SimError::Instruction {
+                index,
+                instruction,
+                source,
+            } => write!(f, "instruction {index} (`{instruction}`) failed: {source}"),
+            SimError::NoCrSlots { floorplan } => write!(
+                f,
+                "floorplan {floorplan} bounds CR registers but provides no register slot"
+            ),
+        }
     }
 }
 
 impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
-        Some(&self.source)
+        match self {
+            SimError::Instruction { source, .. } => Some(source),
+            SimError::NoCrSlots { .. } => None,
+        }
     }
 }
 
@@ -87,12 +130,37 @@ impl Simulator {
     ///
     /// `hot_qubits` lists the qubits pinned into the conventional region of a
     /// hybrid floorplan (see [`MemorySystem::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`Simulator::try_new`] for
+    /// the fallible form).
     pub fn new(
         arch: &ArchConfig,
         num_qubits: u32,
         hot_qubits: &[QubitTag],
         config: SimConfig,
     ) -> Self {
+        match Self::try_new(arch, num_qubits, hot_qubits, config) {
+            Ok(simulator) => simulator,
+            Err(err) => panic!("invalid simulator configuration: {err}"),
+        }
+    }
+
+    /// Builds a simulator, rejecting invalid configurations with a typed
+    /// [`SimError`] instead of panicking mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoCrSlots`] if the architecture bounds CR registers
+    /// (a non-conventional floorplan with at least one bank) yet provides zero
+    /// register slots, a state no instruction stream could execute under.
+    pub fn try_new(
+        arch: &ArchConfig,
+        num_qubits: u32,
+        hot_qubits: &[QubitTag],
+        config: SimConfig,
+    ) -> Result<Self, SimError> {
         let memory = MemorySystem::new(arch, num_qubits, hot_qubits);
         let magic = Self::build_magic(arch);
         let bank_count = memory.bank_count();
@@ -109,7 +177,12 @@ impl Simulator {
         // (f = 1) degenerates to the same baseline, matching the paper's
         // statement that the f = 1 endpoint is the conventional floorplan.
         let unbounded_registers = arch.floorplan.is_conventional() || bank_count == 0;
-        Simulator {
+        if !unbounded_registers && cr_slots == 0 {
+            return Err(SimError::NoCrSlots {
+                floorplan: format!("{:?}", arch.floorplan),
+            });
+        }
+        Ok(Simulator {
             unbounded_registers,
             arch: arch.clone(),
             num_qubits,
@@ -125,7 +198,7 @@ impl Simulator {
             bank_ready: vec![Beats::ZERO; bank_count],
             skip_guard: None,
             latency_table: LatencyTable::paper(),
-        }
+        })
     }
 
     /// The magic-state supply for `arch`, shared by construction and reset.
@@ -311,6 +384,7 @@ impl Simulator {
             program.len(),
             "latency-class vector is not parallel to the program"
         );
+        SIM_COUNT.fetch_add(1, Ordering::Relaxed);
         if self.dirty {
             self.reset();
         }
@@ -324,7 +398,7 @@ impl Simulator {
         let mut makespan = Beats::ZERO;
 
         for (index, instr) in program.iter().enumerate() {
-            let wrap = |source: LatticeError| SimError {
+            let wrap = |source: LatticeError| SimError::Instruction {
                 index,
                 instruction: *instr,
                 source,
@@ -370,13 +444,21 @@ impl Simulator {
             // An optimized CX claims one CR slot for its surgery ancilla.
             let mut cx_slot: Option<usize> = None;
             if matches!(instr, Instruction::Cx { .. }) && !self.unbounded_registers {
-                let (slot, ready) = self
+                // Construction ([`Simulator::try_new`]) rejects the bounded-
+                // registers-with-zero-slots state, so a slot always exists;
+                // the `else` keeps the error typed instead of panicking if
+                // that invariant is ever broken.
+                let Some((slot, ready)) = self
                     .slot_ready
                     .iter()
                     .copied()
                     .enumerate()
                     .min_by_key(|&(_, t)| t)
-                    .expect("at least one CR slot");
+                else {
+                    return Err(SimError::NoCrSlots {
+                        floorplan: format!("{:?}", self.arch.floorplan),
+                    });
+                };
                 start = start.max(ready);
                 cx_slot = Some(slot);
             }
@@ -740,8 +822,25 @@ mod tests {
         });
         let mut simulator = Simulator::new(&point(1), 4, &[], SimConfig::default());
         let err = simulator.run(&program).unwrap_err();
-        assert_eq!(err.index, 1);
+        assert_eq!(err.instruction_index(), Some(1));
         assert!(err.to_string().contains("LD"));
+    }
+
+    #[test]
+    fn construction_is_validated_up_front() {
+        // Every floorplan the architecture model can currently express either
+        // bounds registers with at least `MIN_CR_SLOTS` slots or lifts the
+        // bound entirely, so `try_new` accepts them all; the typed error is
+        // the contract for configurations that violate the invariant.
+        let simulator = Simulator::try_new(&point(1), 4, &[], SimConfig::default());
+        assert!(simulator.is_ok());
+
+        let err = SimError::NoCrSlots {
+            floorplan: "PointSam { banks: 1 }".to_string(),
+        };
+        assert_eq!(err.instruction_index(), None);
+        assert!(err.to_string().contains("no register slot"));
+        assert!(std::error::Error::source(&err).is_none());
     }
 
     #[test]
@@ -841,10 +940,13 @@ mod tests {
         });
         let mut simulator = Simulator::new(&point(1), 4, &[], SimConfig::default());
         let err = simulator.run(&program).unwrap_err();
-        assert_eq!(err.index, 2);
+        assert_eq!(err.instruction_index(), Some(2));
         assert!(matches!(
-            err.source,
-            lsqca_lattice::LatticeError::QubitAlreadyPlaced { .. }
+            err,
+            SimError::Instruction {
+                source: lsqca_lattice::LatticeError::QubitAlreadyPlaced { .. },
+                ..
+            }
         ));
         assert!(err.to_string().contains("ST"));
     }

@@ -52,6 +52,15 @@ pub mod metrics;
 pub mod trace;
 
 pub use config::SimConfig;
-pub use engine::{simulate, SimOutcome, Simulator};
-pub use metrics::ExecutionStats;
+pub use engine::{simulate, simulation_count, SimError, SimOutcome, Simulator};
+pub use metrics::{ExecutionStats, StatsDecodeError, STATS_SCHEMA};
 pub use trace::{MemoryTrace, TraceEvent};
+
+/// Revision of the simulation semantics, mixed into every result-store key.
+///
+/// Bump this whenever a change anywhere in the simulation stack (scheduler,
+/// memory model, latency table, migration policies) alters the numbers a run
+/// produces for an unchanged workload and configuration; stored records keyed
+/// under the old revision then become unreachable and every point recomputes,
+/// exactly like `ISA_VERSION` invalidates compiled-workload artifacts.
+pub const RESULTS_REVISION: u32 = 1;

@@ -1,7 +1,11 @@
 //! Execution statistics reported by the simulator.
 
+use lsqca_json::{Json, ToJson};
 use lsqca_lattice::Beats;
 use std::fmt;
+
+/// Schema tag of the serialized-stats payload stored per sweep point.
+pub const STATS_SCHEMA: &str = "lsqca-stats-v1";
 
 /// Result metrics of one simulation run.
 ///
@@ -84,7 +88,106 @@ impl ExecutionStats {
             Some(self.total_beats.as_f64() / self.magic_states as f64)
         }
     }
+
+    /// Decodes stats serialized by [`ToJson::to_json`]. The field list is
+    /// exact: a missing or extra field (a payload from a different stats
+    /// revision) is rejected so the result store recomputes instead of
+    /// silently zero-filling.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending field (or schema) name.
+    pub fn from_json(doc: &Json) -> Result<Self, StatsDecodeError> {
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or(StatsDecodeError { field: "schema" })?;
+        if schema != STATS_SCHEMA {
+            return Err(StatsDecodeError { field: "schema" });
+        }
+        let beats = |field| {
+            doc.get(field)
+                .and_then(Json::as_u64)
+                .map(Beats)
+                .ok_or(StatsDecodeError { field })
+        };
+        let count = |field| {
+            doc.get(field)
+                .and_then(Json::as_u64)
+                .ok_or(StatsDecodeError { field })
+        };
+        Ok(ExecutionStats {
+            total_beats: beats("total_beats")?,
+            instruction_count: count("instruction_count")?,
+            command_count: count("command_count")?,
+            magic_states: count("magic_states")?,
+            memory_density: doc.get("memory_density").and_then(Json::as_f64).ok_or(
+                StatsDecodeError {
+                    field: "memory_density",
+                },
+            )?,
+            total_cells: count("total_cells")?,
+            loads: count("loads")?,
+            stores: count("stores")?,
+            implicit_loads: count("implicit_loads")?,
+            implicit_stores: count("implicit_stores")?,
+            in_memory_ops: count("in_memory_ops")?,
+            magic_wait_beats: beats("magic_wait_beats")?,
+            memory_access_beats: beats("memory_access_beats")?,
+            migrations: count("migrations")?,
+            migration_beats: beats("migration_beats")?,
+        })
+    }
 }
+
+impl ToJson for ExecutionStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Str(STATS_SCHEMA.to_string())),
+            ("total_beats", Json::U64(self.total_beats.as_u64())),
+            ("instruction_count", Json::U64(self.instruction_count)),
+            ("command_count", Json::U64(self.command_count)),
+            ("magic_states", Json::U64(self.magic_states)),
+            ("memory_density", Json::F64(self.memory_density)),
+            ("total_cells", Json::U64(self.total_cells)),
+            ("loads", Json::U64(self.loads)),
+            ("stores", Json::U64(self.stores)),
+            ("implicit_loads", Json::U64(self.implicit_loads)),
+            ("implicit_stores", Json::U64(self.implicit_stores)),
+            ("in_memory_ops", Json::U64(self.in_memory_ops)),
+            (
+                "magic_wait_beats",
+                Json::U64(self.magic_wait_beats.as_u64()),
+            ),
+            (
+                "memory_access_beats",
+                Json::U64(self.memory_access_beats.as_u64()),
+            ),
+            ("migrations", Json::U64(self.migrations)),
+            ("migration_beats", Json::U64(self.migration_beats.as_u64())),
+        ])
+    }
+}
+
+/// A stats payload that does not decode: wrong schema tag, missing field, or
+/// a field of the wrong type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsDecodeError {
+    /// The first field (or the schema tag) that failed.
+    pub field: &'static str,
+}
+
+impl fmt::Display for StatsDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stats payload field `{}` is missing or invalid",
+            self.field
+        )
+    }
+}
+
+impl std::error::Error for StatsDecodeError {}
 
 impl fmt::Display for ExecutionStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -140,5 +243,38 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("CPI"));
         assert!(text.contains("density"));
+    }
+
+    #[test]
+    fn stats_round_trip_through_json() {
+        let mut s = stats(12345, 678);
+        s.memory_density = 0.3775;
+        s.magic_states = 42;
+        s.migration_beats = Beats(9);
+        let doc = s.to_json();
+        assert_eq!(ExecutionStats::from_json(&doc), Ok(s.clone()));
+        // The rendering itself round-trips too: what the store writes today a
+        // resumed process parses back to the identical payload.
+        let reparsed = lsqca_json::parse(&doc.pretty()).unwrap();
+        assert_eq!(ExecutionStats::from_json(&reparsed), Ok(s));
+    }
+
+    #[test]
+    fn stats_from_foreign_payloads_are_rejected() {
+        let missing = Json::obj([("schema", Json::Str(STATS_SCHEMA.to_string()))]);
+        assert_eq!(
+            ExecutionStats::from_json(&missing),
+            Err(StatsDecodeError {
+                field: "total_beats"
+            })
+        );
+        let mut wrong_schema = stats(1, 1).to_json();
+        if let Json::Obj(pairs) = &mut wrong_schema {
+            pairs[0].1 = Json::Str("lsqca-stats-v999".to_string());
+        }
+        assert_eq!(
+            ExecutionStats::from_json(&wrong_schema),
+            Err(StatsDecodeError { field: "schema" })
+        );
     }
 }

@@ -1,0 +1,94 @@
+//! Content hashing and filename slugging shared by the result store and the
+//! workload cache.
+
+/// Streaming FNV-1a 64-bit hasher; feeding chunks is equivalent to hashing
+/// their concatenation, so payloads never need to be materialized.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher in the initial state.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Feeds `bytes` into the hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut hash = self.0;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(Self::PRIME);
+        }
+        self.0 = hash;
+    }
+
+    /// The hash of everything fed so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// FNV-1a 64-bit hash of one buffer, the content hash of store and cache keys.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = Fnv1a::new();
+    hash.update(bytes);
+    hash.finish()
+}
+
+/// A filesystem-friendly prefix keeping store entries human-identifiable.
+pub fn slug(descriptor: &str) -> String {
+    let mut slug: String = descriptor
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    slug.truncate(48);
+    while slug.ends_with('-') {
+        slug.pop();
+    }
+    if slug.is_empty() {
+        slug.push_str("workload");
+    }
+    slug
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut streaming = Fnv1a::new();
+        streaming.update(b"foo");
+        streaming.update(b"bar");
+        assert_eq!(streaming.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn slugs_are_filesystem_friendly() {
+        assert_eq!(slug("Shor n=15 (toy)"), "shor-n-15--toy");
+        assert_eq!(slug("§§§"), "workload");
+        assert!(slug(&"x".repeat(100)).len() <= 48);
+    }
+}

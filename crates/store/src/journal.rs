@@ -1,0 +1,172 @@
+//! Append-only shard journal: the audit trail of which result records a sweep
+//! shard has durably published.
+//!
+//! Each successful record write appends one line; an interrupted process
+//! leaves at most one torn line at the tail (append then fsync), which the
+//! loader tolerates and reports instead of failing. On resume the journal
+//! tells the operator exactly where the previous run died and lets the store
+//! cross-check every journaled record against its on-disk checksum.
+
+use crate::io::StoreIo;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Journal line format version tag.
+const LINE_TAG: &str = "v1";
+
+/// One journal line: a record file the shard claims to have published.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Hex checksum the record carried when it was written.
+    pub checksum: String,
+    /// Record file name, relative to the store directory.
+    pub file: String,
+}
+
+/// Result of loading a journal, torn tail included.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct JournalLoad {
+    /// Entries parsed from well-formed lines, in append order.
+    pub entries: Vec<JournalEntry>,
+    /// Lines that did not parse — at most the final line after a kill, but
+    /// counted for all positions so tampering is visible too.
+    pub torn_lines: usize,
+}
+
+/// Append-only journal for one sweep shard.
+#[derive(Debug, Clone)]
+pub struct ShardJournal {
+    io: Arc<dyn StoreIo>,
+    path: PathBuf,
+}
+
+impl ShardJournal {
+    /// Journal for shard `label` inside `dir`.
+    pub fn new(io: Arc<dyn StoreIo>, dir: &Path, label: &str) -> Self {
+        ShardJournal {
+            io,
+            path: dir.join(format!("journal-{label}.log")),
+        }
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether `path` names a shard journal file.
+    pub fn is_journal_file(path: &Path) -> bool {
+        matches!(
+            path.file_name().and_then(|n| n.to_str()),
+            Some(name) if name.starts_with("journal-") && name.ends_with(".log")
+        )
+    }
+
+    /// Append one entry and fsync so the line survives a kill right after.
+    pub fn append(&self, entry: &JournalEntry) -> io::Result<()> {
+        let line = format!("{LINE_TAG} {} {}\n", entry.checksum, entry.file);
+        self.io.append(&self.path, line.as_bytes())?;
+        self.io.sync_file(&self.path)
+    }
+
+    /// Load all entries, tolerating a torn final line. A missing journal is an
+    /// empty one.
+    pub fn load(&self) -> io::Result<JournalLoad> {
+        match self.io.read(&self.path) {
+            Ok(text) => Ok(Self::parse(&text)),
+            Err(err) if err.kind() == io::ErrorKind::NotFound => Ok(JournalLoad::default()),
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Parse journal text: `v1 <checksum> <file>` per line.
+    pub fn parse(text: &str) -> JournalLoad {
+        let mut load = JournalLoad::default();
+        for line in text.split('\n') {
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split(' ');
+            let entry = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(LINE_TAG), Some(checksum), Some(file), None)
+                    if !checksum.is_empty() && !file.is_empty() =>
+                {
+                    JournalEntry {
+                        checksum: checksum.to_string(),
+                        file: file.to_string(),
+                    }
+                }
+                _ => {
+                    load.torn_lines += 1;
+                    continue;
+                }
+            };
+            load.entries.push(entry);
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::FaultyIo;
+
+    fn journal() -> (Arc<FaultyIo>, ShardJournal) {
+        let io = Arc::new(FaultyIo::reliable());
+        let journal = ShardJournal::new(io.clone(), Path::new("/store"), "0");
+        (io, journal)
+    }
+
+    fn entry(n: u32) -> JournalEntry {
+        JournalEntry {
+            checksum: format!("{n:016x}"),
+            file: format!("point-{n}.json"),
+        }
+    }
+
+    #[test]
+    fn appended_entries_round_trip() {
+        let (_io, journal) = journal();
+        journal.append(&entry(1)).unwrap();
+        journal.append(&entry(2)).unwrap();
+        let load = journal.load().unwrap();
+        assert_eq!(load.entries, vec![entry(1), entry(2)]);
+        assert_eq!(load.torn_lines, 0);
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let (_io, journal) = journal();
+        assert_eq!(journal.load().unwrap(), JournalLoad::default());
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_and_counted() {
+        let (io, journal) = journal();
+        journal.append(&entry(1)).unwrap();
+        io.append(journal.path(), b"v1 00ff").unwrap();
+        let load = journal.load().unwrap();
+        assert_eq!(load.entries, vec![entry(1)]);
+        assert_eq!(load.torn_lines, 1);
+    }
+
+    #[test]
+    fn entries_survive_a_crash_because_appends_fsync() {
+        let (io, journal) = journal();
+        journal.append(&entry(1)).unwrap();
+        io.crash();
+        assert_eq!(journal.load().unwrap().entries, vec![entry(1)]);
+    }
+
+    #[test]
+    fn journal_file_names_are_recognized() {
+        assert!(ShardJournal::is_journal_file(Path::new(
+            "/store/journal-0.log"
+        )));
+        assert!(!ShardJournal::is_journal_file(Path::new(
+            "/store/point-1.json"
+        )));
+    }
+}

@@ -1,0 +1,33 @@
+//! Crash-safe persistence layer for sweep results.
+//!
+//! The crate provides three pieces, deliberately independent of the
+//! simulation stack so lower layers (the workload cache) can reuse them:
+//!
+//! - [`StoreIo`]/[`DiskIo`]/[`FaultyIo`]: a filesystem trait with a production
+//!   backend and a deterministic fault-injection backend (seeded short writes,
+//!   `ENOSPC`, `EIO`, torn renames, kill-points) plus the shared
+//!   [`atomic_write`] primitive (tmp + fsync + rename + directory fsync).
+//! - [`ResultStore`]: a content-addressed store of checksummed JSON payloads,
+//!   quarantining anything that fails verification and degrading to in-memory
+//!   operation when the filesystem does.
+//! - [`ShardJournal`]: an append-only journal of published records so an
+//!   interrupted sweep resumes exactly where it died.
+//!
+//! Callers decide what the payloads mean; this crate only promises that a
+//! payload read back equals a payload written, or is loudly recomputed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hash;
+mod io;
+mod journal;
+mod store;
+
+pub use hash::{fnv1a64, slug, Fnv1a};
+pub use io::{atomic_write, DiskIo, FaultPlan, FaultyIo, StoreIo};
+pub use journal::{JournalEntry, JournalLoad, ShardJournal};
+pub use store::{
+    default_store_dir, QuarantineReason, ResultStore, ResumeReport, StoreEvent, StoreStats,
+    RESULT_SCHEMA,
+};

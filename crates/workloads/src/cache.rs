@@ -41,18 +41,26 @@
 //!   version, and a payload hash. A truncated file, a hand-edited field, a
 //!   hash-colliding key, or a version mismatch is detected at load time and
 //!   the artifact is transparently recompiled (and rewritten).
-//! * **Concurrency** — writes go to a temporary file first and are `rename`d
-//!   into place, so concurrent sweep threads never observe a torn artifact.
+//! * **Concurrency & durability** — writes go through
+//!   [`lsqca_store::atomic_write`]: a temporary file, an fsync, a `rename`,
+//!   and a directory fsync, so concurrent sweep threads never observe a torn
+//!   artifact and a crash cannot publish a truncated one.
+//! * **Degradation** — all filesystem access goes through the
+//!   [`lsqca_store::StoreIo`] trait (swappable for fault injection in tests).
+//!   The first filesystem error — an unreadable or unwritable cache directory
+//!   — degrades the cache to in-memory compilation for the rest of the
+//!   process with a single stderr warning, instead of erroring per entry.
 
 use crate::compiled::{fnv1a64, ArtifactError, CompiledWorkload};
 use lsqca_circuit::Circuit;
 use lsqca_compiler::CompilerConfig;
 use lsqca_isa::ISA_VERSION;
+use lsqca_store::{atomic_write, slug, DiskIo, StoreIo};
 use std::fmt;
-use std::fs;
 use std::io::{self, ErrorKind};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// How a [`WorkloadCache::load_or_compile`] request was satisfied.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,7 +76,9 @@ pub enum CacheEvent {
 /// Why a cached artifact was rejected and recompiled.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InvalidationReason {
-    /// The file exists but could not be read.
+    /// The file exists but could not be read. (Filesystem errors now degrade
+    /// the whole cache instead of invalidating per entry, so this variant is
+    /// kept only for callers matching on historical events.)
     Unreadable(String),
     /// The file is not valid JSON (e.g. truncated mid-write).
     NotJson(String),
@@ -120,8 +130,12 @@ impl fmt::Display for CacheStats {
 /// An on-disk cache of [`CompiledWorkload`] artifacts.
 #[derive(Debug)]
 pub struct WorkloadCache {
+    io: Arc<dyn StoreIo>,
     /// `None` when caching is disabled: every request compiles.
     dir: Option<PathBuf>,
+    /// Set after the first filesystem error: the cache stops touching disk
+    /// and compiles in memory for the rest of the process.
+    degraded: AtomicBool,
     hits: AtomicU64,
     compiled: AtomicU64,
     invalidated: AtomicU64,
@@ -130,18 +144,21 @@ pub struct WorkloadCache {
 impl WorkloadCache {
     /// A cache rooted at `dir` (created lazily on first store).
     pub fn at(dir: impl Into<PathBuf>) -> Self {
-        WorkloadCache {
-            dir: Some(dir.into()),
-            hits: AtomicU64::new(0),
-            compiled: AtomicU64::new(0),
-            invalidated: AtomicU64::new(0),
-        }
+        Self::with_io(Some(dir.into()), Arc::new(DiskIo))
     }
 
     /// A cache that never touches disk; every request compiles.
     pub fn disabled() -> Self {
+        Self::with_io(None, Arc::new(DiskIo))
+    }
+
+    /// A cache over an explicit [`StoreIo`] backend — the fault-injection
+    /// entry point.
+    pub fn with_io(dir: Option<PathBuf>, io: Arc<dyn StoreIo>) -> Self {
         WorkloadCache {
-            dir: None,
+            io,
+            dir,
+            degraded: AtomicBool::new(false),
             hits: AtomicU64::new(0),
             compiled: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
@@ -168,6 +185,12 @@ impl WorkloadCache {
     /// The directory artifacts are stored in; `None` when disabled.
     pub fn dir(&self) -> Option<&Path> {
         self.dir.as_deref()
+    }
+
+    /// Whether the cache has degraded to in-memory compilation after a
+    /// filesystem error.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
     }
 
     /// This instance's hit/compile/invalidation counters.
@@ -209,14 +232,19 @@ impl WorkloadCache {
         build: impl FnOnce() -> Circuit,
     ) -> (CompiledWorkload, CacheEvent) {
         let key = Self::key(descriptor, &config);
-        let Some(path) = self.path_for(descriptor, &config) else {
+        let path = if self.is_degraded() {
+            None
+        } else {
+            self.path_for(descriptor, &config)
+        };
+        let Some(path) = path else {
             self.compiled.fetch_add(1, Ordering::Relaxed);
             return (
                 CompiledWorkload::compile(key, &build(), config),
                 CacheEvent::Compiled,
             );
         };
-        let miss = match load_artifact(&path, &key) {
+        let miss = match load_artifact(self.io.as_ref(), &path, &key) {
             Ok(artifact) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return (artifact, CacheEvent::Hit);
@@ -224,11 +252,16 @@ impl WorkloadCache {
             Err(miss) => miss,
         };
         let artifact = CompiledWorkload::compile(key, &build(), config);
-        // Best effort: a read-only cache directory degrades to compile-always
-        // rather than failing the sweep.
-        let _ = store_artifact(&path, &artifact);
+        if let Miss::Io(err) = &miss {
+            // An unreadable cache (not just a missing or corrupt entry) means
+            // the directory itself is unhealthy: degrade once instead of
+            // warning on every entry.
+            self.degrade("read", err);
+        } else if let Err(err) = store_artifact(self.io.as_ref(), &path, &artifact) {
+            self.degrade("write", &err);
+        }
         let event = match miss {
-            Miss::Absent => {
+            Miss::Absent | Miss::Io(_) => {
                 self.compiled.fetch_add(1, Ordering::Relaxed);
                 CacheEvent::Compiled
             }
@@ -250,32 +283,49 @@ impl WorkloadCache {
         let Some(dir) = &self.dir else {
             return Ok(());
         };
-        match fs::read_dir(dir) {
+        match self.io.list_dir(dir) {
             Err(e) if e.kind() == ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e),
             Ok(entries) => {
-                for entry in entries {
-                    let path = entry?.path();
+                for path in entries {
                     if path.extension().is_some_and(|ext| ext == "json") {
-                        fs::remove_file(path)?;
+                        self.io.remove_file(&path)?;
                     }
                 }
                 Ok(())
             }
         }
     }
+
+    /// Flip to in-memory compilation, warning exactly once.
+    fn degrade(&self, what: &str, err: &io::Error) {
+        if !self.degraded.swap(true, Ordering::Relaxed) {
+            let dir = self
+                .dir
+                .as_deref()
+                .map(|d| d.display().to_string())
+                .unwrap_or_default();
+            eprintln!(
+                "warning: workload cache: {what} failed in {dir} ({err}); \
+                 compiling in memory for the rest of this run"
+            );
+        }
+    }
 }
 
 enum Miss {
     Absent,
+    /// The filesystem failed (permissions, I/O error) — distinct from a
+    /// present-but-invalid entry, this degrades the whole cache.
+    Io(io::Error),
     Invalid(InvalidationReason),
 }
 
-fn load_artifact(path: &Path, key: &str) -> Result<CompiledWorkload, Miss> {
-    let text = match fs::read_to_string(path) {
+fn load_artifact(io: &dyn StoreIo, path: &Path, key: &str) -> Result<CompiledWorkload, Miss> {
+    let text = match io.read(path) {
         Ok(text) => text,
         Err(e) if e.kind() == ErrorKind::NotFound => return Err(Miss::Absent),
-        Err(e) => return Err(Miss::Invalid(InvalidationReason::Unreadable(e.to_string()))),
+        Err(e) => return Err(Miss::Io(e)),
     };
     let doc = lsqca_json::parse(&text)
         .map_err(|e| Miss::Invalid(InvalidationReason::NotJson(e.to_string())))?;
@@ -289,42 +339,8 @@ fn load_artifact(path: &Path, key: &str) -> Result<CompiledWorkload, Miss> {
     Ok(artifact)
 }
 
-fn store_artifact(path: &Path, artifact: &CompiledWorkload) -> io::Result<()> {
-    let dir = path.parent().expect("cache paths have a parent directory");
-    fs::create_dir_all(dir)?;
-    // Unique temporary name per writer — process id for cross-process races,
-    // a monotone counter for same-key races between threads of one process —
-    // then an atomic rename, so readers never observe a torn file.
-    static WRITER: AtomicU64 = AtomicU64::new(0);
-    let tmp = path.with_extension(format!(
-        "tmp.{}.{}",
-        std::process::id(),
-        WRITER.fetch_add(1, Ordering::Relaxed)
-    ));
-    fs::write(&tmp, artifact.to_json().pretty())?;
-    fs::rename(&tmp, path)
-}
-
-/// A filesystem-friendly prefix keeping cache entries human-identifiable.
-fn slug(descriptor: &str) -> String {
-    let mut slug: String = descriptor
-        .chars()
-        .map(|c| {
-            if c.is_ascii_alphanumeric() {
-                c.to_ascii_lowercase()
-            } else {
-                '-'
-            }
-        })
-        .collect();
-    slug.truncate(48);
-    while slug.ends_with('-') {
-        slug.pop();
-    }
-    if slug.is_empty() {
-        slug.push_str("workload");
-    }
-    slug
+fn store_artifact(io: &dyn StoreIo, path: &Path, artifact: &CompiledWorkload) -> io::Result<()> {
+    atomic_write(io, path, artifact.to_json().pretty().as_bytes())
 }
 
 /// The default cache location: `lsqca-cache/` inside the `target/` directory
@@ -347,6 +363,8 @@ mod tests {
     use super::*;
     use crate::compiled::compile_count;
     use crate::registry::{Benchmark, InstanceSize};
+    use lsqca_store::FaultyIo;
+    use std::fs;
 
     fn temp_cache(tag: &str) -> WorkloadCache {
         let dir =
@@ -571,6 +589,41 @@ mod tests {
         );
         assert_eq!(slug(""), "workload");
         assert!(slug(&"x".repeat(100)).len() <= 48);
+    }
+
+    #[test]
+    fn unwritable_cache_degrades_once_and_still_compiles() {
+        let cache = WorkloadCache::with_io(
+            Some(PathBuf::from("/cache")),
+            Arc::new(FaultyIo::unwritable()),
+        );
+        let (desc, build) = ghz();
+        for _ in 0..3 {
+            let (_, event) = cache.load_or_compile(&desc, CompilerConfig::default(), &build);
+            assert_eq!(event, CacheEvent::Compiled);
+        }
+        assert!(cache.is_degraded());
+        assert_eq!(cache.stats().compiled, 3);
+        assert_eq!(cache.stats().invalidated, 0, "no per-entry errors");
+    }
+
+    #[test]
+    fn stored_artifacts_survive_a_crash() {
+        // The fsync-before-rename contract: an artifact served as a hit after
+        // a simulated power cut must be the complete one.
+        let io = Arc::new(FaultyIo::reliable());
+        let cache = WorkloadCache::with_io(Some(PathBuf::from("/cache")), io.clone());
+        let (desc, build) = ghz();
+        let (first, event) = cache.load_or_compile(&desc, CompilerConfig::default(), &build);
+        assert_eq!(event, CacheEvent::Compiled);
+        io.crash();
+
+        let fresh = WorkloadCache::with_io(Some(PathBuf::from("/cache")), io);
+        let before = compile_count();
+        let (second, event) = fresh.load_or_compile(&desc, CompilerConfig::default(), &build);
+        assert_eq!(event, CacheEvent::Hit);
+        assert_eq!(compile_count(), before);
+        assert_eq!(first, second);
     }
 
     #[test]

@@ -325,48 +325,9 @@ fn decode_classes(text: &str) -> Result<Vec<LatencyClass>, ArtifactError> {
         .collect()
 }
 
-/// Streaming FNV-1a 64-bit hasher; feeding chunks is equivalent to hashing
-/// their concatenation, so payloads never need to be materialized.
-#[derive(Debug, Clone)]
-pub struct Fnv1a(u64);
-
-impl Fnv1a {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    /// A hasher in the initial state.
-    pub fn new() -> Self {
-        Fnv1a(Self::OFFSET)
-    }
-
-    /// Feeds `bytes` into the hash.
-    pub fn update(&mut self, bytes: &[u8]) {
-        let mut hash = self.0;
-        for &b in bytes {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(Self::PRIME);
-        }
-        self.0 = hash;
-    }
-
-    /// The hash of everything fed so far.
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-impl Default for Fnv1a {
-    fn default() -> Self {
-        Fnv1a::new()
-    }
-}
-
-/// FNV-1a 64-bit hash of one buffer, the content hash of cache keys.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = Fnv1a::new();
-    hash.update(bytes);
-    hash.finish()
-}
+// The FNV-1a hasher moved to `lsqca-store` so the result store and this cache
+// share one implementation; re-exported here to keep the historical paths.
+pub use lsqca_store::{fnv1a64, Fnv1a};
 
 /// Why a serialized artifact was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -35,6 +35,12 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Benchmarks measure simulation, so the crash-safe result store must not short
+# circuit it: a warm store would turn every timed sweep into a disk read and
+# report nonsense speedups. The workload cache stays on — compilation is not
+# what the benches time.
+export LSQCA_NO_STORE=1
+
 # Validates that a hotpath JSON document carries the lsqca-bench-hotpath-v1
 # schema with every expected comparison and end-to-end section.
 validate_hotpath_json() {
