@@ -211,10 +211,35 @@ impl MigrationPolicy for StaticPolicy {
 /// it thrashes (each migration pays real movement beats), which is exactly
 /// the behaviour the policy comparison in the `hybrid-migrate` sweep is
 /// there to expose.
+///
+/// Victim selection is a lazily-invalidated min-heap over `(stamp, qubit)`,
+/// so each access costs `O(log hot)` amortized instead of the former
+/// `O(hot)` scan — the prerequisite for thousand-qubit hot sets. Stale heap
+/// entries (a re-accessed or demoted qubit) are detected by comparing the
+/// entry's stamp against the live `last_used` table and popped on sight;
+/// every access pushes at most one entry, so the pops are amortized against
+/// the pushes.
 #[derive(Debug, Clone, Default)]
 pub struct LruPolicy {
     last_used: Vec<u64>,
     hot: HotSet,
+    queue: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+}
+
+impl LruPolicy {
+    /// The least-recently-used hot qubit, skipping stale heap entries. Peeks
+    /// without popping the winning entry: a proposal may be dropped by the
+    /// simulator, in which case the victim stays ranked exactly where it was.
+    fn coldest(&mut self) -> Option<QubitTag> {
+        while let Some(&std::cmp::Reverse((stamp, tag))) = self.queue.peek() {
+            let q = QubitTag(tag);
+            if self.hot.contains(q) && self.last_used.get(tag as usize).copied() == Some(stamp) {
+                return Some(q);
+            }
+            self.queue.pop();
+        }
+        None
+    }
 }
 
 impl MigrationPolicy for LruPolicy {
@@ -226,6 +251,10 @@ impl MigrationPolicy for LruPolicy {
         self.last_used.clear();
         self.last_used.resize(num_qubits as usize, 0);
         self.hot.begin(num_qubits, hot);
+        self.queue.clear();
+        for &q in &self.hot.list {
+            self.queue.push(std::cmp::Reverse((0, q.0)));
+        }
     }
 
     fn on_access(&mut self, qubit: QubitTag, now: u64) -> Option<QubitTag> {
@@ -235,18 +264,17 @@ impl MigrationPolicy for LruPolicy {
         }
         self.last_used[idx] = now + 1;
         if self.hot.contains(qubit) {
+            self.queue.push(std::cmp::Reverse((now + 1, qubit.0)));
             return None;
         }
-        self.hot
-            .list
-            .iter()
-            .copied()
-            .min_by_key(|v| (self.last_used[v.0 as usize], v.0))
-            .filter(|&v| v != qubit)
+        self.coldest().filter(|&v| v != qubit)
     }
 
     fn applied(&mut self, promoted: QubitTag, demoted: QubitTag) {
         self.hot.swap(promoted, demoted);
+        if let Some(&stamp) = self.last_used.get(promoted.0 as usize) {
+            self.queue.push(std::cmp::Reverse((stamp, promoted.0)));
+        }
     }
 
     fn boxed_clone(&self) -> Box<dyn MigrationPolicy> {
@@ -263,6 +291,13 @@ impl MigrationPolicy for LruPolicy {
 ///
 /// [`half_life`]: FreqDecayPolicy::half_life
 /// [`margin`]: FreqDecayPolicy::margin
+///
+/// Like [`LruPolicy`], victim selection is `O(log hot)` via a
+/// lazily-invalidated min-heap. Decayed scores themselves cannot be heap
+/// keys (every score changes on every tick), but their *ordering* is
+/// time-invariant: `decayed(v, now) = score_v · 2^((last_v − now)/h)`, so
+/// ranking by the log-domain key `ln(score_v) + last_v · ln2 / h` — constant
+/// between accesses to `v` — orders hot qubits identically for every `now`.
 #[derive(Debug, Clone)]
 pub struct FreqDecayPolicy {
     /// Accesses after which a score halves.
@@ -271,7 +306,43 @@ pub struct FreqDecayPolicy {
     pub margin: f64,
     score: Vec<f64>,
     last_seen: Vec<u64>,
+    /// Per-qubit log-domain rank, updated on access; the heap's validity
+    /// check compares entries against this table.
+    rank: Vec<f64>,
     hot: HotSet,
+    queue: std::collections::BinaryHeap<std::cmp::Reverse<(RankKey, u32)>>,
+}
+
+/// A total order over log-domain ranks (`f64::total_cmp`), so the values can
+/// serve as heap keys. Never NaN: scores are sums of non-negative decays, so
+/// a rank is finite or `-inf` (the never-accessed score of zero).
+#[derive(Debug, Clone, Copy)]
+struct RankKey(f64);
+
+impl PartialEq for RankKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for RankKey {}
+
+impl PartialOrd for RankKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RankKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The time-invariant log-domain rank of a qubit with `score` last touched
+/// at `last_seen`: `ln(score) + last_seen · ln2 / half_life`.
+fn rank_key(score: f64, last_seen: u64, half_life: u64) -> f64 {
+    score.ln() + (last_seen as f64) * std::f64::consts::LN_2 / half_life as f64
 }
 
 impl Default for FreqDecayPolicy {
@@ -281,7 +352,9 @@ impl Default for FreqDecayPolicy {
             margin: 1.5,
             score: Vec::new(),
             last_seen: Vec::new(),
+            rank: Vec::new(),
             hot: HotSet::default(),
+            queue: std::collections::BinaryHeap::new(),
         }
     }
 }
@@ -292,6 +365,20 @@ impl FreqDecayPolicy {
         let idx = q.0 as usize;
         let age = now.saturating_sub(self.last_seen[idx]);
         self.score[idx] * 0.5f64.powf(age as f64 / self.half_life as f64)
+    }
+
+    /// The lowest-ranked hot qubit, skipping stale heap entries; peeks
+    /// without popping so a dropped proposal leaves the ranking untouched.
+    fn coldest(&mut self) -> Option<QubitTag> {
+        while let Some(&std::cmp::Reverse((key, tag))) = self.queue.peek() {
+            let q = QubitTag(tag);
+            if self.hot.contains(q) && self.rank.get(tag as usize).map(|&r| RankKey(r)) == Some(key)
+            {
+                return Some(q);
+            }
+            self.queue.pop();
+        }
+        None
     }
 }
 
@@ -305,7 +392,15 @@ impl MigrationPolicy for FreqDecayPolicy {
         self.score.resize(num_qubits as usize, 0.0);
         self.last_seen.clear();
         self.last_seen.resize(num_qubits as usize, 0);
+        self.rank.clear();
+        self.rank
+            .resize(num_qubits as usize, rank_key(0.0, 0, self.half_life));
         self.hot.begin(num_qubits, hot);
+        self.queue.clear();
+        for &q in &self.hot.list {
+            self.queue
+                .push(std::cmp::Reverse((RankKey(self.rank[q.0 as usize]), q.0)));
+        }
     }
 
     fn on_access(&mut self, qubit: QubitTag, now: u64) -> Option<QubitTag> {
@@ -316,21 +411,23 @@ impl MigrationPolicy for FreqDecayPolicy {
         let fresh = self.decayed(qubit, now) + 1.0;
         self.score[idx] = fresh;
         self.last_seen[idx] = now;
+        self.rank[idx] = rank_key(fresh, now, self.half_life);
         if self.hot.contains(qubit) {
+            self.queue
+                .push(std::cmp::Reverse((RankKey(self.rank[idx]), qubit.0)));
             return None;
         }
-        let victim = self
-            .hot
-            .list
-            .iter()
-            .copied()
-            .map(|v| (self.decayed(v, now), v))
-            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1 .0.cmp(&b.1 .0)))?;
-        (victim.1 != qubit && fresh > self.margin * victim.0).then_some(victim.1)
+        let victim = self.coldest()?;
+        let coldest = self.decayed(victim, now);
+        (victim != qubit && fresh > self.margin * coldest).then_some(victim)
     }
 
     fn applied(&mut self, promoted: QubitTag, demoted: QubitTag) {
         self.hot.swap(promoted, demoted);
+        if let Some(&rank) = self.rank.get(promoted.0 as usize) {
+            self.queue
+                .push(std::cmp::Reverse((RankKey(rank), promoted.0)));
+        }
     }
 
     fn overhead(&self) -> Beats {
@@ -524,7 +621,9 @@ mod proptests {
     }
 
     /// A naive frequency-decay model recomputing every decayed score with
-    /// plain `powf` on demand.
+    /// plain `powf` on demand, and every log-domain rank (the victim order
+    /// shared with the heap-based policy — see [`FreqDecayPolicy`]) from
+    /// scratch each access.
     #[derive(Debug)]
     struct NaiveFreqDecay {
         half_life: f64,
@@ -540,6 +639,13 @@ mod proptests {
             self.score.get(&q).copied().unwrap_or(0.0) * 0.5f64.powf(age as f64 / self.half_life)
         }
 
+        /// The same formula as the policy's `rank_key`, recomputed on demand.
+        fn rank(&self, q: u32) -> f64 {
+            let score = self.score.get(&q).copied().unwrap_or(0.0);
+            let last = self.last.get(&q).copied().unwrap_or(0);
+            score.ln() + (last as f64) * std::f64::consts::LN_2 / self.half_life
+        }
+
         fn on_access(&mut self, q: u32, now: u64) -> Option<u32> {
             let fresh = self.decayed(q, now) + 1.0;
             self.score.insert(q, fresh);
@@ -551,9 +657,10 @@ mod proptests {
                 .hot
                 .iter()
                 .copied()
-                .map(|v| (self.decayed(v, now), v))
-                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))?;
-            (fresh > self.margin * victim.0).then_some(victim.1)
+                .map(|v| (self.rank(v), v))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))?
+                .1;
+            (fresh > self.margin * self.decayed(victim, now)).then_some(victim)
         }
 
         fn applied(&mut self, promoted: u32, demoted: u32) {

@@ -15,6 +15,8 @@
 //!   hotpath         legacy-vs-optimized hot-path micro measurements
 //!   all             every deterministic generator above (excludes `hotpath`,
 //!                   whose timing output differs run to run)
+//!   merge           audit all shard journals in the store and emit the merged
+//!                   `all` report (no new simulation unless records are missing)
 //! ```
 //!
 //! Flag matrix (any combination is valid; unknown flags are rejected):
@@ -28,6 +30,9 @@
 //! |                  | emits the `lsqca-bench-hotpath-v1` document used as    |
 //! |                  | the `BENCH_hotpath.json` baseline)                     |
 //! | `--full --json`  | paper-sized instances, JSON output                     |
+//! | `--shards N`     | supervised sharded run: N worker processes partition   |
+//! |                  | the sweep, crash/hang-tolerant (see `supervisor`)      |
+//! | `--shard k/N`    | run as worker shard k of N (spawned by the supervisor) |
 //!
 //! The figure sweeps run in parallel across CPU cores; set `LSQCA_THREADS=1`
 //! to force serial execution.
@@ -48,15 +53,19 @@
 //! audit (intact/torn/missing record counts) before doing so. A one-line
 //! `result store: N computed, M hits, K quarantined` summary is printed to
 //! stderr after every command.
+//!
+//! Exit codes: `0` = complete, `2` = completed with quarantined sweep points
+//! (see `--help`), `1` = fatal.
 
 use lsqca_bench::{
-    ablation, fig08, fig13, fig14, fig15, headline, hotpath, hybrid_migrate, table1, Scale,
-    FACTORY_COUNTS,
+    ablation, fig08, fig13, fig14, fig15, headline, hotpath, hybrid_migrate, supervisor, table1,
+    Scale, FACTORY_COUNTS,
 };
 use lsqca_json::ToJson;
 use std::process::ExitCode;
+use std::time::Duration;
 
-const COMMANDS: [&str; 10] = [
+const COMMANDS: [&str; 11] = [
     "table1",
     "fig8",
     "fig13",
@@ -67,19 +76,43 @@ const COMMANDS: [&str; 10] = [
     "hybrid-migrate",
     "hotpath",
     "all",
+    "merge",
 ];
 
 fn usage_line() -> String {
     format!(
-        "usage: experiments <{}> [--full] [--json] [--store-dir <dir>] [--no-store] [--resume]",
+        "usage: experiments <{}> [--full] [--json] [--store-dir <dir>] [--no-store] [--resume] \
+         [--shards <n>] [--shard <k/n>] [--stall-timeout-ms <ms>]",
         COMMANDS.join("|")
+    )
+}
+
+fn help() -> String {
+    format!(
+        "{usage}\n\n\
+         sharded execution:\n  \
+         --shards <n>             supervise <n> worker processes that partition the\n  \
+                                  sweep by result-key hash; crashed or hung workers\n  \
+                                  are restarted with backoff and resume through the\n  \
+                                  store journal; points that kill a worker repeatedly\n  \
+                                  are quarantined instead of wedging the sweep\n  \
+         --shard <k/n>            run as worker shard k of n (spawned by --shards)\n  \
+         --stall-timeout-ms <ms>  restart a worker whose journal has not grown for\n  \
+                                  this long (default 30000)\n\n\
+         exit codes:\n  \
+         0  report complete: every sweep point computed or served from the store\n  \
+         2  report complete, but quarantined sweep points were skipped and their\n     \
+         rows are placeholders (listed on stderr by the merge audit)\n  \
+         1  fatal: bad usage, unspawnable worker, shard journals that disagree on\n     \
+         a record's content hash, or a shard failing repeatedly without progress",
+        usage = usage_line()
     )
 }
 
 fn usage(message: &str) -> ExitCode {
     eprintln!("error: {message}");
     eprintln!("{}", usage_line());
-    ExitCode::from(2)
+    ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
@@ -92,6 +125,9 @@ fn main() -> ExitCode {
     let mut no_store = false;
     let mut store_dir: Option<String> = None;
     let mut resume = false;
+    let mut shards: Option<u32> = None;
+    let mut shard: Option<(u32, u32)> = None;
+    let mut stall_timeout = Duration::from_millis(30_000);
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -105,8 +141,31 @@ fn main() -> ExitCode {
                 };
                 store_dir = Some(dir.clone());
             }
+            "--shards" => {
+                let parsed = iter.next().and_then(|v| v.parse::<u32>().ok());
+                let Some(n) = parsed.filter(|&n| n >= 1) else {
+                    return usage("`--shards` requires a worker count of at least 1");
+                };
+                shards = Some(n);
+            }
+            "--shard" => {
+                let parsed = iter.next().and_then(|v| {
+                    let (k, n) = v.split_once('/')?;
+                    Some((k.parse::<u32>().ok()?, n.parse::<u32>().ok()?))
+                });
+                let Some((k, n)) = parsed.filter(|&(k, n)| n >= 1 && k < n) else {
+                    return usage("`--shard` requires an index/count pair like `2/4` with k < n");
+                };
+                shard = Some((k, n));
+            }
+            "--stall-timeout-ms" => {
+                let Some(ms) = iter.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return usage("`--stall-timeout-ms` requires a duration in milliseconds");
+                };
+                stall_timeout = Duration::from_millis(ms);
+            }
             "--help" | "-h" => {
-                println!("{}", usage_line());
+                println!("{}", help());
                 return ExitCode::SUCCESS;
             }
             flag if flag.starts_with('-') => {
@@ -129,6 +188,15 @@ fn main() -> ExitCode {
     if resume && no_store {
         return usage("`--resume` needs the result store; drop `--no-store`");
     }
+    if shards.is_some() && shard.is_some() {
+        return usage("`--shards` (supervisor) and `--shard` (worker) are mutually exclusive");
+    }
+    if (shards.is_some() || shard.is_some() || command == "merge") && no_store {
+        return usage("sharded execution and `merge` need the result store; drop `--no-store`");
+    }
+    if (shards.is_some() || shard.is_some()) && matches!(command, "hotpath" | "merge") {
+        return usage(&format!("`{command}` cannot run sharded"));
+    }
 
     // The store flags travel to `lsqca_bench::result_store()` via the same
     // environment variables a wrapper script would set; the store is
@@ -139,11 +207,75 @@ fn main() -> ExitCode {
     if let Some(dir) = &store_dir {
         std::env::set_var("LSQCA_STORE_DIR", dir);
     }
+    // Sharded modes need a concrete shared directory even when the caller
+    // relied on the default, and a journal label of their own: workers label
+    // as their shard index, while the supervisor and `merge` must never
+    // journal under a worker's label.
+    let resolved_store_dir = store_dir
+        .clone()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(lsqca_store::default_store_dir);
+    if let Some((index, count)) = shard {
+        std::env::set_var("LSQCA_SHARD", index.to_string());
+        std::env::set_var("LSQCA_STORE_DIR", &resolved_store_dir);
+        supervisor::install_worker(index, count, &resolved_store_dir);
+    } else if shards.is_some() || command == "merge" {
+        std::env::set_var("LSQCA_SHARD", "merge");
+        std::env::set_var("LSQCA_STORE_DIR", &resolved_store_dir);
+    }
+
+    // Supervise the worker fleet to completion before this process renders
+    // the merged report (from the records the workers published).
+    if let Some(count) = shards {
+        let mut config =
+            supervisor::ShardRunConfig::new(command, resolved_store_dir.clone(), count);
+        config.full = full;
+        config.stall_timeout = stall_timeout;
+        match supervisor::run_sharded(&config) {
+            Ok(outcome) => {
+                eprintln!(
+                    "supervisor: {} shards complete, {} restarts, {} quarantined points",
+                    count,
+                    outcome.restarts,
+                    outcome.quarantined.len()
+                );
+            }
+            Err(err) => {
+                eprintln!("error: sharded run failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+        supervisor::install_merge(&resolved_store_dir);
+    }
+
     if resume {
         // Audit the shard journals against the records on disk before the
         // sweeps run: intact records will be served as hits, torn or missing
         // ones recomputed.
         eprintln!("{}", lsqca_bench::result_store().verify_resume());
+    }
+
+    // `merge` and every post-supervision render audit the shard journals
+    // first: conflicting content hashes for the same record are fatal, and
+    // quarantined points downgrade the final exit code to 2.
+    let mut quarantined_points = 0usize;
+    if command == "merge" || shards.is_some() {
+        if command == "merge" {
+            supervisor::install_merge(&resolved_store_dir);
+        }
+        match lsqca_bench::result_store().merge_audit() {
+            Ok(report) => {
+                eprintln!("merge audit: {report}");
+                for key in &report.quarantined_points {
+                    eprintln!("merge audit: quarantined: {key}");
+                }
+                quarantined_points = report.quarantined_points.len();
+            }
+            Err(err) => {
+                eprintln!("error: merge refused: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     let scale = Scale::from_flag(full);
@@ -231,11 +363,16 @@ fn main() -> ExitCode {
         }
     };
 
-    if command == "all" {
+    if command == "all" || command == "merge" {
         // `all` covers the deterministic figure/table generators only, so its
         // output can be diffed across runs; the timing-dependent `hotpath`
-        // measurements must be requested explicitly.
-        for name in COMMANDS.iter().filter(|&&c| c != "all" && c != "hotpath") {
+        // measurements must be requested explicitly. `merge` renders the same
+        // report from the shard-published records, byte-identical to a
+        // single-process `all` over the same sweep.
+        for name in COMMANDS
+            .iter()
+            .filter(|&&c| c != "all" && c != "hotpath" && c != "merge")
+        {
             println!("==== {name} ====");
             println!("{}", run(name));
         }
@@ -246,5 +383,11 @@ fn main() -> ExitCode {
     // workloads, everything else reports its compile/hit split here.
     eprintln!("{}", lsqca_bench::cache_summary());
     eprintln!("{}", lsqca_bench::store_summary());
+    if quarantined_points > 0 {
+        eprintln!(
+            "warning: {quarantined_points} quarantined sweep points rendered as placeholders"
+        );
+        return ExitCode::from(2);
+    }
     ExitCode::SUCCESS
 }

@@ -25,6 +25,7 @@ use lsqca_store::ResultStore;
 
 pub mod hotpath;
 pub mod par;
+pub mod supervisor;
 
 /// How large the workload instances should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,7 +153,24 @@ pub fn stored_run_in(
         return workload.run(config);
     }
     let key = workload.result_key(config);
-    let (payload, _event) = store.load_or_compute(&key, || workload.run(config).stats.to_json());
+    // Under a shard plan, points owned by other shards (and quarantined
+    // points) are never computed here: a stored record from any shard is
+    // rendered as-is, an absent one as a placeholder row. Only the owning
+    // shard's worker fills the gap, so shards never duplicate work.
+    if !supervisor::should_compute(&key) {
+        if let Some(payload) = store.probe(&key) {
+            if let Ok(stats) = ExecutionStats::from_json(&payload) {
+                return workload.result_from_stats(config, stats);
+            }
+        }
+        return workload.result_from_stats(config, ExecutionStats::default());
+    }
+    let (payload, _event) = store.load_or_compute(&key, || {
+        // The in-flight mark makes a mid-computation death attributable to
+        // this point; it survives a panic/abort and clears on success.
+        let _guard = supervisor::InflightGuard::enter(&key);
+        workload.run(config).stats.to_json()
+    });
     match ExecutionStats::from_json(&payload) {
         // Both the hit and the computed path reconstruct the result from the
         // stored payload, so a resumed sweep is byte-identical to a clean one

@@ -45,6 +45,15 @@ pub enum SimError {
         /// Debug rendering of the offending floorplan.
         floorplan: String,
     },
+    /// The run exceeded the configured instruction budget (the sharded-sweep
+    /// per-point timeout hook, set via `LSQCA_INSTRUCTION_BUDGET` or
+    /// [`Simulator::set_instruction_budget`]): a deterministic stand-in for a
+    /// wall-clock timeout, so a runaway point aborts the worker at the same
+    /// instruction on every attempt and the supervisor can quarantine it.
+    InstructionBudget {
+        /// The budget that was exceeded, in instructions.
+        budget: u64,
+    },
 }
 
 impl SimError {
@@ -52,7 +61,7 @@ impl SimError {
     pub fn instruction_index(&self) -> Option<usize> {
         match self {
             SimError::Instruction { index, .. } => Some(*index),
-            SimError::NoCrSlots { .. } => None,
+            SimError::NoCrSlots { .. } | SimError::InstructionBudget { .. } => None,
         }
     }
 }
@@ -69,6 +78,11 @@ impl fmt::Display for SimError {
                 f,
                 "floorplan {floorplan} bounds CR registers but provides no register slot"
             ),
+            SimError::InstructionBudget { budget } => write!(
+                f,
+                "run exceeded the instruction budget of {budget} \
+                 (LSQCA_INSTRUCTION_BUDGET)"
+            ),
         }
     }
 }
@@ -77,7 +91,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::Instruction { source, .. } => Some(source),
-            SimError::NoCrSlots { .. } => None,
+            SimError::NoCrSlots { .. } | SimError::InstructionBudget { .. } => None,
         }
     }
 }
@@ -123,6 +137,12 @@ pub struct Simulator {
     /// applied through [`MemorySystem::migrate`] and metered into
     /// `ExecutionStats::migration_beats`.
     migration: Option<Box<dyn MigrationPolicy>>,
+    /// Abort a run after this many instructions with
+    /// [`SimError::InstructionBudget`]. `None` (the default) never aborts.
+    /// Deliberately *not* part of [`SimConfig`]: the budget is an execution
+    /// guard, not an experiment parameter, and must not perturb result-store
+    /// keys (which embed the experiment config).
+    instruction_budget: Option<u64>,
 }
 
 impl Simulator {
@@ -198,7 +218,15 @@ impl Simulator {
             bank_ready: vec![Beats::ZERO; bank_count],
             skip_guard: None,
             latency_table: LatencyTable::paper(),
+            instruction_budget: env_instruction_budget(),
         })
+    }
+
+    /// Overrides the instruction budget (see [`SimError::InstructionBudget`]).
+    /// `None` disables the guard. The budget survives [`Simulator::reset`]:
+    /// it belongs to the process, not to one run.
+    pub fn set_instruction_budget(&mut self, budget: Option<u64>) {
+        self.instruction_budget = budget;
     }
 
     /// The magic-state supply for `arch`, shared by construction and reset.
@@ -398,6 +426,11 @@ impl Simulator {
         let mut makespan = Beats::ZERO;
 
         for (index, instr) in program.iter().enumerate() {
+            if let Some(budget) = self.instruction_budget {
+                if index as u64 >= budget {
+                    return Err(SimError::InstructionBudget { budget });
+                }
+            }
             let wrap = |source: LatticeError| SimError::Instruction {
                 index,
                 instruction: *instr,
@@ -613,6 +646,21 @@ impl Simulator {
         stats.total_beats = makespan;
         Ok(SimOutcome { stats, trace })
     }
+}
+
+/// The process-wide instruction budget `LSQCA_INSTRUCTION_BUDGET` selects:
+/// a positive integer enables the guard, anything else (unset, empty, `0`,
+/// non-numeric) disables it. Read once; every simulator constructed in this
+/// process inherits it (override per instance with
+/// [`Simulator::set_instruction_budget`]).
+fn env_instruction_budget() -> Option<u64> {
+    static BUDGET: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("LSQCA_INSTRUCTION_BUDGET")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&b| b > 0)
+    })
 }
 
 /// Simulates `program` on the given architecture and returns the outcome.
@@ -1179,5 +1227,40 @@ mod tests {
         );
         assert!(hybrid.stats.total_beats <= pure.stats.total_beats);
         assert!(hybrid.stats.memory_density < pure.stats.memory_density);
+    }
+
+    #[test]
+    fn instruction_budget_aborts_a_runaway_run() {
+        let mut program = Program::new("budgeted");
+        for _ in 0..10 {
+            program.push(Instruction::HdM { mem: MemAddr(0) });
+        }
+        let mut simulator = Simulator::new(&point(1), 1, &[], SimConfig::default());
+        simulator.set_instruction_budget(Some(4));
+        let err = simulator.run(&program).unwrap_err();
+        assert_eq!(err, SimError::InstructionBudget { budget: 4 });
+        assert_eq!(err.instruction_index(), None);
+        assert!(err.to_string().contains("LSQCA_INSTRUCTION_BUDGET"));
+    }
+
+    #[test]
+    fn instruction_budget_survives_reset_and_is_invisible_when_not_hit() {
+        let mut program = Program::new("under-budget");
+        for _ in 0..3 {
+            program.push(Instruction::HdM { mem: MemAddr(0) });
+        }
+        let mut plain = Simulator::new(&point(1), 1, &[], SimConfig::default());
+        let reference = plain.run(&program).unwrap();
+
+        let mut budgeted = Simulator::new(&point(1), 1, &[], SimConfig::default());
+        budgeted.set_instruction_budget(Some(3));
+        // Two consecutive runs: the second goes through the auto-reset path
+        // and must still be guarded (and still produce identical stats).
+        for _ in 0..2 {
+            let outcome = budgeted.run(&program).unwrap();
+            assert_eq!(outcome.stats, reference.stats);
+        }
+        budgeted.set_instruction_budget(Some(2));
+        assert!(budgeted.run(&program).is_err());
     }
 }

@@ -12,6 +12,12 @@
 //!   operation when the filesystem does.
 //! - [`ShardJournal`]: an append-only journal of published records so an
 //!   interrupted sweep resumes exactly where it died.
+//! - Sharded-execution records: [`validate_shard_label`] guards every label
+//!   interpolated into a store filename, [`QuarantineLog`]/[`InflightLog`]
+//!   record poisoned and in-flight sweep points for the supervisor, and
+//!   [`merge_audit`] reconciles all shard journals into one deterministic
+//!   merged view (conflicting checksums for the same record are a hard
+//!   [`MergeError`], never a silent overwrite).
 //!
 //! Callers decide what the payloads mean; this crate only promises that a
 //! payload read back equals a payload written, or is loudly recomputed.
@@ -22,11 +28,19 @@
 mod hash;
 mod io;
 mod journal;
+mod merge;
+mod quarantine;
+mod shard;
 mod store;
 
 pub use hash::{fnv1a64, slug, Fnv1a};
 pub use io::{atomic_write, DiskIo, FaultPlan, FaultyIo, StoreIo};
 pub use journal::{JournalEntry, JournalLoad, ShardJournal};
+pub use merge::{merge_audit, MergeError, MergeReport};
+pub use quarantine::{
+    progress_signature, quarantined_keys, InflightLog, QuarantineEntry, QuarantineLog,
+};
+pub use shard::{validate_shard_label, ShardLabelError, MAX_SHARD_LABEL_LEN};
 pub use store::{
     default_store_dir, QuarantineReason, ResultStore, ResumeReport, StoreEvent, StoreStats,
     RESULT_SCHEMA,

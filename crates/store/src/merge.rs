@@ -1,0 +1,270 @@
+//! Deterministic cross-shard merge audit.
+//!
+//! After a sharded sweep, each worker shard has appended to its own
+//! `journal-<shard>.log` while publishing records into the shared store
+//! directory. [`merge_audit`] reconciles all of it, read-only:
+//!
+//! * every shard journal is parsed (torn tails tolerated and counted);
+//! * duplicate publications of the same record file are resolved by content
+//!   hash — byte-identical records merge silently, while two journals
+//!   claiming *different* checksums for the same file are a hard
+//!   [`MergeError::ChecksumConflict`], because one of them would silently
+//!   lose data;
+//! * every journaled record is verified on disk against its journaled
+//!   checksum (verified / missing / corrupt tallies);
+//! * quarantined sweep points from every `quarantine-<shard>.log` are
+//!   surfaced so the merged report can disclose what was skipped.
+//!
+//! The audit never mutates the store: merging is a property of the
+//! content-addressed layout (all shards compute identical bytes for
+//! identical keys), so "merge" is verification plus disclosure, after which
+//! any single process can serve the merged sweep entirely from hits.
+
+use crate::io::StoreIo;
+use crate::journal::ShardJournal;
+use crate::quarantine::quarantined_keys;
+use crate::store::{verify_record, Miss};
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// What a cross-shard merge audit found.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Shard journals present in the store directory.
+    pub shards: usize,
+    /// Unique record files across all journals.
+    pub journaled: usize,
+    /// Journal lines beyond the first for a record file (byte-identical
+    /// re-publications, e.g. after a worker restart replayed a point).
+    pub duplicates: usize,
+    /// Records that verified on disk against their journaled checksum.
+    pub verified: usize,
+    /// Journaled records whose file is absent or unreadable.
+    pub missing: usize,
+    /// Journaled records present on disk but failing verification.
+    pub corrupt: usize,
+    /// Torn journal lines tolerated across all shards.
+    pub torn_lines: usize,
+    /// Sweep points quarantined by the supervisor, sorted.
+    pub quarantined_points: Vec<String>,
+}
+
+impl fmt::Display for MergeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} shards, {} journaled ({} duplicates), {} verified, {} missing, \
+             {} corrupt, {} torn lines, {} quarantined points",
+            self.shards,
+            self.journaled,
+            self.duplicates,
+            self.verified,
+            self.missing,
+            self.corrupt,
+            self.torn_lines,
+            self.quarantined_points.len()
+        )
+    }
+}
+
+/// Why a merge audit refused to merge.
+#[derive(Debug)]
+pub enum MergeError {
+    /// Two shard journals claim different content checksums for the same
+    /// record file — the shards did not compute identical bytes, so a silent
+    /// merge would lose one of the results.
+    ChecksumConflict {
+        /// Record file both journals claim.
+        file: String,
+        /// The distinct checksums claimed, sorted.
+        checksums: Vec<String>,
+    },
+    /// The store directory itself could not be audited.
+    Io(io::Error),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::ChecksumConflict { file, checksums } => write!(
+                f,
+                "shard journals disagree on `{file}`: checksums {}",
+                checksums.join(" vs ")
+            ),
+            MergeError::Io(err) => write!(f, "store directory unreadable: {err}"),
+        }
+    }
+}
+
+impl Error for MergeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MergeError::ChecksumConflict { .. } => None,
+            MergeError::Io(err) => Some(err),
+        }
+    }
+}
+
+/// Audit every shard journal in `dir` against the records on disk.
+///
+/// # Errors
+///
+/// [`MergeError::ChecksumConflict`] when two journals claim different
+/// checksums for the same record file; [`MergeError::Io`] when the directory
+/// listing or a journal read fails outright (a *missing* journal or record is
+/// a tally, not an error).
+pub fn merge_audit(io: &dyn StoreIo, dir: &Path) -> Result<MergeReport, MergeError> {
+    let mut report = MergeReport::default();
+    let entries = io.list_dir(dir).map_err(MergeError::Io)?;
+    let mut journal_files: Vec<_> = entries
+        .into_iter()
+        .filter(|p| ShardJournal::is_journal_file(p))
+        .collect();
+    journal_files.sort();
+    report.shards = journal_files.len();
+
+    // file -> distinct checksums claimed for it, plus the total line count to
+    // derive how many lines were byte-identical duplicates.
+    let mut claims: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut lines = 0usize;
+    for journal in &journal_files {
+        let text = match io.read(journal) {
+            Ok(text) => text,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => continue,
+            Err(err) => return Err(MergeError::Io(err)),
+        };
+        let load = ShardJournal::parse(&text);
+        report.torn_lines += load.torn_lines;
+        lines += load.entries.len();
+        for entry in load.entries {
+            claims.entry(entry.file).or_default().insert(entry.checksum);
+        }
+    }
+    report.journaled = claims.len();
+    report.duplicates = lines - claims.len();
+
+    for (file, checksums) in &claims {
+        if checksums.len() > 1 {
+            return Err(MergeError::ChecksumConflict {
+                file: file.clone(),
+                checksums: checksums.iter().cloned().collect(),
+            });
+        }
+        let checksum = checksums.iter().next().expect("non-empty checksum set");
+        match verify_record(io, &dir.join(file), checksum) {
+            Ok(()) => report.verified += 1,
+            Err(Miss::Absent) | Err(Miss::Io(_)) => report.missing += 1,
+            Err(Miss::Corrupt(_)) => report.corrupt += 1,
+        }
+    }
+
+    report.quarantined_points = quarantined_keys(io, dir).into_iter().collect();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::FaultyIo;
+    use crate::quarantine::{QuarantineEntry, QuarantineLog};
+    use crate::store::ResultStore;
+    use lsqca_json::Json;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    fn payload(n: u64) -> Json {
+        Json::obj([("point", Json::U64(n))])
+    }
+
+    fn shard_store(io: &Arc<FaultyIo>, label: &str) -> ResultStore {
+        let mut store = ResultStore::with_io(Some(PathBuf::from("/store")), io.clone());
+        store.set_shard_label(label).unwrap();
+        store
+    }
+
+    #[test]
+    fn disjoint_shards_merge_cleanly() {
+        let io = Arc::new(FaultyIo::reliable());
+        shard_store(&io, "0").load_or_compute("k1", || payload(1));
+        shard_store(&io, "1").load_or_compute("k2", || payload(2));
+
+        let report = merge_audit(io.as_ref(), Path::new("/store")).unwrap();
+        assert_eq!(report.shards, 2);
+        assert_eq!(report.journaled, 2);
+        assert_eq!(report.duplicates, 0);
+        assert_eq!(report.verified, 2);
+        assert_eq!(report.missing, 0);
+        assert_eq!(report.corrupt, 0);
+        assert!(report.quarantined_points.is_empty());
+    }
+
+    #[test]
+    fn byte_identical_duplicates_merge_silently() {
+        let io = Arc::new(FaultyIo::reliable());
+        // Both shards compute the same point (e.g. a restart replayed it):
+        // same key, same payload, same checksum — two journal lines, one file.
+        shard_store(&io, "0").load_or_compute("k1", || payload(1));
+        let path = shard_store(&io, "0").path_for("k1").unwrap();
+        io.remove_file(&path).unwrap();
+        shard_store(&io, "1").load_or_compute("k1", || payload(1));
+
+        let report = merge_audit(io.as_ref(), Path::new("/store")).unwrap();
+        assert_eq!(report.journaled, 1);
+        assert_eq!(report.duplicates, 1);
+        assert_eq!(report.verified, 1);
+    }
+
+    #[test]
+    fn conflicting_checksums_are_a_hard_error() {
+        let io = Arc::new(FaultyIo::reliable());
+        let store = shard_store(&io, "0");
+        store.load_or_compute("k1", || payload(1));
+        let file = store
+            .path_for("k1")
+            .unwrap()
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .into_owned();
+        // A second shard journals a different checksum for the same file —
+        // i.e. it computed different bytes for the same key.
+        ShardJournal::new(io.clone(), Path::new("/store"), "1")
+            .append(&crate::journal::JournalEntry {
+                checksum: "00000000deadbeef".to_string(),
+                file: file.clone(),
+            })
+            .unwrap();
+
+        let err = merge_audit(io.as_ref(), Path::new("/store")).unwrap_err();
+        match err {
+            MergeError::ChecksumConflict { file: f, checksums } => {
+                assert_eq!(f, file);
+                assert_eq!(checksums.len(), 2);
+            }
+            other => panic!("expected a checksum conflict, got {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_and_quarantined_points_are_tallied() {
+        let io = Arc::new(FaultyIo::reliable());
+        let store = shard_store(&io, "0");
+        store.load_or_compute("k1", || payload(1));
+        store.load_or_compute("k2", || payload(2));
+        io.remove_file(&store.path_for("k2").unwrap()).unwrap();
+        QuarantineLog::new(io.clone(), Path::new("/store"), "0")
+            .append(&QuarantineEntry {
+                attempts: 3,
+                key: "k3".to_string(),
+            })
+            .unwrap();
+
+        let report = merge_audit(io.as_ref(), Path::new("/store")).unwrap();
+        assert_eq!(report.verified, 1);
+        assert_eq!(report.missing, 1);
+        assert_eq!(report.quarantined_points, vec!["k3".to_string()]);
+    }
+}

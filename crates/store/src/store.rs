@@ -26,6 +26,8 @@
 use crate::hash::{fnv1a64, slug};
 use crate::io::{atomic_write, DiskIo, StoreIo};
 use crate::journal::{JournalEntry, ShardJournal};
+use crate::merge::{merge_audit, MergeError, MergeReport};
+use crate::shard::{validate_shard_label, ShardLabelError};
 use lsqca_json::Json;
 use std::collections::HashMap;
 use std::fmt;
@@ -167,7 +169,7 @@ impl ResultStore {
         ResultStore {
             io,
             dir,
-            shard: std::env::var("LSQCA_SHARD").unwrap_or_else(|_| "0".to_string()),
+            shard: env_shard_label(),
             memory: Mutex::new(HashMap::new()),
             degraded: AtomicBool::new(false),
             computed: AtomicU64::new(0),
@@ -196,6 +198,24 @@ impl ResultStore {
     /// The directory records are stored in; `None` when disabled.
     pub fn dir(&self) -> Option<&Path> {
         self.dir.as_deref()
+    }
+
+    /// The shard label this store journals publications under.
+    pub fn shard_label(&self) -> &str {
+        &self.shard
+    }
+
+    /// Override the shard label (validated) — used by the supervisor and the
+    /// merge path, which must not journal under a worker's label.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardLabelError`] when `label` violates the `[A-Za-z0-9_-]{1,64}`
+    /// contract; the current label is kept.
+    pub fn set_shard_label(&mut self, label: &str) -> Result<(), ShardLabelError> {
+        validate_shard_label(label)?;
+        self.shard = label.to_string();
+        Ok(())
     }
 
     /// Whether the store has degraded to in-memory operation after a
@@ -281,6 +301,56 @@ impl ResultStore {
                 .insert(key.to_string(), payload.clone());
         }
         (payload, event)
+    }
+
+    /// Serve the payload for `key` only if a verified record already exists
+    /// (in memory or on disk); never computes, never publishes.
+    ///
+    /// This is how a process renders sweep points *owned by other shards*: a
+    /// record published by any shard is served, an absent record stays absent
+    /// (the caller substitutes a placeholder). A corrupt record is
+    /// quarantined as usual so the owning shard recomputes it.
+    pub fn probe(&self, key: &str) -> Option<Json> {
+        if self.dir.is_some() {
+            if let Some(payload) = self.memory.lock().unwrap().get(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(payload.clone());
+            }
+        }
+        let path = self.usable_path(key)?;
+        match load_record(self.io.as_ref(), &path, key) {
+            Ok(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.memory
+                    .lock()
+                    .unwrap()
+                    .insert(key.to_string(), payload.clone());
+                Some(payload)
+            }
+            Err(Miss::Absent) => None,
+            Err(Miss::Io(err)) => {
+                self.degrade("read", &err);
+                None
+            }
+            Err(Miss::Corrupt(reason)) => {
+                self.quarantine(&path, &reason);
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Audit all shard journals in this store's directory for a merge — see
+    /// [`merge_audit`](crate::merge_audit). A disabled store merges trivially.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MergeError`] from the underlying audit.
+    pub fn merge_audit(&self) -> Result<MergeReport, MergeError> {
+        match self.dir.as_deref() {
+            Some(dir) => merge_audit(self.io.as_ref(), dir),
+            None => Ok(MergeReport::default()),
+        }
     }
 
     /// Cross-check every journaled record against its on-disk checksum; call
@@ -429,7 +499,21 @@ fn record_checksum(key: &str, payload: &Json) -> u64 {
     hash.finish()
 }
 
-enum Miss {
+/// The shard label the environment selects, falling back to `0` (with a
+/// warning) when `LSQCA_SHARD` is set to something that could escape the
+/// store directory once interpolated into a journal filename.
+fn env_shard_label() -> String {
+    let label = std::env::var("LSQCA_SHARD").unwrap_or_else(|_| "0".to_string());
+    match validate_shard_label(&label) {
+        Ok(()) => label,
+        Err(err) => {
+            eprintln!("warning: result store: ignoring LSQCA_SHARD: {err}; using shard label `0`");
+            "0".to_string()
+        }
+    }
+}
+
+pub(crate) enum Miss {
     Absent,
     Io(io::Error),
     Corrupt(QuarantineReason),
@@ -488,7 +572,11 @@ fn load_record(io: &dyn StoreIo, path: &Path, key: &str) -> Result<Json, Miss> {
     Ok(payload)
 }
 
-fn verify_record(io: &dyn StoreIo, path: &Path, journaled_checksum: &str) -> Result<(), Miss> {
+pub(crate) fn verify_record(
+    io: &dyn StoreIo,
+    path: &Path,
+    journaled_checksum: &str,
+) -> Result<(), Miss> {
     let (_key, _payload, checksum) = read_record(io, path)?;
     if checksum != journaled_checksum {
         return Err(Miss::Corrupt(QuarantineReason::Checksum {
@@ -668,6 +756,46 @@ mod tests {
         assert_eq!(stats.hits + stats.computed, 8);
         assert!(stats.hits > 0, "the survived prefix must be served as hits");
         assert!(stats.computed > 0, "the lost tail must recompute");
+    }
+
+    #[test]
+    fn probe_serves_hits_but_never_computes() {
+        let (io, store) = mem_store();
+        assert_eq!(store.probe("k1"), None);
+        assert_eq!(store.stats().computed, 0);
+        store.load_or_compute("k1", || payload(1));
+
+        // A fresh process probes the record published by the first.
+        let fresh = ResultStore::with_io(Some(PathBuf::from("/store")), io.clone());
+        assert_eq!(fresh.probe("k1"), Some(payload(1)));
+        assert_eq!(fresh.stats().hits, 1);
+        assert_eq!(fresh.stats().computed, 0);
+
+        // A corrupt record is quarantined, not served.
+        let path = store.path_for("k1").unwrap();
+        io.tamper(&path, b"{ torn");
+        let fresh = ResultStore::with_io(Some(PathBuf::from("/store")), io);
+        assert_eq!(fresh.probe("k1"), None);
+        assert_eq!(fresh.stats().quarantined, 1);
+    }
+
+    #[test]
+    fn shard_label_override_is_validated() {
+        let (_io, mut store) = mem_store();
+        store.set_shard_label("merge").unwrap();
+        assert_eq!(store.shard_label(), "merge");
+        assert!(store.set_shard_label("../evil").is_err());
+        assert_eq!(store.shard_label(), "merge");
+    }
+
+    #[test]
+    fn shards_journal_under_their_own_label() {
+        let io = Arc::new(FaultyIo::reliable());
+        let mut store = ResultStore::with_io(Some(PathBuf::from("/store")), io.clone());
+        store.set_shard_label("w3").unwrap();
+        store.load_or_compute("k1", || payload(1));
+        let journal = crate::journal::ShardJournal::new(io, Path::new("/store"), "w3");
+        assert_eq!(journal.load().unwrap().entries.len(), 1);
     }
 
     #[test]
