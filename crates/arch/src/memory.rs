@@ -585,6 +585,69 @@ impl MemorySystem {
         }
     }
 
+    /// Fused CX access: the paper's runtime CX sequence — peek both
+    /// operands, load the cheaper one, access the other in memory, store the
+    /// loaded one back — as one call returning the `(load, access, store)`
+    /// latencies.
+    ///
+    /// When both operands are stored in the same single-port point bank with
+    /// clean checkout records (the dominant shape in every point-SAM sweep),
+    /// the whole sequence runs as one fused bank call that shares the
+    /// residence lookups, checkout audits, and position/cost computations
+    /// the five separate calls would repeat; the memory-level audit record
+    /// is provably unchanged by the balanced checkout/check-in pair, so it
+    /// is not touched. Every other shape — conventional or mixed residence,
+    /// dual-port or line banks, a checked-out operand, or the degenerate
+    /// self-CX — takes the literal five-call sequence, so errors and partial
+    /// state on failure are identical to issuing the calls separately (the
+    /// executable spec kept in `Simulator::run_classified`).
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of the five-call sequence, surfaced from the first
+    /// failing step.
+    pub fn cx_access(
+        &mut self,
+        control: QubitTag,
+        target: QubitTag,
+    ) -> Result<(Beats, Beats, Beats), LatticeError> {
+        if control != target {
+            match (self.residence(control), self.residence(target)) {
+                (Some(Residence::SamBank(i)), Some(Residence::SamBank(j)))
+                    if i == j
+                        && self.checked_out_of(control).is_none()
+                        && self.checked_out_of(target).is_none() =>
+                {
+                    if let Bank::Point(bank) = &mut self.banks[i] {
+                        return bank.cx_access(control, target);
+                    }
+                }
+                // Both operands directly accessible: every step of the spec
+                // is a zero-latency no-op (loads and stores of conventional
+                // residents with clean audit records do not change any
+                // state).
+                (Some(Residence::Conventional), Some(Residence::Conventional))
+                    if self.checked_out_of(control).is_none()
+                        && self.checked_out_of(target).is_none() =>
+                {
+                    return Ok((Beats::ZERO, Beats::ZERO, Beats::ZERO));
+                }
+                _ => {}
+            }
+        }
+        let peek_c = self.peek_load(control)?;
+        let peek_t = self.peek_load(target)?;
+        let (loaded, other) = if peek_c <= peek_t {
+            (control, target)
+        } else {
+            (target, control)
+        };
+        let load = self.load(loaded)?;
+        let access = self.in_memory_two_qubit_access(other)?;
+        let store = self.store(loaded)?;
+        Ok((load, access, store))
+    }
+
     /// Runtime hot-set migration: promotes `promote` out of its SAM bank into
     /// the conventional region and demotes `demote` (a conventional resident)
     /// into the freed bank capacity, as one balanced swap. Returns the

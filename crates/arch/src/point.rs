@@ -294,6 +294,85 @@ impl PointSamBank {
         Ok(seek + transport)
     }
 
+    /// Fused CX access: the load-cheaper-operand / access-other / store-back
+    /// sequence of the paper's runtime CX optimization (Sec. VI-A) as one
+    /// bank call. Observationally identical to `peek_load` ×2 + `load` +
+    /// `in_memory_two_qubit_access` + `store` issued back to back (the
+    /// executable spec kept in `Simulator::run_classified`), but the
+    /// positions and load costs feeding the operand choice are computed once
+    /// and reused for the load itself, and the intermediate checkout-state
+    /// transitions stay inside a single call. Returns the `(load, access,
+    /// store)` latencies.
+    ///
+    /// `control` and `target` must be distinct — callers route the degenerate
+    /// self-CX through the unfused sequence so its mid-sequence error leaves
+    /// the exact same partial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::QubitNotPresent`] (before any mutation) if
+    /// either operand is not stored here, exactly as the first failing peek
+    /// of the unfused sequence would.
+    pub fn cx_access(
+        &mut self,
+        control: QubitTag,
+        target: QubitTag,
+    ) -> Result<(Beats, Beats, Beats), LatticeError> {
+        debug_assert_ne!(control, target, "self-CX takes the unfused path");
+        let pos_c = self.position(control)?;
+        let pos_t = self.position(target)?;
+        let cost_c = self.load_cost(pos_c);
+        let cost_t = self.load_cost(pos_t);
+        // Ties load the control, matching `peek_c <= peek_t` in the spec.
+        let (loaded, other, load) = if cost_c <= cost_t {
+            (control, target, cost_c)
+        } else {
+            (target, control, cost_t)
+        };
+        // load(loaded), with the cost already in hand.
+        self.grid.remove(loaded)?;
+        self.ledger.check_out(loaded);
+        self.scan = self.port;
+        // in_memory_two_qubit_access(other): the loaded qubit's vacancy is
+        // the second one the cheaper move protocol exploits.
+        let two = self.has_second_vacancy();
+        let (pos, dest) = self.grid.relocate_into_nearest_vacancy(other, self.port)?;
+        let seek = Beats(self.scan.manhattan_distance(pos) as u64);
+        let access = seek
+            + self
+                .latencies
+                .point_transport(pos.dx(dest), pos.dy(dest), two);
+        self.scan = pos;
+        // store(loaded): it is provably absent from the grid and checked out,
+        // so the spec's guard errors cannot fire.
+        let two_store = self.has_second_vacancy();
+        let dest_store = if self.locality_aware_store {
+            self.grid.place_at_nearest_vacancy(loaded, self.port)?
+        } else {
+            let home = self
+                .home
+                .get(loaded.0 as usize)
+                .copied()
+                .flatten()
+                .ok_or(LatticeError::QubitNotPresent { qubit: loaded })?;
+            if self.grid.is_vacant(home) {
+                self.grid.place(loaded, home)?;
+                home
+            } else {
+                self.grid.place_at_nearest_vacancy(loaded, home)?
+            }
+        };
+        let store = self.latencies.point_transport(
+            dest_store.dx(self.port),
+            dest_store.dy(self.port),
+            two_store,
+        ) + self.latencies.move_step;
+        self.ledger.check_in(loaded);
+        self.scan = self.port;
+        self.debug_assert_invariants();
+        Ok((load, access, store))
+    }
+
     /// Manhattan distance from the port to the qubit's current cell, a proxy for
     /// how "hot" its placement currently is (used in tests and diagnostics).
     pub fn distance_from_port(&self, qubit: QubitTag) -> Option<u32> {

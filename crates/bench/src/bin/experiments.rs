@@ -52,7 +52,9 @@
 //! results and produces the same report, and `--resume` prints a journal
 //! audit (intact/torn/missing record counts) before doing so. A one-line
 //! `result store: N computed, M hits, K quarantined` summary is printed to
-//! stderr after every command.
+//! stderr after every command, followed by a `trace engine: N lowered` line
+//! counting in-process trace lowerings (cached artifacts carry their traces
+//! pre-lowered, so a warm run reports `0 lowered`).
 //!
 //! Exit codes: `0` = complete, `2` = completed with quarantined sweep points
 //! (see `--help`), `1` = fatal.
@@ -380,9 +382,12 @@ fn main() -> ExitCode {
         println!("{}", run(command));
     }
     // Stderr so `--json` stdout stays machine-readable; `table1` compiles no
-    // workloads, everything else reports its compile/hit split here.
+    // workloads, everything else reports its compile/hit split here. The
+    // trace line mirrors the other two: a warm run loads every execution
+    // trace from the artifact cache and reports `0 lowered`.
     eprintln!("{}", lsqca_bench::cache_summary());
     eprintln!("{}", lsqca_bench::store_summary());
+    eprintln!("{}", lsqca_bench::trace_summary());
     if quarantined_points > 0 {
         eprintln!(
             "warning: {quarantined_points} quarantined sweep points rendered as placeholders"

@@ -5,8 +5,10 @@
 //! grid cell to find the vacancy nearest the bank port, mutate the grid's
 //! three tables twice per relocation (remove → nearest_vacant → place instead
 //! of the fused `relocate_into_nearest_vacancy`), run its vacant-path
-//! BFS through a `HashMap` frontier, and re-match on the instruction variant
-//! for the CPI command count. This module keeps faithful *reference
+//! BFS through a `HashMap` frontier, re-match on the instruction variant
+//! for the CPI command count, and dispatch every instruction through a full
+//! `Instruction` enum match (the interpreter the trace engine replaced).
+//! This module keeps faithful *reference
 //! implementations* of those legacy code paths ([`legacy`]) and measures them
 //! against the allocation-free / dense-index / vacancy-indexed replacements,
 //! so the speedup is tracked in-repo instead of relying on a historical
@@ -27,10 +29,31 @@ use std::time::{Duration, Instant};
 /// (modulo the return-type rename) so micro benches can compare against them.
 pub mod legacy {
     use lsqca::arch::Residence;
-    use lsqca::isa::{Instruction, LatencyTable, MemAddr, OperandLocation, Program, RegId};
+    use lsqca::isa::{
+        Instruction, LatencyClass, LatencyTable, MemAddr, OperandLocation, Program, RegId,
+    };
     use lsqca::lattice::{CellGrid, Coord, LatticeError, QubitTag};
     use lsqca::prelude::MemorySystem;
+    use lsqca::sim::{SimError, SimOutcome, Simulator};
     use std::collections::{HashMap, VecDeque};
+
+    /// The pre-trace dispatch loop: the engine's reference interpreter, which
+    /// matches on the full `Instruction` enum (and re-derives operands and
+    /// flags from it) at every step. `run_classified` is retained in the
+    /// engine as the executable specification the trace engine is
+    /// shadow-tested against; this wrapper is the legacy side of the
+    /// `trace_dispatch` micro comparison.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as `Simulator::run_classified`.
+    pub fn interpret(
+        simulator: &mut Simulator,
+        program: &Program,
+        classes: &[LatencyClass],
+    ) -> Result<SimOutcome, SimError> {
+        simulator.run_classified(program, classes)
+    }
 
     /// The seed's `Instruction::qubit_operands`: one `Vec` allocation per call.
     pub fn qubit_operands(instr: &Instruction) -> Vec<OperandLocation> {
@@ -702,6 +725,52 @@ pub fn generate_with(scale: Scale, budget: MeasureBudget) -> HotpathReport {
         optimized_ns,
     });
 
+    // Trace lowering: a fresh `ExecutionTrace` (seven new column vectors) per
+    // lowering vs the engine's reused scratch (`lower_into` keeps the
+    // capacity of the previous program), per instruction — the cost
+    // `Simulator::run` pays on a cache miss vs on every subsequent call.
+    let legacy_ns = measure_ns(budget, || {
+        black_box(lsqca::isa::lower(black_box(program)));
+    }) / instructions as f64;
+    let mut lowering_scratch = lsqca::isa::ExecutionTrace::new();
+    let optimized_ns = measure_ns(budget, || {
+        lsqca::isa::lower_into(black_box(program), &mut lowering_scratch);
+        black_box(&lowering_scratch);
+    }) / instructions as f64;
+    comparisons.push(Comparison {
+        name: "trace_lowering".to_string(),
+        legacy_ns,
+        optimized_ns,
+    });
+
+    // Trace dispatch: the legacy per-instruction interpreter (an enum match
+    // plus operand re-derivation per step) vs the branchless walk over the
+    // pre-lowered SoA trace, end-to-end on the point SAM. This is the
+    // tentpole comparison: everything around the dispatch — memory system,
+    // latencies, stats — is identical, so the delta is dispatch cost alone.
+    let dispatch_arch = ArchConfig::new(FloorplanKind::PointSam { banks: 1 }, 1);
+    let sim_config = lsqca::sim::SimConfig::default();
+    let qubits = workload.num_qubits().max(1);
+    let trace = lsqca::isa::lower(program);
+    let mut interpreter = lsqca::sim::Simulator::new(&dispatch_arch, qubits, &[], sim_config);
+    let legacy_ns = measure_ns(budget, || {
+        black_box(legacy::interpret(
+            &mut interpreter,
+            black_box(program),
+            &classes,
+        ))
+        .ok();
+    }) / instructions as f64;
+    let mut engine = lsqca::sim::Simulator::new(&dispatch_arch, qubits, &[], sim_config);
+    let optimized_ns = measure_ns(budget, || {
+        black_box(engine.run_trace(black_box(&trace))).ok();
+    }) / instructions as f64;
+    comparisons.push(Comparison {
+        name: "trace_dispatch".to_string(),
+        legacy_ns,
+        optimized_ns,
+    });
+
     // Same-machine calibration for the ratio-based CI gate: the frozen
     // legacy BFS on a fixed open grid, untouched by any optimization work,
     // so its wall time tracks only the machine's speed.
@@ -811,7 +880,7 @@ mod tests {
         // Shape-only with a near-zero time budget: timing assertions live in
         // the benches, not unit tests.
         let report = generate_with(Scale::Quick, MeasureBudget::smoke());
-        assert_eq!(report.comparisons.len(), 7);
+        assert_eq!(report.comparisons.len(), 9);
         assert_eq!(report.end_to_end.len(), 3);
         assert!(report.calibration_ns_per_op > 0.0);
         let json = report.to_json().pretty();
@@ -825,6 +894,8 @@ mod tests {
             "ring_removal",
             "vacant_path",
             "latency_class",
+            "trace_lowering",
+            "trace_dispatch",
         ] {
             assert!(json.contains(name), "missing comparison `{name}`");
         }
@@ -924,6 +995,30 @@ mod tests {
             assert_eq!(fused, triple);
             assert_eq!(fused.nearest_vacant(port), triple.nearest_vacant(port));
         }
+    }
+
+    #[test]
+    fn legacy_interpreter_matches_the_trace_engine_on_the_bench_workload() {
+        // The micro comparison's two sides must compute the same thing: the
+        // interpreter and the trace walk agree on the full outcome for the
+        // exact workload and floorplan `trace_dispatch` measures. (The broad
+        // equivalence over random programs lives in the sim crate's shadow
+        // proptests; this pins the measured configuration.)
+        let workload = workload(Scale::Quick);
+        let program = &workload.compiled().program;
+        let classes = LatencyTable::paper().classify_program(program);
+        let trace = lsqca::isa::lower(program);
+        let arch = ArchConfig::new(FloorplanKind::PointSam { banks: 1 }, 1);
+        let config = lsqca::sim::SimConfig::default();
+        let qubits = workload.num_qubits().max(1);
+        let mut interpreter = lsqca::sim::Simulator::new(&arch, qubits, &[], config);
+        let mut engine = lsqca::sim::Simulator::new(&arch, qubits, &[], config);
+        let expected = legacy::interpret(&mut interpreter, program, &classes);
+        let actual = engine.run_trace(&trace);
+        assert_eq!(expected, actual);
+        // And again on the dirty simulators, as the measurement loop does.
+        let expected = legacy::interpret(&mut interpreter, program, &classes);
+        assert_eq!(expected, engine.run_trace(&trace));
     }
 
     #[test]

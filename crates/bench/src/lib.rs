@@ -90,6 +90,15 @@ pub fn cache_summary() -> String {
     }
 }
 
+/// One-line summary of this process's trace-lowering activity, for operator
+/// output (mirrors [`cache_summary`] and [`store_summary`]). Cached workload
+/// artifacts carry their execution trace pre-lowered, so a warm sweep must
+/// report `0 lowered` — CI asserts exactly that, the same way it asserts zero
+/// compiles and zero simulations on a warm cache.
+pub fn trace_summary() -> String {
+    format!("trace engine: {} lowered", lsqca::isa::lowering_count())
+}
+
 /// Compiles or cache-loads the benchmark instance for `scale`.
 pub fn cached_workload(benchmark: Benchmark, scale: Scale) -> Workload {
     let cfg = benchmark.config(scale.instance_size());

@@ -271,7 +271,12 @@ impl Workload {
     /// model; the compiler only produces well-formed programs, so this
     /// indicates a corrupted artifact.
     pub fn run(&self, config: &ExperimentConfig) -> ExperimentResult {
-        let hot = self.hot_qubits(config);
+        self.run_with_hot(config, self.hot_qubits(config))
+    }
+
+    /// [`Workload::run`] with the hot set already selected (the batch path
+    /// amortizes that selection across configurations sharing a strategy).
+    fn run_with_hot(&self, config: &ExperimentConfig, hot: Vec<QubitTag>) -> ExperimentResult {
         let arch = config.arch_config();
         // The footprint is precomputed in the artifact, so sizing the
         // simulator is O(1) per run instead of a pass over the program.
@@ -283,6 +288,8 @@ impl Workload {
         if let Some(policy) = config.migration {
             simulator.set_migration_policy(policy.build());
         }
+        // `run_compiled` executes the artifact's pre-lowered execution trace:
+        // the whole sweep stack funnels through `Simulator::run_trace` here.
         let outcome = match simulator.run_compiled(&self.artifact) {
             Ok(outcome) => outcome,
             Err(err) => panic!(
@@ -303,6 +310,45 @@ impl Workload {
         }
     }
 
+    /// Executes the workload's single pre-lowered execution trace against
+    /// every configuration in `configs`, in order — the batched sweep path.
+    ///
+    /// The per-point work a naive `configs.iter().map(|c| w.run(c))` loop
+    /// repeats is amortized here: the trace is lowered zero times (the
+    /// artifact carries it), and the hot-set selection — a sort over the
+    /// program's access counts per point — is computed once per distinct
+    /// `(hot-set size, strategy)` pair and shared across the batch. Results
+    /// are identical to running each configuration individually; a sweep
+    /// driver can therefore batch all points of one workload and keep its
+    /// per-point result-store keys unchanged.
+    pub fn run_batch(&self, configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
+        // Sweeps vary floorplan/factories far more often than hot-set shape,
+        // so a tiny linear-scan memo beats a hash map here (typically one or
+        // two distinct entries per batch).
+        let mut selected: Vec<(usize, HotSetStrategy, Vec<QubitTag>)> = Vec::new();
+        configs
+            .iter()
+            .map(|config| {
+                if config.hybrid_fraction <= 0.0 || config.floorplan.is_conventional() {
+                    return self.run_with_hot(config, Vec::new());
+                }
+                let count = hot_set_size(self.num_qubits(), config.hybrid_fraction);
+                let hot = match selected
+                    .iter()
+                    .find(|(c, strategy, _)| *c == count && *strategy == config.hot_set)
+                {
+                    Some((_, _, hot)) => hot.clone(),
+                    None => {
+                        let hot = self.hot_qubits(config);
+                        selected.push((count, config.hot_set.clone(), hot.clone()));
+                        hot
+                    }
+                };
+                self.run_with_hot(config, hot)
+            })
+            .collect()
+    }
+
     /// Runs `config` and the conventional baseline with the same factory count,
     /// returning `(lsqca, baseline)`.
     pub fn run_with_baseline(
@@ -313,7 +359,10 @@ impl Workload {
             floorplan: FloorplanKind::Conventional,
             ..config.clone()
         };
-        (self.run(config), self.run(&baseline))
+        let mut results = self.run_batch(&[config.clone(), baseline]).into_iter();
+        let lsqca = results.next().expect("batch of two returns two results");
+        let baseline = results.next().expect("batch of two returns two results");
+        (lsqca, baseline)
     }
 }
 
@@ -486,6 +535,33 @@ mod tests {
                 .with_migration(PolicyKind::FreqDecay),
         );
         assert_eq!(adaptive.stats, again.stats);
+    }
+
+    #[test]
+    fn run_batch_matches_individual_runs() {
+        let w = workload();
+        let configs = vec![
+            ExperimentConfig::new(FloorplanKind::PointSam { banks: 1 }, 1),
+            ExperimentConfig::new(FloorplanKind::PointSam { banks: 1 }, 1)
+                .with_hybrid_fraction(0.25),
+            ExperimentConfig::new(FloorplanKind::LineSam { banks: 2 }, 2)
+                .with_hybrid_fraction(0.25),
+            ExperimentConfig::new(FloorplanKind::LineSam { banks: 2 }, 2).with_hybrid_fraction(0.5),
+            ExperimentConfig::baseline(1),
+            ExperimentConfig::new(FloorplanKind::DualPointSam { banks: 1 }, 1)
+                .with_hybrid_fraction(0.25)
+                .with_migration(PolicyKind::FreqDecay),
+        ];
+        let batched = w.run_batch(&configs);
+        assert_eq!(batched.len(), configs.len());
+        for (config, batched) in configs.iter().zip(&batched) {
+            assert_eq!(&w.run(config), batched);
+        }
+        // The two f = 0.25 points share one hot-set selection; the batch must
+        // still report per-config hot sizes, not a merged one.
+        assert_eq!(batched[1].hot_qubits, batched[2].hot_qubits);
+        assert_ne!(batched[2].hot_qubits, batched[3].hot_qubits);
+        assert_eq!(batched[4].hot_qubits, 0);
     }
 
     #[test]

@@ -52,10 +52,14 @@ pub mod instruction;
 pub mod latency;
 pub mod operand;
 pub mod program;
+pub mod trace_compile;
 pub mod validate;
 
 pub use instruction::{Instruction, InstructionKind, OperandLocation};
 pub use latency::{InstructionLatency, LatencyClass, LatencyTable};
 pub use operand::{ClassicalId, MemAddr, Operands, RegId, MAX_OPERANDS};
 pub use program::{Program, ProgramStats};
+pub use trace_compile::{
+    lower, lower_into, lowering_count, ExecKind, ExecutionTrace, TraceDecodeError, TRACE_REVISION,
+};
 pub use validate::{ValidationError, ValidationReport};

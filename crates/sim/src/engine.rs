@@ -4,7 +4,10 @@ use crate::config::SimConfig;
 use crate::metrics::ExecutionStats;
 use crate::trace::MemoryTrace;
 use lsqca_arch::{ArchConfig, MagicStateSupply, MemorySystem, MigrationPolicy, MsfConfig};
-use lsqca_isa::{ClassicalId, Instruction, LatencyClass, LatencyTable, MemAddr, Program, RegId};
+use lsqca_isa::trace_compile::flags;
+use lsqca_isa::{
+    ClassicalId, ExecKind, ExecutionTrace, Instruction, LatencyClass, MemAddr, Program, RegId,
+};
 use lsqca_lattice::{Beats, LatticeError, QubitTag};
 use lsqca_workloads::CompiledWorkload;
 use std::error::Error;
@@ -12,9 +15,10 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of simulation runs performed by this process (every entry into
-/// [`Simulator::run_classified`], which all run paths funnel through). The
-/// warm-store acceptance tests assert this stays flat across a sweep served
-/// entirely from the result store.
+/// [`Simulator::run_trace`] — which `run`/`run_compiled` funnel through —
+/// plus every direct [`Simulator::run_classified`] reference-interpreter
+/// run). The warm-store acceptance tests assert this stays flat across a
+/// sweep served entirely from the result store.
 static SIM_COUNT: AtomicU64 = AtomicU64::new(0);
 
 /// Total simulation runs performed by this process so far.
@@ -121,7 +125,12 @@ pub struct Simulator {
     classical_ready: Vec<Beats>,
     bank_ready: Vec<Beats>,
     skip_guard: Option<Beats>,
-    latency_table: LatencyTable,
+    /// Reusable lowering scratch for [`Simulator::run`]: the execution trace
+    /// of one program is lowered into this buffer and its column vectors are
+    /// recycled across runs, so a simulator re-running ad-hoc programs
+    /// allocates nothing in steady state. (`run_compiled` never touches it —
+    /// artifacts carry their own pre-lowered trace.)
+    scratch_trace: ExecutionTrace,
     /// The construction inputs, kept so [`Simulator::reset`] can rebuild the
     /// pristine architectural state on demand. Rebuilding costs the same as
     /// the original construction and nothing is cloned up front, so the
@@ -217,7 +226,7 @@ impl Simulator {
             classical_ready: Vec::new(),
             bank_ready: vec![Beats::ZERO; bank_count],
             skip_guard: None,
-            latency_table: LatencyTable::paper(),
+            scratch_trace: ExecutionTrace::new(),
             instruction_budget: env_instruction_budget(),
         })
     }
@@ -371,28 +380,36 @@ impl Simulator {
     /// memory state (for example, loading a qubit twice without storing it, or
     /// storing a qubit that was never checked out of its bank).
     pub fn run(&mut self, program: &Program) -> Result<SimOutcome, SimError> {
-        // Latency classes precompiled once per program: the CPI bookkeeping
-        // below reads a dense byte vector instead of re-matching on the
-        // instruction variant for every instruction executed. Sweep callers
-        // holding a `CompiledWorkload` skip even this pass via `run_compiled`.
-        let classes = self.latency_table.classify_program(program);
-        self.run_classified(program, &classes)
+        // Lower into the engine's reusable scratch trace (the column vectors
+        // are recycled across runs), then execute through the trace engine.
+        // Sweep callers holding a `CompiledWorkload` skip even the lowering
+        // via `run_compiled` — artifacts embed their trace.
+        let mut trace = std::mem::take(&mut self.scratch_trace);
+        lsqca_isa::lower_into(program, &mut trace);
+        let outcome = self.run_trace(&trace);
+        self.scratch_trace = trace;
+        outcome
     }
 
-    /// Executes a [`CompiledWorkload`] artifact, reusing its precompiled
-    /// latency classes instead of re-classifying the program. Otherwise
+    /// Executes a [`CompiledWorkload`] artifact through its pre-lowered
+    /// execution trace — zero per-run lowering or classification. Otherwise
     /// identical to [`Simulator::run`] (including the auto-reset on reuse).
     ///
     /// # Errors
     ///
     /// Same contract as [`Simulator::run`].
     pub fn run_compiled(&mut self, workload: &CompiledWorkload) -> Result<SimOutcome, SimError> {
-        self.run_classified(&workload.program, workload.classes())
+        self.run_trace(workload.trace())
     }
 
     /// Executes `program` against an externally precompiled latency-class
-    /// vector. Both [`Simulator::run`] and [`Simulator::run_compiled`]
-    /// delegate here, so the two entry points cannot drift.
+    /// vector — the **reference interpreter**, dispatching on `Instruction`
+    /// enums per step.
+    ///
+    /// The production path is [`Simulator::run_trace`]; this interpreter is
+    /// retained as the executable specification the trace engine is checked
+    /// against (the shadow-equivalence proptests in `tests/` and the
+    /// `trace_dispatch` hot-path comparison both drive it directly).
     ///
     /// # Errors
     ///
@@ -645,6 +662,347 @@ impl Simulator {
 
         stats.total_beats = makespan;
         Ok(SimOutcome { stats, trace })
+    }
+
+    /// Executes a pre-lowered [`ExecutionTrace`] — the optimized engine path.
+    ///
+    /// The trace is a struct-of-arrays rendering of the instruction stream
+    /// (see [`lsqca_isa::trace_compile`]): execution kind, fixed-beat charge,
+    /// operand slots, and dependency flags are all resolved at lowering time,
+    /// so this walk tests precomputed flag bits over flat arrays instead of
+    /// re-matching `Instruction` variants per step. It is observationally
+    /// identical to [`Simulator::run_classified`] (the retained reference
+    /// interpreter) — the shadow-equivalence proptests in `tests/` assert
+    /// equality of the full outcome, errors included, over random programs
+    /// and floorplans.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulator::run`]. The offending instruction in a
+    /// [`SimError::Instruction`] is reconstructed from the trace record, so
+    /// errors render identically to the interpreter's.
+    pub fn run_trace(&mut self, trace: &ExecutionTrace) -> Result<SimOutcome, SimError> {
+        SIM_COUNT.fetch_add(1, Ordering::Relaxed);
+        if self.dirty {
+            self.reset();
+        }
+        self.dirty = true;
+
+        // Presize the dense ready tables so the hot loop can index them
+        // without per-write grow checks, plus one scratch slot past every
+        // real operand: absent operands read slot 0 under a zero mask and
+        // write the scratch slot, so the dependency pass needs no per-operand
+        // branches at all. Reads of never-written entries return
+        // `Beats::ZERO` either way, so sizing up front is observationally
+        // free. `slot_ready` deliberately keeps its lazy growth instead: the
+        // CX slot claim scans the *current* table, and presizing it would
+        // hand CXs slots the program has not touched yet.
+        let mem_bound = trace.mem_bound() as usize;
+        if self.mem_ready.len() < mem_bound + 1 {
+            self.mem_ready.resize(mem_bound + 1, Beats::ZERO);
+        }
+        // Any index past every real operand works as the write sink: nothing
+        // in this run reads indices at or above `mem_bound`.
+        let mem_scratch = self.mem_ready.len() - 1;
+        let classical_bound = trace.classical_bound() as usize;
+        if self.classical_ready.len() < classical_bound + 1 {
+            self.classical_ready
+                .resize(classical_bound + 1, Beats::ZERO);
+        }
+        let classical_scratch = self.classical_ready.len() - 1;
+
+        let mut stats = ExecutionStats {
+            memory_density: self.memory.memory_density(),
+            total_cells: self.memory.total_cells(),
+            ..ExecutionStats::default()
+        };
+        let mut mem_trace = MemoryTrace::new();
+        let mut makespan = Beats::ZERO;
+        let budget = self.instruction_budget.unwrap_or(u64::MAX);
+        let record_trace = self.config.record_trace;
+        let bounded_registers = !self.unbounded_registers;
+        let infinite_magic = self.config.assume_infinite_magic;
+        let migrating = self.migration.is_some();
+
+        // With a single SAM bank and no conventional region every memory
+        // operand resolves to bank 0 (residence is constant over a run:
+        // checkout does not retag, and hot-set migration only exists on
+        // hybrid floorplans, which have conventional residents). The scan
+        // pass then degenerates to one ready-slot — no per-operand residence
+        // lookups. Out-of-range operands still error identically: the bank
+        // pass result is discarded when the memory access below rejects them.
+        let uniform_bank = self.memory.bank_count() == 1 && self.memory.conventional_qubits() == 0;
+        // With no banks at all (conventional floorplan) no operand can ever
+        // resolve to one, so the scan pass is skipped outright.
+        let no_banks = self.memory.bank_count() == 0;
+
+        let len = trace.len();
+        let exec = &trace.exec_kinds()[..len];
+        let flag = &trace.flag_bits()[..len];
+        let fixed = &trace.fixed_beats()[..len];
+        let mem0 = &trace.mem0()[..len];
+        let mem1 = &trace.mem1()[..len];
+        let reg0 = &trace.reg0()[..len];
+        let reg1 = &trace.reg1()[..len];
+        let cio = &trace.cio()[..len];
+
+        // The skip guard lives in a register for the duration of the walk;
+        // it only ever gates the immediately following record.
+        let mut guard = self.skip_guard.take().unwrap_or(Beats::ZERO);
+
+        // Disjoint field borrows: with the ready tables split off from the
+        // memory system and magic supply, the table pointers and lengths can
+        // stay in registers across the opaque `&mut` memory calls below. A
+        // `self.`-qualified loop would have to re-load them after every such
+        // call, since from the compiler's view any `&mut self` call might
+        // resize them.
+        let Simulator {
+            memory,
+            magic,
+            migration,
+            mem_ready,
+            slot_ready,
+            classical_ready,
+            bank_ready,
+            arch,
+            ..
+        } = self;
+
+        for index in 0..trace.len() {
+            if index as u64 >= budget {
+                return Err(SimError::InstructionBudget { budget });
+            }
+            let fl = flag[index];
+            let kind = exec[index];
+            // The instruction is only rendered on the (cold) error path.
+            let wrap = |source: LatticeError| SimError::Instruction {
+                index,
+                instruction: trace.instruction(index),
+                source,
+            };
+
+            let has_m0 = fl & flags::HAS_MEM0 != 0;
+            let has_m1 = fl & flags::HAS_MEM1 != 0;
+            let m0 = mem0[index];
+            let m1 = mem1[index];
+
+            // Dependency collection, branchless: absent operand slots encode
+            // as 0 (see `trace_compile`), so the table read is always in
+            // bounds, and a zero mask drops it below any real ready time.
+            let dep0 = mem_ready[m0 as usize].0 & (has_m0 as u64).wrapping_neg();
+            let dep1 = mem_ready[m1 as usize].0 & (has_m1 as u64).wrapping_neg();
+            let depc = classical_ready[cio[index] as usize].0
+                & ((fl & flags::HAS_CIN != 0) as u64).wrapping_neg();
+            let mut start = Beats(guard.0.max(dep0).max(dep1).max(depc));
+            guard = Beats::ZERO;
+            if bounded_registers {
+                if fl & flags::HAS_REG0 != 0 {
+                    let ready = slot_ready
+                        .get(reg0[index] as usize)
+                        .copied()
+                        .unwrap_or(Beats::ZERO);
+                    start = start.max(ready);
+                }
+                if fl & flags::HAS_REG1 != 0 {
+                    let ready = slot_ready
+                        .get(reg1[index] as usize)
+                        .copied()
+                        .unwrap_or(Beats::ZERO);
+                    start = start.max(ready);
+                }
+            }
+
+            // Bank (scan-resource) serialization.
+            let mut banks = [0usize; lsqca_isa::MAX_OPERANDS];
+            let mut bank_count = 0usize;
+            if fl & flags::NEEDS_SCAN != 0 && !no_banks {
+                if uniform_bank {
+                    bank_count = 1;
+                    start = start.max(bank_ready[0]);
+                } else {
+                    if has_m0 {
+                        if let Some(b) = memory.bank_of(QubitTag(m0)) {
+                            banks[0] = b;
+                            bank_count = 1;
+                            start = start.max(bank_ready[b]);
+                        }
+                    }
+                    if has_m1 {
+                        if let Some(b) = memory.bank_of(QubitTag(m1)) {
+                            if !banks[..bank_count].contains(&b) {
+                                banks[bank_count] = b;
+                                bank_count += 1;
+                                start = start.max(bank_ready[b]);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // An optimized CX claims one CR slot for its surgery ancilla.
+            let mut cx_slot: Option<usize> = None;
+            if kind == ExecKind::Cx && bounded_registers {
+                let Some((slot, ready)) = slot_ready
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .min_by_key(|&(_, t)| t)
+                else {
+                    return Err(SimError::NoCrSlots {
+                        floorplan: format!("{:?}", arch.floorplan),
+                    });
+                };
+                start = start.max(ready);
+                cx_slot = Some(slot);
+            }
+
+            // Runtime hot-set migration (see `run_classified` for the
+            // policy contract — proposals observed per memory operand,
+            // applied before the access, dropped when checked out).
+            let mut migration_delay = Beats::ZERO;
+            if migrating && fl & flags::NEEDS_SCAN != 0 {
+                if let Some(policy) = migration.as_mut() {
+                    // Canonical operand order: control before target for CX.
+                    for (present, m) in [(has_m0, m0), (has_m1, m1)] {
+                        if !present {
+                            continue;
+                        }
+                        let qubit = QubitTag(m);
+                        let Some(victim) = policy.on_access(qubit, index as u64) else {
+                            continue;
+                        };
+                        if memory.is_checked_out(qubit) {
+                            continue;
+                        }
+                        if let Ok(cost) = memory.migrate(qubit, victim) {
+                            policy.applied(qubit, victim);
+                            let total = cost + policy.overhead();
+                            stats.migrations += 1;
+                            stats.migration_beats += total;
+                            migration_delay += total;
+                        }
+                    }
+                }
+            }
+
+            // Duration: one match on the pre-resolved execution kind, with
+            // the per-variant fixed-beat charges read from the trace.
+            let duration = match kind {
+                ExecKind::Negligible | ExecKind::Skip => Beats::ZERO,
+                ExecKind::Fixed => Beats(u64::from(fixed[index])),
+                ExecKind::Load => {
+                    stats.loads += 1;
+                    let cost = memory.load(QubitTag(m0)).map_err(wrap)?;
+                    stats.memory_access_beats += cost;
+                    cost
+                }
+                ExecKind::Store => {
+                    stats.stores += 1;
+                    let cost = memory.store(QubitTag(m0)).map_err(wrap)?;
+                    stats.memory_access_beats += cost;
+                    cost
+                }
+                ExecKind::Magic => {
+                    stats.magic_states += 1;
+                    let wait = if infinite_magic {
+                        Beats::ZERO
+                    } else {
+                        let available = magic.acquire(start);
+                        available.saturating_sub(start)
+                    };
+                    stats.magic_wait_beats += wait;
+                    // One beat to move the state from the MSF port into the CR.
+                    wait + Beats(u64::from(fixed[index]))
+                }
+                ExecKind::Seek => {
+                    let seek = memory.in_memory_seek(QubitTag(m0)).map_err(wrap)?;
+                    stats.memory_access_beats += seek;
+                    seek + Beats(u64::from(fixed[index]))
+                }
+                ExecKind::TwoQubitAccess => {
+                    let access = memory
+                        .in_memory_two_qubit_access(QubitTag(m0))
+                        .map_err(wrap)?;
+                    stats.memory_access_beats += access;
+                    access + Beats(u64::from(fixed[index]))
+                }
+                ExecKind::Cx => {
+                    // Runtime optimization (Sec. VI-A): load the cheaper
+                    // operand, access the other in memory, store the loaded
+                    // one back, as one fused memory call (see
+                    // `run_classified` for the unfused executable spec).
+                    let (load, access, store) =
+                        memory.cx_access(QubitTag(m0), QubitTag(m1)).map_err(wrap)?;
+                    stats.implicit_loads += 1;
+                    stats.implicit_stores += 1;
+                    stats.memory_access_beats += load + access + store;
+                    // MZZ with the ancilla, then MXX with the target.
+                    load + access + Beats(u64::from(fixed[index])) + store
+                }
+            };
+
+            let finish = start + migration_delay + duration;
+
+            // Bookkeeping: flag tests instead of instruction re-matching.
+            // Ready-table writes are unconditional — an absent operand is
+            // steered to the scratch slot past every real index, which is
+            // never read, so no write needs a branch.
+            stats.instruction_count += 1;
+            stats.command_count += u64::from(kind != ExecKind::Negligible);
+            stats.in_memory_ops += u64::from(fl & flags::IN_MEMORY != 0);
+            if record_trace {
+                if has_m0 {
+                    mem_trace.record(MemAddr(m0), start.as_u64());
+                }
+                if has_m1 {
+                    mem_trace.record(MemAddr(m1), start.as_u64());
+                }
+            }
+            let w0 = if has_m0 { m0 as usize } else { mem_scratch };
+            let w1 = if has_m1 { m1 as usize } else { mem_scratch };
+            mem_ready[w0] = finish;
+            mem_ready[w1] = finish;
+            if fl & flags::HAS_REG0 != 0 {
+                let idx = reg0[index] as usize;
+                if idx >= slot_ready.len() {
+                    slot_ready.resize(idx + 1, Beats::ZERO);
+                }
+                slot_ready[idx] = finish;
+            }
+            if fl & flags::HAS_REG1 != 0 {
+                let idx = reg1[index] as usize;
+                if idx >= slot_ready.len() {
+                    slot_ready.resize(idx + 1, Beats::ZERO);
+                }
+                slot_ready[idx] = finish;
+            }
+            if let Some(slot) = cx_slot {
+                slot_ready[slot] = finish;
+            }
+            if bank_count != 0 {
+                let b = if uniform_bank { 0 } else { banks[0] };
+                bank_ready[b] = finish;
+                if bank_count == 2 {
+                    bank_ready[banks[1]] = finish;
+                }
+            }
+            let wc = if fl & flags::HAS_COUT != 0 {
+                cio[index] as usize
+            } else {
+                classical_scratch
+            };
+            classical_ready[wc] = finish;
+            if kind == ExecKind::Skip {
+                guard = finish;
+            }
+            makespan = makespan.max(finish);
+        }
+
+        stats.total_beats = makespan;
+        Ok(SimOutcome {
+            stats,
+            trace: mem_trace,
+        })
     }
 }
 

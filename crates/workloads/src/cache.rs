@@ -14,8 +14,9 @@
 //!   (every generator parameter **plus the generator's emission-logic
 //!   revision**, see
 //!   [`BenchmarkConfig::descriptor`](crate::registry::BenchmarkConfig::descriptor)),
-//!   the compiler configuration, and [`ISA_VERSION`]. Changing any of them
-//!   changes the file name, so stale entries are simply never found again.
+//!   the compiler configuration, [`ISA_VERSION`], and [`TRACE_REVISION`].
+//!   Changing any of them changes the file name, so stale entries are simply
+//!   never found again.
 //!
 //! # When to bump what
 //!
@@ -34,6 +35,22 @@
 //!   [`ISA_VERSION`] in `lsqca-isa`. Every cached artifact of every
 //!   generator is invalidated, because all of them embed programs in the old
 //!   dialect.
+//! * **The trace lowering changed** (new [`ExecKind`](lsqca_isa::ExecKind),
+//!   different flag bits or fixed-beat values, a changed trace text format):
+//!   bump [`TRACE_REVISION`] in `lsqca-isa`. Artifacts embed the pre-lowered
+//!   execution trace next to the program text, so every cached artifact is
+//!   invalidated and re-lowered — the program text itself is unchanged, which
+//!   is exactly why `ISA_VERSION` alone cannot catch this case. An artifact
+//!   found under an old key path anyway (hand-copied file) is quarantined by
+//!   [`ArtifactError::TraceRevisionMismatch`] at load time and recompiled.
+//! * **The simulator's result semantics changed** (same artifact, different
+//!   numbers): that is `lsqca_sim::RESULTS_REVISION`'s job, keyed by the
+//!   *result store*, not this cache. The trace engine reproduces the
+//!   interpreter's statistics exactly (shadow-equivalence proptests in
+//!   `lsqca-sim`), so introducing `TRACE_REVISION` did **not** bump
+//!   `RESULTS_REVISION`: cached *results* stay valid even as cached
+//!   *artifacts* are re-lowered. Bump both only when a lowering change also
+//!   changes what the simulator reports.
 //! * **A generator config field was renamed or added**: nothing to bump —
 //!   the `Debug` rendering (and therefore the key) already changed; the old
 //!   entries are simply never found again.
@@ -54,7 +71,7 @@
 use crate::compiled::{fnv1a64, ArtifactError, CompiledWorkload};
 use lsqca_circuit::Circuit;
 use lsqca_compiler::CompilerConfig;
-use lsqca_isa::ISA_VERSION;
+use lsqca_isa::{ISA_VERSION, TRACE_REVISION};
 use lsqca_store::{atomic_write, slug, DiskIo, StoreIo};
 use std::fmt;
 use std::io::{self, ErrorKind};
@@ -203,10 +220,10 @@ impl WorkloadCache {
     }
 
     /// The full cache key for a workload descriptor under a compiler
-    /// configuration: generator config + compiler config + ISA version, per
-    /// the invalidation contract of the module docs.
+    /// configuration: generator config + compiler config + ISA version +
+    /// trace revision, per the invalidation contract of the module docs.
     pub fn key(descriptor: &str, config: &CompilerConfig) -> String {
-        format!("{descriptor}|compiler={config:?}|isa=v{ISA_VERSION}")
+        format!("{descriptor}|compiler={config:?}|isa=v{ISA_VERSION}|trace=v{TRACE_REVISION}")
     }
 
     /// The on-disk path the artifact for `(descriptor, config)` lives at.
@@ -502,6 +519,45 @@ mod tests {
                 ))
             ),
             "unexpected event {event:?}"
+        );
+    }
+
+    #[test]
+    fn bumped_trace_revision_is_quarantined_and_relowered() {
+        let cache = temp_cache("trace-revision");
+        let (desc, build) = ghz();
+        let config = CompilerConfig::default();
+        cache.load_or_compile(&desc, config, &build);
+
+        // Simulate an artifact lowered by a different trace revision landing
+        // at this key's path (the key normally shifts with the revision, so
+        // this is the hand-copied-file case).
+        let path = cache.path_for(&desc, &config).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(
+            &path,
+            text.replace(
+                &format!("\"trace_revision\": {TRACE_REVISION}"),
+                "\"trace_revision\": 777",
+            ),
+        )
+        .unwrap();
+
+        let (w, event) = cache.load_or_compile(&desc, config, &build);
+        assert!(
+            matches!(
+                &event,
+                CacheEvent::Invalidated(InvalidationReason::Artifact(
+                    ArtifactError::TraceRevisionMismatch { found: 777, .. }
+                ))
+            ),
+            "unexpected event {event:?}"
+        );
+        assert_eq!(w.trace().len(), w.program.len(), "re-lowered on reject");
+        // The quarantined entry was rewritten at the current revision.
+        assert_eq!(
+            cache.load_or_compile(&desc, config, &build).1,
+            CacheEvent::Hit
         );
     }
 

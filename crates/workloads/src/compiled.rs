@@ -21,7 +21,7 @@
 use lsqca_circuit::{Circuit, RegisterMap, RegisterRole};
 use lsqca_compiler::{compile, CompilerConfig};
 use lsqca_isa::asm::{format_program, parse_program};
-use lsqca_isa::{LatencyClass, LatencyTable, Program, ISA_VERSION};
+use lsqca_isa::{ExecutionTrace, LatencyClass, LatencyTable, Program, ISA_VERSION, TRACE_REVISION};
 use lsqca_json::{Json, ToJson};
 use std::error::Error;
 use std::fmt;
@@ -52,6 +52,7 @@ pub struct CompiledWorkload {
     pub t_gates: u64,
     descriptor: String,
     classes: Vec<LatencyClass>,
+    trace: ExecutionTrace,
     memory_footprint: u32,
     registers: RegisterMap,
 }
@@ -68,6 +69,7 @@ impl CompiledWorkload {
         COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
         let compiled = compile(circuit, config);
         let classes = LatencyTable::paper().classify_program(&compiled.program);
+        let trace = lsqca_isa::lower(&compiled.program);
         let memory_footprint = compiled
             .program
             .iter()
@@ -78,6 +80,7 @@ impl CompiledWorkload {
         CompiledWorkload {
             descriptor: descriptor.into(),
             classes,
+            trace,
             memory_footprint,
             registers: circuit.registers().clone(),
             num_qubits: compiled.num_qubits,
@@ -97,6 +100,14 @@ impl CompiledWorkload {
         &self.classes
     }
 
+    /// The pre-lowered execution trace (parallel to the instruction stream).
+    /// Lowered exactly once at [`CompiledWorkload::compile`] time — a cached
+    /// artifact carries the serialized trace and decodes it on load, so warm
+    /// sweeps perform zero lowerings (`lsqca_isa::lowering_count` stays flat).
+    pub fn trace(&self) -> &ExecutionTrace {
+        &self.trace
+    }
+
     /// One past the highest SAM address the program touches (0 for an empty
     /// program) — precomputed so per-run simulator sizing is O(1).
     pub fn memory_footprint(&self) -> u32 {
@@ -111,7 +122,8 @@ impl CompiledWorkload {
 
     /// The FNV-1a content hash covering every field that influences
     /// simulation results. The hash is defined over the *serialized text* of
-    /// the program and class vector, so loading verifies the stored strings
+    /// the program, class vector, and execution trace (passed together as
+    /// `texts`, in that order), so loading verifies the stored strings
     /// directly without re-rendering a multi-megabyte instruction stream.
     fn payload_hash_of(
         descriptor: &str,
@@ -119,8 +131,7 @@ impl CompiledWorkload {
         t_gates: u64,
         memory_footprint: u32,
         registers: &RegisterMap,
-        program_text: &str,
-        classes_text: &str,
+        texts: [&str; 3],
     ) -> u64 {
         let mut hash = Fnv1a::new();
         hash.update(descriptor.as_bytes());
@@ -132,8 +143,9 @@ impl CompiledWorkload {
         for r in registers.registers() {
             hash.update(format!("reg {} {} {}\n", r.name, r.role, r.len()).as_bytes());
         }
-        hash.update(program_text.as_bytes());
-        hash.update(classes_text.as_bytes());
+        for text in texts {
+            hash.update(text.as_bytes());
+        }
         hash.finish()
     }
 
@@ -145,8 +157,11 @@ impl CompiledWorkload {
             self.t_gates,
             self.memory_footprint,
             &self.registers,
-            &format_program(&self.program),
-            &encode_classes(&self.classes),
+            [
+                &format_program(&self.program),
+                &encode_classes(&self.classes),
+                &self.trace.encode(),
+            ],
         )
     }
 
@@ -154,18 +169,19 @@ impl CompiledWorkload {
     pub fn to_json(&self) -> Json {
         let program_text = format_program(&self.program);
         let classes_text = encode_classes(&self.classes);
+        let trace_text = self.trace.encode();
         let payload_hash = Self::payload_hash_of(
             &self.descriptor,
             self.num_qubits,
             self.t_gates,
             self.memory_footprint,
             &self.registers,
-            &program_text,
-            &classes_text,
+            [&program_text, &classes_text, &trace_text],
         );
         Json::obj([
             ("schema", ARTIFACT_SCHEMA.to_json()),
             ("isa_version", ISA_VERSION.to_json()),
+            ("trace_revision", TRACE_REVISION.to_json()),
             ("descriptor", self.descriptor.to_json()),
             ("name", self.program.name().to_json()),
             ("num_qubits", self.num_qubits.to_json()),
@@ -183,6 +199,7 @@ impl CompiledWorkload {
             ),
             ("program", program_text.to_json()),
             ("classes", classes_text.to_json()),
+            ("trace", trace_text.to_json()),
             ("payload_hash", format!("{payload_hash:016x}").to_json()),
         ])
     }
@@ -221,6 +238,13 @@ impl CompiledWorkload {
                 expected: ISA_VERSION,
             });
         }
+        let trace_revision = u64_field("trace_revision")?;
+        if trace_revision != u64::from(TRACE_REVISION) {
+            return Err(ArtifactError::TraceRevisionMismatch {
+                found: trace_revision,
+                expected: TRACE_REVISION,
+            });
+        }
 
         let descriptor = str_field("descriptor")?;
         let name = str_field("name")?;
@@ -254,6 +278,7 @@ impl CompiledWorkload {
 
         let program_text = str_field("program")?;
         let classes_text = str_field("classes")?;
+        let trace_text = str_field("trace")?;
 
         // Verify the payload hash over the stored text *before* decoding the
         // (potentially multi-megabyte) instruction stream: corruption is
@@ -267,8 +292,7 @@ impl CompiledWorkload {
                 t_gates,
                 memory_footprint,
                 &registers,
-                &program_text,
-                &classes_text,
+                [&program_text, &classes_text, &trace_text],
             )
         );
         if stored_hash != actual {
@@ -292,10 +316,25 @@ impl CompiledWorkload {
                 ),
             });
         }
+        // Decoding (not re-lowering) keeps warm loads off the lowering
+        // counter: a cache hit must leave `lsqca_isa::lowering_count` flat.
+        let trace = ExecutionTrace::decode(&trace_text).map_err(|e| ArtifactError::Malformed {
+            what: e.to_string(),
+        })?;
+        if trace.len() != program.len() {
+            return Err(ArtifactError::Malformed {
+                what: format!(
+                    "execution trace length {} does not match the {}-instruction program (trace revision {TRACE_REVISION})",
+                    trace.len(),
+                    program.len()
+                ),
+            });
+        }
 
         Ok(CompiledWorkload {
             descriptor,
             classes,
+            trace,
             memory_footprint,
             registers,
             num_qubits,
@@ -349,6 +388,14 @@ pub enum ArtifactError {
         /// The version this build implements.
         expected: u32,
     },
+    /// The artifact's execution trace was lowered by a different trace
+    /// revision; the cache quarantines the artifact and re-lowers.
+    TraceRevisionMismatch {
+        /// The trace revision recorded in the document.
+        found: u64,
+        /// The trace revision this build lowers.
+        expected: u32,
+    },
     /// A field failed to decode (program text, class vector, register role).
     Malformed {
         /// Description of the malformed content.
@@ -374,6 +421,12 @@ impl fmt::Display for ArtifactError {
             }
             ArtifactError::IsaVersionMismatch { found, expected } => {
                 write!(f, "ISA version {found} (this build implements {expected})")
+            }
+            ArtifactError::TraceRevisionMismatch { found, expected } => {
+                write!(
+                    f,
+                    "trace revision {found} (this build lowers trace revision {expected})"
+                )
             }
             ArtifactError::Malformed { what } => write!(f, "malformed artifact: {what}"),
             ArtifactError::PayloadHashMismatch { stored, actual } => {
@@ -472,6 +525,21 @@ mod tests {
             CompiledWorkload::from_json(&lsqca_json::parse(&dropped).unwrap()),
             Err(ArtifactError::MissingField { field: "t_gates" })
         ));
+
+        // Flipped trace revision: the error names both revisions.
+        let relowered = pretty.replace(
+            &format!("\"trace_revision\": {}", lsqca_isa::TRACE_REVISION),
+            "\"trace_revision\": 777",
+        );
+        let err = CompiledWorkload::from_json(&lsqca_json::parse(&relowered).unwrap()).unwrap_err();
+        assert!(matches!(
+            err,
+            ArtifactError::TraceRevisionMismatch { found: 777, .. }
+        ));
+        assert!(err.to_string().contains("trace revision 777"));
+        assert!(err
+            .to_string()
+            .contains(&lsqca_isa::TRACE_REVISION.to_string()));
     }
 
     #[test]
@@ -483,6 +551,28 @@ mod tests {
             CompiledWorkload::from_json(&doc),
             Err(ArtifactError::Malformed { .. })
         ));
+    }
+
+    #[test]
+    fn trace_must_match_the_program_length() {
+        let mut w = sample();
+        w.trace = lsqca_isa::ExecutionTrace::new();
+        let doc = w.to_json();
+        assert!(matches!(
+            CompiledWorkload::from_json(&doc),
+            Err(ArtifactError::Malformed { what }) if what.contains("trace revision")
+        ));
+    }
+
+    #[test]
+    fn loading_an_artifact_does_not_relower() {
+        let w = sample();
+        let doc = w.to_json();
+        let before = lsqca_isa::lowering_count();
+        let restored = CompiledWorkload::from_json(&doc).unwrap();
+        assert_eq!(lsqca_isa::lowering_count(), before);
+        assert_eq!(restored.trace(), w.trace());
+        assert_eq!(restored.trace().len(), w.program.len());
     }
 
     #[test]

@@ -57,6 +57,8 @@ validate_hotpath_json() {
     '"ring_removal"' \
     '"vacant_path"' \
     '"latency_class"' \
+    '"trace_lowering"' \
+    '"trace_dispatch"' \
     '"calibration_ns_per_op"' \
     '"ns_per_instruction"'; do
     if ! grep -qF "$needle" "$file"; then
