@@ -383,11 +383,13 @@ fn main() -> ExitCode {
     }
     // Stderr so `--json` stdout stays machine-readable; `table1` compiles no
     // workloads, everything else reports its compile/hit split here. The
-    // trace line mirrors the other two: a warm run loads every execution
-    // trace from the artifact cache and reports `0 lowered`.
+    // trace and snapshot lines mirror the other two: a warm run loads every
+    // execution trace from the artifact cache and answers every point from
+    // the result store, so it reports `0 lowered` and `0 warmed`.
     eprintln!("{}", lsqca_bench::cache_summary());
     eprintln!("{}", lsqca_bench::store_summary());
     eprintln!("{}", lsqca_bench::trace_summary());
+    eprintln!("{}", lsqca_bench::snapshot_summary());
     if quarantined_points > 0 {
         eprintln!(
             "warning: {quarantined_points} quarantined sweep points rendered as placeholders"

@@ -34,25 +34,25 @@ pub mod legacy {
     };
     use lsqca::lattice::{CellGrid, Coord, LatticeError, QubitTag};
     use lsqca::prelude::MemorySystem;
-    use lsqca::sim::{SimError, SimOutcome, Simulator};
+    use lsqca::sim::{Classified, SimError, SimOutcome, Simulator};
     use std::collections::{HashMap, VecDeque};
 
     /// The pre-trace dispatch loop: the engine's reference interpreter, which
     /// matches on the full `Instruction` enum (and re-derives operands and
-    /// flags from it) at every step. `run_classified` is retained in the
-    /// engine as the executable specification the trace engine is
-    /// shadow-tested against; this wrapper is the legacy side of the
-    /// `trace_dispatch` micro comparison.
+    /// flags from it) at every step. The interpreter is retained in the
+    /// engine (behind [`Classified`]) as the executable specification the
+    /// trace engine is shadow-tested against; this wrapper is the legacy side
+    /// of the `trace_dispatch` micro comparison.
     ///
     /// # Errors
     ///
-    /// Same contract as `Simulator::run_classified`.
+    /// Same contract as `Simulator::execute` on a [`Classified`] program.
     pub fn interpret(
         simulator: &mut Simulator,
         program: &Program,
         classes: &[LatencyClass],
     ) -> Result<SimOutcome, SimError> {
-        simulator.run_classified(program, classes)
+        simulator.execute(&Classified::new(program, classes))
     }
 
     /// The seed's `Instruction::qubit_operands`: one `Vec` allocation per call.
@@ -752,7 +752,10 @@ pub fn generate_with(scale: Scale, budget: MeasureBudget) -> HotpathReport {
     let sim_config = lsqca::sim::SimConfig::default();
     let qubits = workload.num_qubits().max(1);
     let trace = lsqca::isa::lower(program);
-    let mut interpreter = lsqca::sim::Simulator::new(&dispatch_arch, qubits, &[], sim_config);
+    let mut interpreter = lsqca::sim::Simulator::builder(&dispatch_arch, qubits)
+        .config(sim_config)
+        .build()
+        .expect("valid bench configuration");
     let legacy_ns = measure_ns(budget, || {
         black_box(legacy::interpret(
             &mut interpreter,
@@ -761,12 +764,61 @@ pub fn generate_with(scale: Scale, budget: MeasureBudget) -> HotpathReport {
         ))
         .ok();
     }) / instructions as f64;
-    let mut engine = lsqca::sim::Simulator::new(&dispatch_arch, qubits, &[], sim_config);
+    let mut engine = lsqca::sim::Simulator::builder(&dispatch_arch, qubits)
+        .config(sim_config)
+        .build()
+        .expect("valid bench configuration");
     let optimized_ns = measure_ns(budget, || {
-        black_box(engine.run_trace(black_box(&trace))).ok();
+        black_box(engine.execute(black_box(&trace))).ok();
     }) / instructions as f64;
     comparisons.push(Comparison {
         name: "trace_dispatch".to_string(),
+        legacy_ns,
+        optimized_ns,
+    });
+
+    // Snapshot fork: the copy-on-write fork `run_batch` takes per sweep
+    // point vs the full warm-up (memory-system placement, vacancy-ring
+    // construction, ready-table allocation) it replaces. Measured on a
+    // large machine so the contrast is the one a paper-scale sweep sees:
+    // warm-up is O(cells), a fork is O(pages) — a handful of
+    // reference-count bumps.
+    let fork_arch = ArchConfig::new(FloorplanKind::PointSam { banks: 1 }, 1);
+    let fork_qubits_large = 4096u32;
+    let legacy_ns = measure_ns(budget, || {
+        black_box(
+            lsqca::sim::Simulator::builder(black_box(&fork_arch), fork_qubits_large)
+                .build()
+                .expect("valid bench configuration"),
+        );
+    });
+    let warmed_large = lsqca::sim::Simulator::builder(&fork_arch, fork_qubits_large)
+        .build()
+        .expect("valid bench configuration");
+    let optimized_ns = measure_ns(budget, || {
+        black_box(black_box(&warmed_large).fork());
+    });
+    comparisons.push(Comparison {
+        name: "snapshot_fork".to_string(),
+        legacy_ns,
+        optimized_ns,
+    });
+
+    // Fork scaling: the same fork on a 64× smaller machine vs the large one.
+    // A speedup near 1.0 is the point — fork cost must be independent of
+    // qubit count and grid size (O(pages), not O(cells)), so the "legacy"
+    // (small-machine) and "optimized" (large-machine) sides should tie.
+    let warmed_small = lsqca::sim::Simulator::builder(&fork_arch, fork_qubits_large / 64)
+        .build()
+        .expect("valid bench configuration");
+    let legacy_ns = measure_ns(budget, || {
+        black_box(black_box(&warmed_small).fork());
+    });
+    let optimized_ns = measure_ns(budget, || {
+        black_box(black_box(&warmed_large).fork());
+    });
+    comparisons.push(Comparison {
+        name: "snapshot_fork_scaling".to_string(),
         legacy_ns,
         optimized_ns,
     });
@@ -880,7 +932,7 @@ mod tests {
         // Shape-only with a near-zero time budget: timing assertions live in
         // the benches, not unit tests.
         let report = generate_with(Scale::Quick, MeasureBudget::smoke());
-        assert_eq!(report.comparisons.len(), 9);
+        assert_eq!(report.comparisons.len(), 11);
         assert_eq!(report.end_to_end.len(), 3);
         assert!(report.calibration_ns_per_op > 0.0);
         let json = report.to_json().pretty();
@@ -896,6 +948,8 @@ mod tests {
             "latency_class",
             "trace_lowering",
             "trace_dispatch",
+            "snapshot_fork",
+            "snapshot_fork_scaling",
         ] {
             assert!(json.contains(name), "missing comparison `{name}`");
         }
@@ -1011,14 +1065,24 @@ mod tests {
         let arch = ArchConfig::new(FloorplanKind::PointSam { banks: 1 }, 1);
         let config = lsqca::sim::SimConfig::default();
         let qubits = workload.num_qubits().max(1);
-        let mut interpreter = lsqca::sim::Simulator::new(&arch, qubits, &[], config);
-        let mut engine = lsqca::sim::Simulator::new(&arch, qubits, &[], config);
+        let build = || {
+            lsqca::sim::Simulator::builder(&arch, qubits)
+                .config(config)
+                .build()
+                .expect("valid bench configuration")
+        };
+        let mut interpreter = build();
+        let mut engine = build();
         let expected = legacy::interpret(&mut interpreter, program, &classes);
-        let actual = engine.run_trace(&trace);
+        let actual = engine.execute(&trace);
         assert_eq!(expected, actual);
         // And again on the dirty simulators, as the measurement loop does.
         let expected = legacy::interpret(&mut interpreter, program, &classes);
-        assert_eq!(expected, engine.run_trace(&trace));
+        assert_eq!(expected, engine.execute(&trace));
+        // A fork of either warmed simulator is the third equal party — the
+        // `snapshot_fork` micro's two sides compute interchangeable machines.
+        let mut fork = build().fork();
+        assert_eq!(expected, fork.execute(&trace));
     }
 
     #[test]

@@ -99,6 +99,19 @@ pub fn trace_summary() -> String {
     format!("trace engine: {} lowered", lsqca::isa::lowering_count())
 }
 
+/// One-line summary of this process's simulator warm-up and copy-on-write
+/// fork activity, for operator output (mirrors [`trace_summary`]). A warm
+/// sweep answers every point from the result store without building a single
+/// simulator, so it must report `0 warmed` — CI asserts exactly that; cold
+/// batched paths report how many warm-ups their forks amortized away.
+pub fn snapshot_summary() -> String {
+    format!(
+        "snapshot engine: {} warmed, {} forked",
+        lsqca::sim::snapshot::warm_count(),
+        lsqca::sim::snapshot::fork_count()
+    )
+}
+
 /// Compiles or cache-loads the benchmark instance for `scale`.
 pub fn cached_workload(benchmark: Benchmark, scale: Scale) -> Workload {
     let cfg = benchmark.config(scale.instance_size());

@@ -1,0 +1,191 @@
+//! Copy-on-write pages for O(1) snapshot/fork of simulator state.
+//!
+//! A [`Page`] wraps one logically-owned chunk of state (a cell map, a
+//! position table, a checkout-ledger bit set, a vacancy-index ring set) in a
+//! shared, versioned handle. Cloning a page is a reference-count bump, so a
+//! snapshot or fork of a structure built from pages is O(pages), independent
+//! of how much state the pages hold. The first mutation through
+//! [`Page::make_mut`] after a clone copies that page only; every untouched
+//! page stays shared with the parent for the lifetime of both.
+//!
+//! Reads go through `Deref`, so `page[i]`, `page.iter()`, and `&page[..]`
+//! compile unchanged at call sites. Writes are explicit: `page.make_mut()`
+//! returns `&mut T`, copying first only when the storage is shared. When the
+//! page is uniquely owned — the steady state inside a run — `make_mut` is a
+//! reference-count check and a branch, so hot loops that hoist the `&mut T`
+//! out of the loop pay nothing at all.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A copy-on-write chunk of state: cheap to clone, copied on first write.
+///
+/// ```
+/// use lsqca_lattice::Page;
+/// let mut parent: Page<Vec<u32>> = Page::new(vec![1, 2, 3]);
+/// let mut fork = parent.clone();           // O(1): both share one buffer
+/// assert!(fork.shares_storage_with(&parent));
+/// fork.make_mut()[0] = 9;                  // copies the buffer, then writes
+/// assert!(!fork.shares_storage_with(&parent));
+/// assert_eq!(parent[0], 1);
+/// assert_eq!(fork[0], 9);
+/// parent.make_mut().push(4);               // unique again: mutates in place
+/// assert_eq!(*parent, vec![1, 2, 3, 4]);
+/// ```
+pub struct Page<T>(Arc<T>);
+
+impl<T> Page<T> {
+    /// Wraps `value` in a fresh, uniquely-owned page.
+    pub fn new(value: T) -> Self {
+        Page(Arc::new(value))
+    }
+
+    /// True if `self` and `other` share one underlying buffer (i.e. neither
+    /// side has written since they were cloned from each other).
+    pub fn shares_storage_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl<T: Clone> Page<T> {
+    /// Mutable access, copying the underlying value first if it is shared.
+    ///
+    /// The unique case — the steady state inside a simulation run — is a
+    /// reference-count check and a branch; no copy, no allocation.
+    pub fn make_mut(&mut self) -> &mut T {
+        Arc::make_mut(&mut self.0)
+    }
+
+    /// Mutable access only if the page is uniquely owned; `None` when the
+    /// storage is shared. Lets resets clear a unique buffer in place while
+    /// shared buffers are replaced wholesale instead of being copied just to
+    /// be overwritten. (Named to avoid shadowing `Vec::get_mut` behind the
+    /// `Deref`.)
+    pub fn unique_mut(&mut self) -> Option<&mut T> {
+        Arc::get_mut(&mut self.0)
+    }
+
+    /// Replaces the page's content, reusing the buffer when uniquely owned
+    /// and detaching from any sharers otherwise (they keep the old content).
+    pub fn set(&mut self, value: T) {
+        match Arc::get_mut(&mut self.0) {
+            Some(slot) => *slot = value,
+            None => self.0 = Arc::new(value),
+        }
+    }
+}
+
+impl<T> Deref for Page<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> Clone for Page<T> {
+    fn clone(&self) -> Self {
+        Page(Arc::clone(&self.0))
+    }
+}
+
+impl<T: Default> Default for Page<T> {
+    fn default() -> Self {
+        Page::new(T::default())
+    }
+}
+
+impl<T> From<T> for Page<T> {
+    fn from(value: T) -> Self {
+        Page::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Page<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        T::fmt(self, f)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Page<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        T::fmt(self, f)
+    }
+}
+
+/// Content equality: two pages compare equal when their values do, shared
+/// storage or not (pointer identity is an optimization, never an observable).
+impl<T: PartialEq> PartialEq for Page<T> {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || **self == **other
+    }
+}
+
+impl<T: Eq> Eq for Page<T> {}
+
+impl<T: std::hash::Hash> std::hash::Hash for Page<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (**self).hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_until_first_write() {
+        let mut a = Page::new(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert!(a.shares_storage_with(&b));
+        assert_eq!(a, b);
+        a.make_mut()[1] = 9;
+        assert!(!a.shares_storage_with(&b));
+        assert_eq!(*a, vec![1, 9, 3]);
+        assert_eq!(*b, vec![1, 2, 3]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unique_pages_mutate_in_place() {
+        let mut page = Page::new(vec![0u64; 4]);
+        let before = page.as_ptr();
+        page.make_mut()[0] = 1;
+        assert_eq!(page.as_ptr(), before, "unique make_mut must not copy");
+        assert!(page.unique_mut().is_some());
+        let fork = page.clone();
+        assert!(page.unique_mut().is_none());
+        drop(fork);
+        assert!(page.unique_mut().is_some());
+    }
+
+    #[test]
+    fn set_detaches_sharers() {
+        let mut a = Page::new(String::from("parent"));
+        let b = a.clone();
+        a.set(String::from("fork"));
+        assert_eq!(*a, "fork");
+        assert_eq!(*b, "parent");
+        // Unique set reuses the allocation path without disturbing equality.
+        a.set(String::from("again"));
+        assert_eq!(*a, "again");
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        let a = Page::new(vec![1, 2]);
+        let b = Page::new(vec![1, 2]);
+        assert!(!a.shares_storage_with(&b));
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), "[1, 2]");
+    }
+
+    #[test]
+    fn survivors_own_their_state_after_the_parent_dies() {
+        let parent = Page::new(vec![7u32; 8]);
+        let fork = parent.clone();
+        drop(parent);
+        assert_eq!(*fork, vec![7u32; 8]);
+    }
+}

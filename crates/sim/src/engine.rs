@@ -2,23 +2,25 @@
 
 use crate::config::SimConfig;
 use crate::metrics::ExecutionStats;
+use crate::snapshot::{Snapshot, SIM_BUILDS, SIM_FORKS};
 use crate::trace::MemoryTrace;
 use lsqca_arch::{ArchConfig, MagicStateSupply, MemorySystem, MigrationPolicy, MsfConfig};
 use lsqca_isa::trace_compile::flags;
 use lsqca_isa::{
     ClassicalId, ExecKind, ExecutionTrace, Instruction, LatencyClass, MemAddr, Program, RegId,
 };
-use lsqca_lattice::{Beats, LatticeError, QubitTag};
+use lsqca_lattice::{Beats, LatticeError, Page, QubitTag};
 use lsqca_workloads::CompiledWorkload;
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of simulation runs performed by this process (every entry into
-/// [`Simulator::run_trace`] — which `run`/`run_compiled` funnel through —
-/// plus every direct [`Simulator::run_classified`] reference-interpreter
-/// run). The warm-store acceptance tests assert this stays flat across a
-/// sweep served entirely from the result store.
+/// Number of simulation runs performed by this process (every trace-engine
+/// execution — which [`Simulator::execute`] funnels `Program`,
+/// `ExecutionTrace`, and `CompiledWorkload` inputs through — plus every
+/// [`Classified`] reference-interpreter run). The warm-store acceptance
+/// tests assert this stays flat across a sweep served entirely from the
+/// result store.
 static SIM_COUNT: AtomicU64 = AtomicU64::new(0);
 
 /// Total simulation runs performed by this process so far.
@@ -113,16 +115,28 @@ pub struct SimOutcome {
 ///
 /// A `Simulator` owns the architectural state (memory system, magic-state
 /// supply, resource ready-times) for one run; use [`simulate`] for the common
-/// one-shot case.
+/// one-shot case. Construct one with [`Simulator::builder`], execute any
+/// input kind with [`Simulator::execute`], and clone a warmed instance in
+/// O(1) with [`Simulator::fork`] — the bulk state lives in copy-on-write
+/// [`Page`]s shared between forks until first write.
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    memory: MemorySystem,
+    /// The whole memory system behind one copy-on-write page. The page is
+    /// detached exactly once per run — [`Simulator::execute_trace`] and
+    /// [`Simulator::execute_classified`] call `make_mut` up front — so the
+    /// hot loop mutates a plain `MemorySystem` with zero per-operation
+    /// refcount traffic, while [`Simulator::fork`] and
+    /// [`Simulator::snapshot`] stay reference-count bumps.
+    memory: Page<MemorySystem>,
     magic: MagicStateSupply,
     config: SimConfig,
     unbounded_registers: bool,
-    mem_ready: Vec<Beats>,
+    /// Dense per-qubit ready times. Copy-on-write so a fork of a warmed
+    /// simulator shares the table until its first run writes it.
+    mem_ready: Page<Vec<Beats>>,
     slot_ready: Vec<Beats>,
-    classical_ready: Vec<Beats>,
+    /// Dense per-classical-value ready times. Copy-on-write like `mem_ready`.
+    classical_ready: Page<Vec<Beats>>,
     bank_ready: Vec<Beats>,
     skip_guard: Option<Beats>,
     /// Reusable lowering scratch for [`Simulator::run`]: the execution trace
@@ -155,6 +169,22 @@ pub struct Simulator {
 }
 
 impl Simulator {
+    /// Starts building a simulator for `num_qubits` data qubits on the given
+    /// architecture — the one construction path. Every knob (hot set, config,
+    /// migration policy, instruction budget, trace recording) is set on the
+    /// [`SimulatorBuilder`], and the configuration is validated exactly once
+    /// at [`SimulatorBuilder::build`].
+    pub fn builder(arch: &ArchConfig, num_qubits: u32) -> SimulatorBuilder {
+        SimulatorBuilder {
+            arch: arch.clone(),
+            num_qubits,
+            hot_qubits: Vec::new(),
+            config: SimConfig::default(),
+            migration: None,
+            instruction_budget: None,
+        }
+    }
+
     /// Builds a simulator for `num_qubits` data qubits on the given architecture.
     ///
     /// `hot_qubits` lists the qubits pinned into the conventional region of a
@@ -162,15 +192,16 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid (see [`Simulator::try_new`] for
-    /// the fallible form).
+    /// Panics if the configuration is invalid (see [`SimulatorBuilder::build`]
+    /// for the fallible form).
+    #[deprecated(note = "use `Simulator::builder(arch, num_qubits).build()` instead")]
     pub fn new(
         arch: &ArchConfig,
         num_qubits: u32,
         hot_qubits: &[QubitTag],
         config: SimConfig,
     ) -> Self {
-        match Self::try_new(arch, num_qubits, hot_qubits, config) {
+        match Self::construct(arch, num_qubits, hot_qubits, config) {
             Ok(simulator) => simulator,
             Err(err) => panic!("invalid simulator configuration: {err}"),
         }
@@ -181,10 +212,27 @@ impl Simulator {
     ///
     /// # Errors
     ///
+    /// Same contract as [`SimulatorBuilder::build`].
+    #[deprecated(note = "use `Simulator::builder(arch, num_qubits).build()` instead")]
+    pub fn try_new(
+        arch: &ArchConfig,
+        num_qubits: u32,
+        hot_qubits: &[QubitTag],
+        config: SimConfig,
+    ) -> Result<Self, SimError> {
+        Self::construct(arch, num_qubits, hot_qubits, config)
+    }
+
+    /// The single validated construction path behind [`SimulatorBuilder`]
+    /// and the deprecated constructors. Every successful pass counts as one
+    /// full warm-up in [`crate::snapshot::warm_count`].
+    ///
+    /// # Errors
+    ///
     /// Returns [`SimError::NoCrSlots`] if the architecture bounds CR registers
     /// (a non-conventional floorplan with at least one bank) yet provides zero
     /// register slots, a state no instruction stream could execute under.
-    pub fn try_new(
+    fn construct(
         arch: &ArchConfig,
         num_qubits: u32,
         hot_qubits: &[QubitTag],
@@ -211,6 +259,7 @@ impl Simulator {
                 floorplan: format!("{:?}", arch.floorplan),
             });
         }
+        SIM_BUILDS.fetch_add(1, Ordering::Relaxed);
         Ok(Simulator {
             unbounded_registers,
             arch: arch.clone(),
@@ -218,12 +267,16 @@ impl Simulator {
             hot_qubits: hot_qubits.to_vec(),
             dirty: false,
             migration: None,
-            memory,
+            // The memory system goes behind one copy-on-write page, so `fork`
+            // and `snapshot` are reference-count bumps. A fresh simulator
+            // owns its page uniquely — no other handle exists — so the
+            // first run's up-front detach is free.
+            memory: Page::new(memory),
             magic,
             config,
-            mem_ready: vec![Beats::ZERO; num_qubits as usize],
+            mem_ready: Page::new(vec![Beats::ZERO; num_qubits as usize]),
             slot_ready: vec![Beats::ZERO; cr_slots],
-            classical_ready: Vec::new(),
+            classical_ready: Page::default(),
             bank_ready: vec![Beats::ZERO; bank_count],
             skip_guard: None,
             scratch_trace: ExecutionTrace::new(),
@@ -234,6 +287,7 @@ impl Simulator {
     /// Overrides the instruction budget (see [`SimError::InstructionBudget`]).
     /// `None` disables the guard. The budget survives [`Simulator::reset`]:
     /// it belongs to the process, not to one run.
+    #[deprecated(note = "set the budget via `SimulatorBuilder::instruction_budget` instead")]
     pub fn set_instruction_budget(&mut self, budget: Option<u64>) {
         self.instruction_budget = budget;
     }
@@ -257,7 +311,17 @@ impl Simulator {
     /// here and on every [`Simulator::reset`], so consecutive runs each start
     /// from the compile-time hot set. Pass the boxed policy from
     /// [`lsqca_arch::PolicyKind::build`] or a custom implementation.
-    pub fn set_migration_policy(&mut self, mut policy: Box<dyn MigrationPolicy>) {
+    #[deprecated(
+        note = "attach the policy via `SimulatorBuilder::migration_policy` (or \
+                `Simulator::fork_with_policy` on a warmed parent) instead"
+    )]
+    pub fn set_migration_policy(&mut self, policy: Box<dyn MigrationPolicy>) {
+        self.attach_policy(policy);
+    }
+
+    /// [`Simulator::set_migration_policy`] without the deprecation: the shared
+    /// attach path behind the builder, `fork_with_policy`, and the delegate.
+    fn attach_policy(&mut self, mut policy: Box<dyn MigrationPolicy>) {
         policy.begin(self.num_qubits, &self.hot_qubits);
         self.migration = Some(policy);
     }
@@ -275,15 +339,24 @@ impl Simulator {
     /// Restores the simulator to its just-constructed state: memory system,
     /// magic-state supply, every resource ready-time, and the skip guard.
     ///
-    /// [`Simulator::run`] calls this automatically when the simulator has
-    /// already executed a program, so consecutive `run` calls each start from
-    /// the pristine architectural state rather than silently continuing from
-    /// wherever the previous program left the memory.
+    /// [`Simulator::execute`] calls this automatically when the simulator has
+    /// already executed a program, so consecutive runs each start from the
+    /// pristine architectural state rather than silently continuing from
+    /// wherever the previous program left the memory. The restore rebuilds
+    /// the memory system from the kept construction inputs: retaining a
+    /// pristine page instead would alias the live one and force every
+    /// build-once-run-once simulator — the dominant sweep path — to deep-copy
+    /// it at its first (only) run, so explicit reuse pays for reuse here and
+    /// the one-shot path pays nothing. Fresh starts for the batched sweeps
+    /// come from [`Simulator::fork`]ing a warmed parent, not from `reset`.
     pub fn reset(&mut self) {
-        self.memory = MemorySystem::new(&self.arch, self.num_qubits, &self.hot_qubits);
+        self.memory = Page::new(MemorySystem::new(
+            &self.arch,
+            self.num_qubits,
+            &self.hot_qubits,
+        ));
         self.magic = Self::build_magic(&self.arch);
-        self.mem_ready.clear();
-        self.mem_ready.resize(self.num_qubits as usize, Beats::ZERO);
+        Self::reset_table(&mut self.mem_ready, self.num_qubits as usize);
         // Restore the construction *length* too, not just the values: a
         // program touching a `RegId` beyond the CR grows `slot_ready`, and
         // the CX scheduler treats every entry as a claimable slot — leftover
@@ -292,7 +365,7 @@ impl Simulator {
         self.slot_ready.clear();
         self.slot_ready
             .resize(self.memory.effective_cr_slots() as usize, Beats::ZERO);
-        self.classical_ready.clear();
+        Self::reset_table(&mut self.classical_ready, 0);
         for t in &mut self.bank_ready {
             *t = Beats::ZERO;
         }
@@ -301,6 +374,104 @@ impl Simulator {
             policy.begin(self.num_qubits, &self.hot_qubits);
         }
         self.dirty = false;
+    }
+
+    /// Zeroes a copy-on-write ready table back to `len` entries: in place
+    /// when the page is uniquely owned, by swapping in a fresh page when it
+    /// is shared with a fork (copying just to overwrite would be waste).
+    fn reset_table(table: &mut Page<Vec<Beats>>, len: usize) {
+        match table.unique_mut() {
+            Some(ready) => {
+                ready.clear();
+                ready.resize(len, Beats::ZERO);
+            }
+            None => table.set(vec![Beats::ZERO; len]),
+        }
+    }
+
+    /// Copy-on-write fork: a new simulator sharing every page of this one's
+    /// state — the whole memory system (grids, position tables, checkout
+    /// ledgers, vacancy rings) behind one page, plus the dense ready tables
+    /// — until the fork (or the parent) first writes it. The cost is
+    /// O(pages), independent of qubit count and grid size, so a sweep warms
+    /// one simulator per architecture and forks it per variant instead of
+    /// re-running construction N times.
+    ///
+    /// The fork owns its state: dropping (or further running) the parent
+    /// never disturbs it. An attached migration policy is cloned as-is;
+    /// use [`Simulator::fork_with_policy`] to fork into a different policy
+    /// variant in one step.
+    pub fn fork(&self) -> Simulator {
+        SIM_FORKS.fetch_add(1, Ordering::Relaxed);
+        let mut fork = self.clone();
+        // The lowering scratch is per-instance working memory, not
+        // architectural state; a fresh fork starts with an empty one.
+        fork.scratch_trace = ExecutionTrace::new();
+        fork
+    }
+
+    /// Forks (see [`Simulator::fork`]) and swaps the migration policy in the
+    /// same step: `Some` attaches and initializes the policy on the fork,
+    /// `None` detaches whatever the parent carried. This is the
+    /// `run_batch` entry point — one warmed parent, N policy variants.
+    pub fn fork_with_policy(&self, policy: Option<Box<dyn MigrationPolicy>>) -> Simulator {
+        let mut fork = self.fork();
+        match policy {
+            Some(policy) => fork.attach_policy(policy),
+            None => fork.migration = None,
+        }
+        fork
+    }
+
+    /// Captures the architectural and scheduler state as an O(pages)
+    /// [`Snapshot`] handle (see the [`crate::snapshot`] module docs for the
+    /// sharing semantics and what is deliberately excluded).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            memory: self.memory.clone(),
+            magic: self.magic.clone(),
+            mem_ready: self.mem_ready.clone(),
+            slot_ready: self.slot_ready.clone(),
+            classical_ready: self.classical_ready.clone(),
+            bank_ready: self.bank_ready.clone(),
+            skip_guard: self.skip_guard,
+            dirty: self.dirty,
+        }
+    }
+
+    /// Rewinds the simulator to a previously captured [`Snapshot`] — an
+    /// O(pages) restore. An attached migration policy is re-initialized from
+    /// the pinned hot set, exactly as [`Simulator::reset`] does.
+    pub fn restore(&mut self, snapshot: &Snapshot) {
+        self.memory = snapshot.memory.clone();
+        self.magic = snapshot.magic.clone();
+        self.mem_ready = snapshot.mem_ready.clone();
+        self.slot_ready = snapshot.slot_ready.clone();
+        self.classical_ready = snapshot.classical_ready.clone();
+        self.bank_ready = snapshot.bank_ready.clone();
+        self.skip_guard = snapshot.skip_guard;
+        self.dirty = snapshot.dirty;
+        if let Some(policy) = &mut self.migration {
+            policy.begin(self.num_qubits, &self.hot_qubits);
+        }
+    }
+
+    /// True when two simulators hold observationally identical run state:
+    /// memory system, magic supply, every ready table, the skip guard, the
+    /// dirty flag, and the (Debug-rendered) migration policy state. This is
+    /// the equivalence the fork shadow proptests assert between a fork and a
+    /// fresh simulator replaying the same prefix.
+    #[doc(hidden)]
+    pub fn state_eq(&self, other: &Simulator) -> bool {
+        self.memory == other.memory
+            && self.magic == other.magic
+            && self.mem_ready == other.mem_ready
+            && self.slot_ready == other.slot_ready
+            && self.classical_ready == other.classical_ready
+            && self.bank_ready == other.bank_ready
+            && self.skip_guard == other.skip_guard
+            && self.dirty == other.dirty
+            && format!("{:?}", self.migration) == format!("{:?}", other.migration)
     }
 
     fn mem_ready(&self, m: MemAddr) -> Beats {
@@ -312,10 +483,11 @@ impl Simulator {
 
     fn set_mem_ready(&mut self, m: MemAddr, t: Beats) {
         let idx = m.index() as usize;
-        if idx >= self.mem_ready.len() {
-            self.mem_ready.resize(idx + 1, Beats::ZERO);
+        let mem_ready = self.mem_ready.make_mut();
+        if idx >= mem_ready.len() {
+            mem_ready.resize(idx + 1, Beats::ZERO);
         }
-        self.mem_ready[idx] = t;
+        mem_ready[idx] = t;
     }
 
     fn slot_ready(&self, r: RegId) -> Beats {
@@ -342,10 +514,11 @@ impl Simulator {
 
     fn set_classical_ready(&mut self, v: ClassicalId, t: Beats) {
         let idx = v.index() as usize;
-        if idx >= self.classical_ready.len() {
-            self.classical_ready.resize(idx + 1, Beats::ZERO);
+        let classical_ready = self.classical_ready.make_mut();
+        if idx >= classical_ready.len() {
+            classical_ready.resize(idx + 1, Beats::ZERO);
         }
-        self.classical_ready[idx] = t;
+        classical_ready[idx] = t;
     }
 
     fn tag(m: MemAddr) -> QubitTag {
@@ -366,12 +539,17 @@ impl Simulator {
         )
     }
 
-    /// Executes `program` and returns the outcome.
+    /// Executes any [`Executable`] input — the single run entry point.
     ///
-    /// Each call starts from the pristine architectural state: if the
-    /// simulator has already run a program (even one that failed part-way),
-    /// [`Simulator::reset`] is applied first, so `run` is deterministic under
-    /// reuse instead of silently continuing from mutated memory and
+    /// The input kind selects the engine path: a [`Program`] is lowered into
+    /// the reusable scratch trace and executed through the trace engine, an
+    /// [`ExecutionTrace`] or [`CompiledWorkload`] executes its pre-lowered
+    /// trace directly (zero per-run lowering), and a [`Classified`] pair
+    /// drives the retained reference interpreter. All paths share one
+    /// contract: each call starts from the pristine architectural state — if
+    /// the simulator has already run (even a run that failed part-way),
+    /// [`Simulator::reset`] is applied first, so execution is deterministic
+    /// under reuse instead of silently continuing from mutated memory and
     /// ready-time state.
     ///
     /// # Errors
@@ -379,47 +557,75 @@ impl Simulator {
     /// Returns a [`SimError`] if the instruction stream is inconsistent with the
     /// memory state (for example, loading a qubit twice without storing it, or
     /// storing a qubit that was never checked out of its bank).
+    pub fn execute(&mut self, input: &impl Executable) -> Result<SimOutcome, SimError> {
+        input.execute_on(self)
+    }
+
+    /// Executes `program` and returns the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulator::execute`].
+    #[deprecated(note = "use `Simulator::execute(&program)` instead")]
     pub fn run(&mut self, program: &Program) -> Result<SimOutcome, SimError> {
-        // Lower into the engine's reusable scratch trace (the column vectors
-        // are recycled across runs), then execute through the trace engine.
-        // Sweep callers holding a `CompiledWorkload` skip even the lowering
-        // via `run_compiled` — artifacts embed their trace.
+        self.execute_program(program)
+    }
+
+    /// Executes a [`CompiledWorkload`] artifact through its pre-lowered
+    /// execution trace.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulator::execute`].
+    #[deprecated(note = "use `Simulator::execute(&workload)` instead")]
+    pub fn run_compiled(&mut self, workload: &CompiledWorkload) -> Result<SimOutcome, SimError> {
+        self.execute_trace(workload.trace())
+    }
+
+    /// The [`Program`] engine path: lower into the engine's reusable scratch
+    /// trace (the column vectors are recycled across runs), then execute
+    /// through the trace engine. Callers holding a [`CompiledWorkload`] skip
+    /// even the lowering — artifacts embed their trace.
+    fn execute_program(&mut self, program: &Program) -> Result<SimOutcome, SimError> {
         let mut trace = std::mem::take(&mut self.scratch_trace);
         lsqca_isa::lower_into(program, &mut trace);
-        let outcome = self.run_trace(&trace);
+        let outcome = self.execute_trace(&trace);
         self.scratch_trace = trace;
         outcome
     }
 
-    /// Executes a [`CompiledWorkload`] artifact through its pre-lowered
-    /// execution trace — zero per-run lowering or classification. Otherwise
-    /// identical to [`Simulator::run`] (including the auto-reset on reuse).
+    /// Executes `program` against an externally precompiled latency-class
+    /// vector through the reference interpreter.
     ///
     /// # Errors
     ///
-    /// Same contract as [`Simulator::run`].
-    pub fn run_compiled(&mut self, workload: &CompiledWorkload) -> Result<SimOutcome, SimError> {
-        self.run_trace(workload.trace())
+    /// Same contract as [`Simulator::execute`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is not parallel to the instruction stream.
+    #[deprecated(note = "use `Simulator::execute(&Classified::new(program, classes))` instead")]
+    pub fn run_classified(
+        &mut self,
+        program: &Program,
+        classes: &[LatencyClass],
+    ) -> Result<SimOutcome, SimError> {
+        self.execute_classified(program, classes)
     }
 
-    /// Executes `program` against an externally precompiled latency-class
-    /// vector — the **reference interpreter**, dispatching on `Instruction`
-    /// enums per step.
+    /// The [`Classified`] engine path — the **reference interpreter**,
+    /// dispatching on `Instruction` enums per step.
     ///
-    /// The production path is [`Simulator::run_trace`]; this interpreter is
-    /// retained as the executable specification the trace engine is checked
-    /// against (the shadow-equivalence proptests in `tests/` and the
+    /// The production path is [`Simulator::execute_trace`]; this interpreter
+    /// is retained as the executable specification the trace engine is
+    /// checked against (the shadow-equivalence proptests in `tests/` and the
     /// `trace_dispatch` hot-path comparison both drive it directly).
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`Simulator::run`].
     ///
     /// # Panics
     ///
     /// Panics if `classes` is not parallel to the instruction stream; a
     /// mismatched vector means the caller is holding a stale artifact.
-    pub fn run_classified(
+    fn execute_classified(
         &mut self,
         program: &Program,
         classes: &[LatencyClass],
@@ -434,6 +640,10 @@ impl Simulator {
             self.reset();
         }
         self.dirty = true;
+        // Detach the copy-on-write memory page up front, so a fork pays its
+        // copy here, once, and every `make_mut` at the access sites below
+        // takes the unique-owner fast path.
+        self.memory.make_mut();
         let mut stats = ExecutionStats {
             memory_density: self.memory.memory_density(),
             total_cells: self.memory.total_cells(),
@@ -533,7 +743,7 @@ impl Simulator {
                         if self.memory.is_checked_out(qubit) {
                             continue;
                         }
-                        if let Ok(cost) = self.memory.migrate(qubit, victim) {
+                        if let Ok(cost) = self.memory.make_mut().migrate(qubit, victim) {
                             policy.applied(qubit, victim);
                             let total = cost + policy.overhead();
                             stats.migrations += 1;
@@ -548,13 +758,13 @@ impl Simulator {
             let duration = match *instr {
                 Instruction::Ld { mem, .. } => {
                     stats.loads += 1;
-                    let cost = self.memory.load(Self::tag(mem)).map_err(wrap)?;
+                    let cost = self.memory.make_mut().load(Self::tag(mem)).map_err(wrap)?;
                     stats.memory_access_beats += cost;
                     cost
                 }
                 Instruction::St { mem, .. } => {
                     stats.stores += 1;
-                    let cost = self.memory.store(Self::tag(mem)).map_err(wrap)?;
+                    let cost = self.memory.make_mut().store(Self::tag(mem)).map_err(wrap)?;
                     stats.memory_access_beats += cost;
                     cost
                 }
@@ -578,12 +788,20 @@ impl Simulator {
                 Instruction::Sk { .. } => Beats::ZERO,
                 Instruction::PzM { .. } | Instruction::PpM { .. } => Beats::ZERO,
                 Instruction::HdM { mem } => {
-                    let seek = self.memory.in_memory_seek(Self::tag(mem)).map_err(wrap)?;
+                    let seek = self
+                        .memory
+                        .make_mut()
+                        .in_memory_seek(Self::tag(mem))
+                        .map_err(wrap)?;
                     stats.memory_access_beats += seek;
                     seek + Beats(3)
                 }
                 Instruction::PhM { mem } => {
-                    let seek = self.memory.in_memory_seek(Self::tag(mem)).map_err(wrap)?;
+                    let seek = self
+                        .memory
+                        .make_mut()
+                        .in_memory_seek(Self::tag(mem))
+                        .map_err(wrap)?;
                     stats.memory_access_beats += seek;
                     seek + Beats(2)
                 }
@@ -591,6 +809,7 @@ impl Simulator {
                 Instruction::MxxM { mem, .. } | Instruction::MzzM { mem, .. } => {
                     let access = self
                         .memory
+                        .make_mut()
                         .in_memory_two_qubit_access(Self::tag(mem))
                         .map_err(wrap)?;
                     stats.memory_access_beats += access;
@@ -607,12 +826,13 @@ impl Simulator {
                     let peek_c = self.memory.peek_load(qc).map_err(wrap)?;
                     let peek_t = self.memory.peek_load(qt).map_err(wrap)?;
                     let (loaded, other) = if peek_c <= peek_t { (qc, qt) } else { (qt, qc) };
-                    let load = self.memory.load(loaded).map_err(wrap)?;
+                    let load = self.memory.make_mut().load(loaded).map_err(wrap)?;
                     let access = self
                         .memory
+                        .make_mut()
                         .in_memory_two_qubit_access(other)
                         .map_err(wrap)?;
-                    let store = self.memory.store(loaded).map_err(wrap)?;
+                    let store = self.memory.make_mut().store(loaded).map_err(wrap)?;
                     // The internal load/store pair is counted separately from
                     // explicit LD/ST instructions: `stats.loads`/`stats.stores`
                     // track the program text, `implicit_*` track what the CX
@@ -666,50 +886,59 @@ impl Simulator {
 
     /// Executes a pre-lowered [`ExecutionTrace`] — the optimized engine path.
     ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulator::execute`].
+    #[deprecated(note = "use `Simulator::execute(&trace)` instead")]
+    pub fn run_trace(&mut self, trace: &ExecutionTrace) -> Result<SimOutcome, SimError> {
+        self.execute_trace(trace)
+    }
+
+    /// The [`ExecutionTrace`] engine path — the optimized engine.
+    ///
     /// The trace is a struct-of-arrays rendering of the instruction stream
     /// (see [`lsqca_isa::trace_compile`]): execution kind, fixed-beat charge,
     /// operand slots, and dependency flags are all resolved at lowering time,
     /// so this walk tests precomputed flag bits over flat arrays instead of
     /// re-matching `Instruction` variants per step. It is observationally
-    /// identical to [`Simulator::run_classified`] (the retained reference
+    /// identical to [`Simulator::execute_classified`] (the retained reference
     /// interpreter) — the shadow-equivalence proptests in `tests/` assert
     /// equality of the full outcome, errors included, over random programs
-    /// and floorplans.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`Simulator::run`]. The offending instruction in a
+    /// and floorplans. The offending instruction in a
     /// [`SimError::Instruction`] is reconstructed from the trace record, so
     /// errors render identically to the interpreter's.
-    pub fn run_trace(&mut self, trace: &ExecutionTrace) -> Result<SimOutcome, SimError> {
+    fn execute_trace(&mut self, trace: &ExecutionTrace) -> Result<SimOutcome, SimError> {
         SIM_COUNT.fetch_add(1, Ordering::Relaxed);
         if self.dirty {
             self.reset();
         }
         self.dirty = true;
 
-        // Presize the dense ready tables so the hot loop can index them
-        // without per-write grow checks, plus one scratch slot past every
-        // real operand: absent operands read slot 0 under a zero mask and
-        // write the scratch slot, so the dependency pass needs no per-operand
-        // branches at all. Reads of never-written entries return
+        // Detach the copy-on-write ready tables up front — this run writes
+        // them unconditionally, so a fork pays its page copies here, once,
+        // and the hot loop below indexes plain vectors. Presize them so the
+        // loop needs no per-write grow checks, plus one scratch slot past
+        // every real operand: absent operands read slot 0 under a zero mask
+        // and write the scratch slot, so the dependency pass needs no
+        // per-operand branches at all. Reads of never-written entries return
         // `Beats::ZERO` either way, so sizing up front is observationally
         // free. `slot_ready` deliberately keeps its lazy growth instead: the
         // CX slot claim scans the *current* table, and presizing it would
         // hand CXs slots the program has not touched yet.
         let mem_bound = trace.mem_bound() as usize;
-        if self.mem_ready.len() < mem_bound + 1 {
-            self.mem_ready.resize(mem_bound + 1, Beats::ZERO);
+        let mem_ready_table = self.mem_ready.make_mut();
+        if mem_ready_table.len() < mem_bound + 1 {
+            mem_ready_table.resize(mem_bound + 1, Beats::ZERO);
         }
         // Any index past every real operand works as the write sink: nothing
         // in this run reads indices at or above `mem_bound`.
-        let mem_scratch = self.mem_ready.len() - 1;
+        let mem_scratch = mem_ready_table.len() - 1;
         let classical_bound = trace.classical_bound() as usize;
-        if self.classical_ready.len() < classical_bound + 1 {
-            self.classical_ready
-                .resize(classical_bound + 1, Beats::ZERO);
+        let classical_ready_table = self.classical_ready.make_mut();
+        if classical_ready_table.len() < classical_bound + 1 {
+            classical_ready_table.resize(classical_bound + 1, Beats::ZERO);
         }
-        let classical_scratch = self.classical_ready.len() - 1;
+        let classical_scratch = classical_ready_table.len() - 1;
 
         let mut stats = ExecutionStats {
             memory_density: self.memory.memory_density(),
@@ -767,6 +996,14 @@ impl Simulator {
             arch,
             ..
         } = self;
+        // Already detached above, so these are the unique-owner fast path:
+        // plain `&mut Vec<Beats>` for the rest of the walk.
+        let mem_ready = mem_ready.make_mut();
+        let classical_ready = classical_ready.make_mut();
+        // Detach the memory page once — a fork pays its whole-system copy
+        // here — and the loop below mutates a plain `&mut MemorySystem`,
+        // byte-for-byte the pre-copy-on-write hot path.
+        let memory = memory.make_mut();
 
         for index in 0..trace.len() {
             if index as u64 >= budget {
@@ -1006,6 +1243,166 @@ impl Simulator {
     }
 }
 
+mod sealed {
+    /// The seal on [`Executable`](super::Executable): the set of input kinds
+    /// the simulator can execute is fixed here, so the engine paths stay
+    /// private and downstream code cannot smuggle in a fifth dispatch arm.
+    pub trait Sealed {}
+
+    impl Sealed for lsqca_isa::Program {}
+    impl Sealed for lsqca_isa::ExecutionTrace {}
+    impl Sealed for lsqca_workloads::CompiledWorkload {}
+    impl Sealed for super::Classified<'_> {}
+}
+
+/// An input the simulator can execute through [`Simulator::execute`] — the
+/// single run entry point.
+///
+/// The trait is sealed: the implementors are exactly [`Program`] (lowered
+/// into the engine's scratch trace per run), [`ExecutionTrace`] and
+/// [`CompiledWorkload`] (pre-lowered, executed directly), and [`Classified`]
+/// (the reference interpreter). Each selects its engine path itself, so
+/// callers never pick — or mismatch — a `run_*` variant again.
+pub trait Executable: sealed::Sealed {
+    /// Dispatches `simulator` onto the engine path for this input kind.
+    #[doc(hidden)]
+    fn execute_on(&self, simulator: &mut Simulator) -> Result<SimOutcome, SimError>;
+}
+
+impl Executable for Program {
+    fn execute_on(&self, simulator: &mut Simulator) -> Result<SimOutcome, SimError> {
+        simulator.execute_program(self)
+    }
+}
+
+impl Executable for ExecutionTrace {
+    fn execute_on(&self, simulator: &mut Simulator) -> Result<SimOutcome, SimError> {
+        simulator.execute_trace(self)
+    }
+}
+
+impl Executable for CompiledWorkload {
+    fn execute_on(&self, simulator: &mut Simulator) -> Result<SimOutcome, SimError> {
+        simulator.execute_trace(self.trace())
+    }
+}
+
+/// A program paired with its precompiled latency-class vector: executing it
+/// drives the retained **reference interpreter** instead of the trace
+/// engine. This is the executable specification the shadow-equivalence
+/// proptests and the `trace_dispatch` hot-path comparison check the
+/// optimized engine against.
+#[derive(Debug, Clone, Copy)]
+pub struct Classified<'a> {
+    program: &'a Program,
+    classes: &'a [LatencyClass],
+}
+
+impl<'a> Classified<'a> {
+    /// Pairs `program` with its latency-class vector. The vector's length is
+    /// checked at execution time, not here, so construction is free.
+    pub fn new(program: &'a Program, classes: &'a [LatencyClass]) -> Self {
+        Classified { program, classes }
+    }
+}
+
+impl Executable for Classified<'_> {
+    fn execute_on(&self, simulator: &mut Simulator) -> Result<SimOutcome, SimError> {
+        simulator.execute_classified(self.program, self.classes)
+    }
+}
+
+/// Builder for [`Simulator`] — the one construction path, validating the
+/// whole configuration exactly once at [`SimulatorBuilder::build`].
+///
+/// ```
+/// use lsqca_arch::{ArchConfig, FloorplanKind};
+/// use lsqca_sim::Simulator;
+///
+/// let arch = ArchConfig::new(FloorplanKind::PointSam { banks: 1 }, 1);
+/// let simulator = Simulator::builder(&arch, 16).build().unwrap();
+/// assert!(simulator.memory().total_cells() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulatorBuilder {
+    arch: ArchConfig,
+    num_qubits: u32,
+    hot_qubits: Vec<QubitTag>,
+    config: SimConfig,
+    migration: Option<Box<dyn MigrationPolicy>>,
+    /// `Some(budget)` overrides the process-wide `LSQCA_INSTRUCTION_BUDGET`
+    /// default (including `Some(None)` = explicitly unguarded); `None`
+    /// inherits it.
+    instruction_budget: Option<Option<u64>>,
+}
+
+impl SimulatorBuilder {
+    /// Pins `hot` into the conventional region of a hybrid floorplan (see
+    /// [`MemorySystem::new`]).
+    pub fn hot_qubits(mut self, hot: &[QubitTag]) -> Self {
+        self.hot_qubits = hot.to_vec();
+        self
+    }
+
+    /// Replaces the whole [`SimConfig`] (the trace-recording and
+    /// infinite-magic knobs below are shorthands for its fields).
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Records the memory reference trace during runs
+    /// ([`SimConfig::with_trace`] folded into the builder).
+    pub fn record_trace(mut self) -> Self {
+        self.config.record_trace = true;
+        self
+    }
+
+    /// Models an unbounded magic-state supply (the motivation-study mode).
+    pub fn infinite_magic(mut self) -> Self {
+        self.config.assume_infinite_magic = true;
+        self
+    }
+
+    /// Aborts runs after `budget` instructions with
+    /// [`SimError::InstructionBudget`]; `None` disables the guard, including
+    /// the process-wide `LSQCA_INSTRUCTION_BUDGET` default that otherwise
+    /// applies.
+    pub fn instruction_budget(mut self, budget: Option<u64>) -> Self {
+        self.instruction_budget = Some(budget);
+        self
+    }
+
+    /// Attaches a runtime hot-set [`MigrationPolicy`]; it is initialized
+    /// with the qubit count and pinned hot set at build time. Pass the boxed
+    /// policy from [`lsqca_arch::PolicyKind::build`] or a custom
+    /// implementation.
+    pub fn migration_policy(mut self, policy: Box<dyn MigrationPolicy>) -> Self {
+        self.migration = Some(policy);
+        self
+    }
+
+    /// Validates the configuration and builds the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoCrSlots`] if the architecture bounds CR
+    /// registers (a non-conventional floorplan with at least one bank) yet
+    /// provides zero register slots, a state no instruction stream could
+    /// execute under.
+    pub fn build(self) -> Result<Simulator, SimError> {
+        let mut simulator =
+            Simulator::construct(&self.arch, self.num_qubits, &self.hot_qubits, self.config)?;
+        if let Some(budget) = self.instruction_budget {
+            simulator.instruction_budget = budget;
+        }
+        if let Some(policy) = self.migration {
+            simulator.attach_policy(policy);
+        }
+        Ok(simulator)
+    }
+}
+
 /// The process-wide instruction budget `LSQCA_INSTRUCTION_BUDGET` selects:
 /// a positive integer enables the guard, anything else (unset, empty, `0`,
 /// non-numeric) disables it. Read once; every simulator constructed in this
@@ -1048,8 +1445,17 @@ pub fn simulate(
         .max()
         .unwrap_or(0);
     let qubits = num_qubits.max(footprint).max(1);
-    let mut simulator = Simulator::new(arch, qubits, hot_qubits, config);
-    match simulator.run(program) {
+    // One construction path, one run entry point: the free function is the
+    // builder + `execute` composed, nothing more.
+    let mut simulator = match Simulator::builder(arch, qubits)
+        .hot_qubits(hot_qubits)
+        .config(config)
+        .build()
+    {
+        Ok(simulator) => simulator,
+        Err(err) => panic!("invalid simulator configuration: {err}"),
+    };
+    match simulator.execute(program) {
         Ok(outcome) => outcome,
         Err(err) => panic!("simulation of `{}` failed: {err}", program.name()),
     }
@@ -1067,6 +1473,10 @@ mod tests {
 
     fn line(banks: u32, factories: u32) -> ArchConfig {
         ArchConfig::new(FloorplanKind::LineSam { banks }, factories)
+    }
+
+    fn sim(arch: &ArchConfig, qubits: u32) -> Simulator {
+        Simulator::builder(arch, qubits).build().unwrap()
     }
 
     #[test]
@@ -1226,8 +1636,8 @@ mod tests {
             mem: MemAddr(0),
             reg: RegId(1),
         });
-        let mut simulator = Simulator::new(&point(1), 4, &[], SimConfig::default());
-        let err = simulator.run(&program).unwrap_err();
+        let mut simulator = sim(&point(1), 4);
+        let err = simulator.execute(&program).unwrap_err();
         assert_eq!(err.instruction_index(), Some(1));
         assert!(err.to_string().contains("LD"));
     }
@@ -1236,9 +1646,9 @@ mod tests {
     fn construction_is_validated_up_front() {
         // Every floorplan the architecture model can currently express either
         // bounds registers with at least `MIN_CR_SLOTS` slots or lifts the
-        // bound entirely, so `try_new` accepts them all; the typed error is
+        // bound entirely, so `build` accepts them all; the typed error is
         // the contract for configurations that violate the invariant.
-        let simulator = Simulator::try_new(&point(1), 4, &[], SimConfig::default());
+        let simulator = Simulator::builder(&point(1), 4).build();
         assert!(simulator.is_ok());
 
         let err = SimError::NoCrSlots {
@@ -1261,13 +1671,13 @@ mod tests {
                 target: MemAddr((q + 3) % 12),
             });
         }
-        let mut simulator = Simulator::new(&point(1), 12, &[], SimConfig::default());
-        let first = simulator.run(&program).unwrap();
-        let second = simulator.run(&program).unwrap();
+        let mut simulator = sim(&point(1), 12);
+        let first = simulator.execute(&program).unwrap();
+        let second = simulator.execute(&program).unwrap();
         assert_eq!(first, second);
         // An explicit reset gives the same pristine start.
         simulator.reset();
-        let third = simulator.run(&program).unwrap();
+        let third = simulator.execute(&program).unwrap();
         assert_eq!(first, third);
     }
 
@@ -1294,9 +1704,9 @@ mod tests {
             mem: MemAddr(16),
         });
         let arch = line(8, 1);
-        let mut simulator = Simulator::new(&arch, 32, &[], SimConfig::default());
-        let first = simulator.run(&program).unwrap();
-        let second = simulator.run(&program).unwrap();
+        let mut simulator = sim(&arch, 32);
+        let first = simulator.execute(&program).unwrap();
+        let second = simulator.execute(&program).unwrap();
         assert_eq!(first, second);
     }
 
@@ -1320,12 +1730,12 @@ mod tests {
             reg: RegId(0),
             mem: MemAddr(0),
         });
-        let mut simulator = Simulator::new(&point(1), 4, &[], SimConfig::default());
-        let expected = simulator.run(&good).unwrap();
-        simulator.run(&bad).unwrap_err();
+        let mut simulator = sim(&point(1), 4);
+        let expected = simulator.execute(&good).unwrap();
+        simulator.execute(&bad).unwrap_err();
         // The failed run left qubit 0 checked out; the next run must not see
         // that state.
-        let outcome = simulator.run(&good).unwrap();
+        let outcome = simulator.execute(&good).unwrap();
         assert_eq!(outcome, expected);
     }
 
@@ -1344,8 +1754,8 @@ mod tests {
             reg: RegId(0),
             mem: MemAddr(1),
         });
-        let mut simulator = Simulator::new(&point(1), 4, &[], SimConfig::default());
-        let err = simulator.run(&program).unwrap_err();
+        let mut simulator = sim(&point(1), 4);
+        let err = simulator.execute(&program).unwrap_err();
         assert_eq!(err.instruction_index(), Some(2));
         assert!(matches!(
             err,
@@ -1389,9 +1799,9 @@ mod tests {
             lsqca_compiler::CompilerConfig::default(),
         );
         let qubits = workload.num_qubits.max(workload.memory_footprint());
-        let mut simulator = Simulator::new(&point(1), qubits, &[], SimConfig::default());
-        let via_program = simulator.run(&workload.program).unwrap();
-        let via_artifact = simulator.run_compiled(&workload).unwrap();
+        let mut simulator = sim(&point(1), qubits);
+        let via_program = simulator.execute(&workload.program).unwrap();
+        let via_artifact = simulator.execute(&workload).unwrap();
         assert_eq!(via_program, via_artifact);
         assert!(via_artifact.stats.command_count > 0);
     }
@@ -1401,8 +1811,8 @@ mod tests {
     fn mismatched_class_vector_is_rejected() {
         let mut program = Program::new("mismatch");
         program.push(Instruction::HdM { mem: MemAddr(0) });
-        let mut simulator = Simulator::new(&point(1), 1, &[], SimConfig::default());
-        let _ = simulator.run_classified(&program, &[]);
+        let mut simulator = sim(&point(1), 1);
+        let _ = simulator.execute(&Classified::new(&program, &[]));
     }
 
     #[test]
@@ -1461,14 +1871,20 @@ mod tests {
         }
         let arch = point(1).with_hybrid_fraction(0.05);
         let hot = [QubitTag(0), QubitTag(1)];
-        let mut pinned = Simulator::new(&arch, 64, &hot, SimConfig::default());
-        let static_run = pinned.run(&program).unwrap();
+        let mut pinned = Simulator::builder(&arch, 64)
+            .hot_qubits(&hot)
+            .build()
+            .unwrap();
+        let static_run = pinned.execute(&program).unwrap();
         assert_eq!(static_run.stats.migrations, 0);
 
-        let mut adaptive = Simulator::new(&arch, 64, &hot, SimConfig::default());
-        adaptive.set_migration_policy(PolicyKind::FreqDecay.build());
+        let mut adaptive = Simulator::builder(&arch, 64)
+            .hot_qubits(&hot)
+            .migration_policy(PolicyKind::FreqDecay.build())
+            .build()
+            .unwrap();
         assert_eq!(adaptive.migration_policy_name(), Some("freq-decay"));
-        let dynamic_run = adaptive.run(&program).unwrap();
+        let dynamic_run = adaptive.execute(&program).unwrap();
         assert!(dynamic_run.stats.migrations > 0);
         assert!(dynamic_run.stats.migration_beats > Beats::ZERO);
         assert!(
@@ -1478,18 +1894,21 @@ mod tests {
             static_run.stats.memory_access_beats
         );
         // Reruns re-begin the policy from the pinned hot set: deterministic.
-        let again = adaptive.run(&program).unwrap();
+        let again = adaptive.execute(&program).unwrap();
         assert_eq!(dynamic_run, again);
         // The static policy is observationally the pinned baseline.
-        let mut inert = Simulator::new(&arch, 64, &hot, SimConfig::default());
-        inert.set_migration_policy(PolicyKind::Static.build());
-        let inert_run = inert.run(&program).unwrap();
+        let mut inert = Simulator::builder(&arch, 64)
+            .hot_qubits(&hot)
+            .migration_policy(PolicyKind::Static.build())
+            .build()
+            .unwrap();
+        let inert_run = inert.execute(&program).unwrap();
         assert_eq!(inert_run.stats.migrations, 0);
         assert_eq!(inert_run.stats.total_beats, static_run.stats.total_beats);
         // Detaching restores the plain simulator.
         adaptive.clear_migration_policy();
         assert_eq!(adaptive.migration_policy_name(), None);
-        let detached = adaptive.run(&program).unwrap();
+        let detached = adaptive.execute(&program).unwrap();
         assert_eq!(detached, static_run);
     }
 
@@ -1547,12 +1966,15 @@ mod tests {
         let arch = point(1).with_hybrid_fraction(0.1);
         let hot = [QubitTag(0)];
         let proposals = Arc::new(AtomicU64::new(0));
-        let mut simulator = Simulator::new(&arch, 16, &hot, SimConfig::default());
-        simulator.set_migration_policy(Box::new(Counting {
-            inner: FreqDecayPolicy::default(),
-            proposals: Arc::clone(&proposals),
-        }));
-        let outcome = simulator.run(&program).unwrap();
+        let mut simulator = Simulator::builder(&arch, 16)
+            .hot_qubits(&hot)
+            .migration_policy(Box::new(Counting {
+                inner: FreqDecayPolicy::default(),
+                proposals: Arc::clone(&proposals),
+            }))
+            .build()
+            .unwrap();
+        let outcome = simulator.execute(&program).unwrap();
         assert_eq!(outcome.stats.loads, 2);
         assert_eq!(outcome.stats.stores, 2);
         assert_eq!(outcome.stats.migrations, 1, "exactly one promotion lands");
@@ -1593,9 +2015,11 @@ mod tests {
         for _ in 0..10 {
             program.push(Instruction::HdM { mem: MemAddr(0) });
         }
-        let mut simulator = Simulator::new(&point(1), 1, &[], SimConfig::default());
-        simulator.set_instruction_budget(Some(4));
-        let err = simulator.run(&program).unwrap_err();
+        let mut simulator = Simulator::builder(&point(1), 1)
+            .instruction_budget(Some(4))
+            .build()
+            .unwrap();
+        let err = simulator.execute(&program).unwrap_err();
         assert_eq!(err, SimError::InstructionBudget { budget: 4 });
         assert_eq!(err.instruction_index(), None);
         assert!(err.to_string().contains("LSQCA_INSTRUCTION_BUDGET"));
@@ -1607,18 +2031,163 @@ mod tests {
         for _ in 0..3 {
             program.push(Instruction::HdM { mem: MemAddr(0) });
         }
-        let mut plain = Simulator::new(&point(1), 1, &[], SimConfig::default());
-        let reference = plain.run(&program).unwrap();
+        let mut plain = sim(&point(1), 1);
+        let reference = plain.execute(&program).unwrap();
 
-        let mut budgeted = Simulator::new(&point(1), 1, &[], SimConfig::default());
-        budgeted.set_instruction_budget(Some(3));
+        let mut budgeted = Simulator::builder(&point(1), 1)
+            .instruction_budget(Some(3))
+            .build()
+            .unwrap();
         // Two consecutive runs: the second goes through the auto-reset path
         // and must still be guarded (and still produce identical stats).
         for _ in 0..2 {
-            let outcome = budgeted.run(&program).unwrap();
+            let outcome = budgeted.execute(&program).unwrap();
             assert_eq!(outcome.stats, reference.stats);
         }
-        budgeted.set_instruction_budget(Some(2));
-        assert!(budgeted.run(&program).is_err());
+        let mut tighter = Simulator::builder(&point(1), 1)
+            .instruction_budget(Some(2))
+            .build()
+            .unwrap();
+        assert!(tighter.execute(&program).is_err());
+    }
+
+    #[test]
+    fn builder_knobs_fold_into_the_config() {
+        let mut program = Program::new("knobs");
+        program.push(Instruction::Pm { reg: RegId(0) });
+        program.push(Instruction::Cx {
+            control: MemAddr(0),
+            target: MemAddr(1),
+        });
+        let mut simulator = Simulator::builder(&point(1), 4)
+            .record_trace()
+            .infinite_magic()
+            .build()
+            .unwrap();
+        let outcome = simulator.execute(&program).unwrap();
+        // `record_trace` captured the two CX references; `infinite_magic`
+        // removed the acquisition wait entirely.
+        assert_eq!(outcome.trace.len(), 2);
+        assert_eq!(outcome.stats.magic_wait_beats, Beats::ZERO);
+    }
+
+    #[test]
+    fn fork_is_equivalent_to_a_fresh_build() {
+        let mut program = Program::new("forked");
+        for q in 0..12u32 {
+            program.push(Instruction::Cx {
+                control: MemAddr(q),
+                target: MemAddr((q + 5) % 12),
+            });
+        }
+        let parent = sim(&point(1), 12);
+        let mut fork = parent.fork();
+        assert!(fork.state_eq(&parent));
+        let mut fresh = sim(&point(1), 12);
+        assert!(fork.state_eq(&fresh));
+        // Kill the parent: the fork owns its state.
+        drop(parent);
+        let via_fork = fork.execute(&program).unwrap();
+        let via_fresh = fresh.execute(&program).unwrap();
+        assert_eq!(via_fork, via_fresh);
+        assert!(fork.state_eq(&fresh));
+    }
+
+    #[test]
+    fn fork_with_policy_swaps_the_variant() {
+        use lsqca_arch::PolicyKind;
+        let mut program = Program::new("variants");
+        for _ in 0..40 {
+            program.push(Instruction::HdM { mem: MemAddr(30) });
+            program.push(Instruction::Cx {
+                control: MemAddr(30),
+                target: MemAddr(31),
+            });
+        }
+        let arch = point(1).with_hybrid_fraction(0.05);
+        let hot = [QubitTag(0), QubitTag(1)];
+        let parent = Simulator::builder(&arch, 64)
+            .hot_qubits(&hot)
+            .build()
+            .unwrap();
+        let mut plain = parent.fork_with_policy(None);
+        let mut adaptive = parent.fork_with_policy(Some(PolicyKind::FreqDecay.build()));
+        assert_eq!(plain.migration_policy_name(), None);
+        assert_eq!(adaptive.migration_policy_name(), Some("freq-decay"));
+        let static_run = plain.execute(&program).unwrap();
+        let dynamic_run = adaptive.execute(&program).unwrap();
+        assert_eq!(static_run.stats.migrations, 0);
+        assert!(dynamic_run.stats.migrations > 0);
+        // Each fork matches a fresh builder-constructed simulator.
+        let mut fresh = Simulator::builder(&arch, 64)
+            .hot_qubits(&hot)
+            .migration_policy(PolicyKind::FreqDecay.build())
+            .build()
+            .unwrap();
+        assert_eq!(fresh.execute(&program).unwrap(), dynamic_run);
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_a_dirty_simulator() {
+        let mut program = Program::new("rewind");
+        for q in 0..8u32 {
+            program.push(Instruction::Cx {
+                control: MemAddr(q),
+                target: MemAddr(q + 8),
+            });
+        }
+        let mut simulator = sim(&point(1), 16);
+        let pristine = simulator.snapshot();
+        let first = simulator.execute(&program).unwrap();
+        let warmed = simulator.snapshot();
+        // Restoring the pristine snapshot is observationally a fresh start.
+        simulator.restore(&pristine);
+        assert!(simulator.state_eq(&sim(&point(1), 16)));
+        let again = simulator.execute(&program).unwrap();
+        assert_eq!(first, again);
+        // Restoring the warmed snapshot reproduces the post-run state.
+        simulator.restore(&warmed);
+        let mut reference = sim(&point(1), 16);
+        reference.execute(&program).unwrap();
+        assert!(simulator.state_eq(&reference));
+    }
+
+    #[test]
+    fn fork_and_warm_counters_advance() {
+        let warmed_before = crate::snapshot::warm_count();
+        let forked_before = crate::snapshot::fork_count();
+        let parent = sim(&point(1), 8);
+        let _forks: Vec<Simulator> = (0..3).map(|_| parent.fork()).collect();
+        assert_eq!(crate::snapshot::warm_count() - warmed_before, 1);
+        assert_eq!(crate::snapshot::fork_count() - forked_before, 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_delegate_to_the_new_api() {
+        let mut program = Program::new("legacy");
+        program.push(Instruction::Ld {
+            mem: MemAddr(3),
+            reg: RegId(0),
+        });
+        program.push(Instruction::HdC { reg: RegId(0) });
+        program.push(Instruction::St {
+            reg: RegId(0),
+            mem: MemAddr(3),
+        });
+        let mut trace = ExecutionTrace::new();
+        lsqca_isa::lower_into(&program, &mut trace);
+        let classes = lsqca_isa::LatencyTable::paper().classify_program(&program);
+
+        let mut modern = sim(&point(1), 8);
+        let expected = modern.execute(&program).unwrap();
+
+        let mut legacy = Simulator::new(&point(1), 8, &[], SimConfig::default());
+        assert_eq!(legacy.run(&program).unwrap(), expected);
+        assert_eq!(legacy.run_trace(&trace).unwrap(), expected);
+        assert_eq!(legacy.run_classified(&program, &classes).unwrap(), expected);
+        let mut fallible = Simulator::try_new(&point(1), 8, &[], SimConfig::default()).unwrap();
+        fallible.set_instruction_budget(Some(1));
+        assert!(fallible.run(&program).is_err());
     }
 }

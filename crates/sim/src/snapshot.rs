@@ -1,0 +1,73 @@
+//! Versioned, arena-backed snapshot/fork support for the simulator.
+//!
+//! The simulator's bulk state lives in copy-on-write [`Page`]s: the whole
+//! [`MemorySystem`] (cell maps, position tables, checkout-ledger bit sets,
+//! vacancy-index rings) behind one coarse page, the dense ready-time tables
+//! behind their own. The granularity is deliberate — each run detaches its
+//! pages **once** up front, so the instruction loop mutates plain structures
+//! with zero per-operation refcount traffic. Cloning a page is a
+//! reference-count bump, so both operations here are O(pages), independent
+//! of qubit count or grid size:
+//!
+//! * [`Simulator::snapshot`](crate::Simulator::snapshot) captures the
+//!   architectural and scheduler state as a [`Snapshot`] handle;
+//!   [`Simulator::restore`](crate::Simulator::restore) rewinds to it. A
+//!   future service checkpoint lands on the same handle.
+//! * [`Simulator::fork`](crate::Simulator::fork) clones a whole simulator.
+//!   The fork shares every unmodified page with its parent and copies a page
+//!   only on its first write, so `Experiment::run_batch` warms **one**
+//!   simulator per architecture (paying placement and vacancy-ring
+//!   construction once) and forks it into N policy variants.
+//!
+//! The process-wide counters below are the observability hook for that
+//! contract: the CLI prints them after every sweep and CI asserts a
+//! warm-store rerun performs zero warm-ups, exactly like the existing
+//! `trace engine: 0 lowered` assertion.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lsqca_arch::{MagicStateSupply, MemorySystem};
+use lsqca_lattice::{Beats, Page};
+
+/// Number of full simulator warm-ups (constructions) in this process: every
+/// successful pass through the private `Simulator::construct`, whichever
+/// public path ([`SimulatorBuilder::build`](crate::SimulatorBuilder::build)
+/// or a deprecated constructor) invoked it.
+pub(crate) static SIM_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of copy-on-write forks taken in this process (every entry into
+/// [`Simulator::fork`](crate::Simulator::fork), including via
+/// [`Simulator::fork_with_policy`](crate::Simulator::fork_with_policy)).
+pub(crate) static SIM_FORKS: AtomicU64 = AtomicU64::new(0);
+
+/// Total full simulator warm-ups (constructions) performed by this process.
+pub fn warm_count() -> u64 {
+    SIM_BUILDS.load(Ordering::Relaxed)
+}
+
+/// Total copy-on-write simulator forks performed by this process.
+pub fn fork_count() -> u64 {
+    SIM_FORKS.load(Ordering::Relaxed)
+}
+
+/// An O(pages) capture of one simulator's architectural and scheduler state.
+///
+/// Created by [`Simulator::snapshot`](crate::Simulator::snapshot) and
+/// consumed by [`Simulator::restore`](crate::Simulator::restore). The
+/// snapshot holds copy-on-write handles, not deep copies: taking one bumps
+/// reference counts, and the simulator's next write to any captured page
+/// detaches that page only. The migration policy and instruction budget are
+/// deliberately *not* captured — the policy is re-initialized on restore
+/// (mirroring [`Simulator::reset`](crate::Simulator::reset)) and the budget
+/// belongs to the process, not to one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    pub(crate) memory: Page<MemorySystem>,
+    pub(crate) magic: MagicStateSupply,
+    pub(crate) mem_ready: Page<Vec<Beats>>,
+    pub(crate) slot_ready: Vec<Beats>,
+    pub(crate) classical_ready: Page<Vec<Beats>>,
+    pub(crate) bank_ready: Vec<Beats>,
+    pub(crate) skip_guard: Option<Beats>,
+    pub(crate) dirty: bool,
+}

@@ -1,17 +1,17 @@
 //! Shadow-equivalence: the trace engine against the reference interpreter.
 //!
-//! [`Simulator::run_trace`] must be observationally identical to
-//! [`Simulator::run_classified`] — same [`ExecutionStats`], same memory
-//! reference trace, same typed error at the same instruction index — over
-//! random programs and random floorplan configurations. The interpreter is
-//! the executable specification; these properties are the contract that lets
-//! the trace engine's dispatch evolve (flag tests, presized ready tables)
-//! without semantic drift.
+//! Executing an [`ExecutionTrace`] must be observationally identical to
+//! executing the [`Classified`] program it was lowered from — same
+//! [`ExecutionStats`], same memory reference trace, same typed error at the
+//! same instruction index — over random programs and random floorplan
+//! configurations. The interpreter is the executable specification; these
+//! properties are the contract that lets the trace engine's dispatch evolve
+//! (flag tests, presized ready tables) without semantic drift.
 
 use lsqca_arch::{ArchConfig, FloorplanKind, PolicyKind};
 use lsqca_isa::{ClassicalId, ExecutionTrace, Instruction, LatencyTable, MemAddr, Program, RegId};
 use lsqca_lattice::QubitTag;
-use lsqca_sim::{SimConfig, Simulator};
+use lsqca_sim::{Classified, SimConfig, Simulator};
 use proptest::prelude::*;
 
 /// Qubit space shared by the program and simulator strategies. Small enough
@@ -120,12 +120,14 @@ fn pair(
     budget: Option<u64>,
 ) -> (Simulator, Simulator) {
     let build = || {
-        let mut simulator = Simulator::new(arch, QUBITS, hot, config);
-        simulator.set_instruction_budget(budget);
+        let mut builder = Simulator::builder(arch, QUBITS)
+            .hot_qubits(hot)
+            .config(config)
+            .instruction_budget(budget);
         if let Some(kind) = policy {
-            simulator.set_migration_policy(kind.build());
+            builder = builder.migration_policy(kind.build());
         }
-        simulator
+        builder.build().unwrap()
     };
     (build(), build())
 }
@@ -153,15 +155,16 @@ proptest! {
         };
         let (mut reference, mut optimized) = pair(&arch, &hot, config, policy, budget);
         let classes = LatencyTable::paper().classify_program(&program);
-        let expected = reference.run_classified(&program, &classes);
+        let classified = Classified::new(&program, &classes);
+        let expected = reference.execute(&classified);
         let trace = lsqca_isa::lower(&program);
-        let actual = optimized.run_trace(&trace);
+        let actual = optimized.execute(&trace);
         prop_assert_eq!(&expected, &actual);
 
         // Rerun both on their now-dirty simulators: the auto-reset paths of
         // the two engines must also agree (grown ready tables restored).
-        let expected_again = reference.run_classified(&program, &classes);
-        let actual_again = optimized.run_trace(&trace);
+        let expected_again = reference.execute(&classified);
+        let actual_again = optimized.execute(&trace);
         prop_assert_eq!(&expected, &expected_again);
         prop_assert_eq!(&expected_again, &actual_again);
     }
@@ -178,9 +181,8 @@ proptest! {
         let lowered = lsqca_isa::lower(&program);
         let decoded = ExecutionTrace::decode(&lowered.encode()).unwrap();
         prop_assert_eq!(&lowered, &decoded);
-        let config = SimConfig::default();
-        let mut a = Simulator::new(&arch, QUBITS, &[], config);
-        let mut b = Simulator::new(&arch, QUBITS, &[], config);
-        prop_assert_eq!(a.run_trace(&lowered), b.run_trace(&decoded));
+        let mut a = Simulator::builder(&arch, QUBITS).build().unwrap();
+        let mut b = Simulator::builder(&arch, QUBITS).build().unwrap();
+        prop_assert_eq!(a.execute(&lowered), b.execute(&decoded));
     }
 }

@@ -1,0 +1,190 @@
+//! Fork-equivalence: a copy-on-write fork against a fresh simulator.
+//!
+//! [`Simulator::fork`] promises that a fork is observationally a brand-new
+//! simulator: same architectural state (grid cells, position tables,
+//! checkout ledgers, vacancy rings, policy state), same ready tables, same
+//! outcomes for every subsequent run — and full ownership, so killing or
+//! further running the parent never disturbs a fork. These properties pin
+//! that contract over random programs, floorplans, hot sets, and migration
+//! policies, the same space the trace-engine shadow suite sweeps.
+
+use lsqca_arch::{ArchConfig, FloorplanKind, PolicyKind};
+use lsqca_isa::{ClassicalId, Instruction, MemAddr, Program, RegId};
+use lsqca_lattice::QubitTag;
+use lsqca_sim::Simulator;
+use proptest::prelude::*;
+
+/// Qubit space shared by the program and simulator strategies (small enough
+/// that random instructions collide on qubits, banks, and CR slots).
+const QUBITS: u32 = 24;
+
+/// Every instruction variant over deliberately small operand spaces — the
+/// same shape as the shadow-trace suite, so forks are exercised against
+/// dependency chains, bank serialization, checkout churn, and illegal
+/// sequences (typed-error equivalence included).
+fn any_instruction() -> impl Strategy<Value = Instruction> {
+    use Instruction::*;
+    (
+        0u32..21,
+        0u32..QUBITS,
+        0u32..QUBITS,
+        0u32..6,
+        0u32..6,
+        0u32..8,
+    )
+        .prop_map(|(variant, m1, m2, r1, r2, v)| {
+            let (mem, mem2) = (MemAddr(m1), MemAddr(m2));
+            let (reg, reg2) = (RegId(r1), RegId(r2));
+            let out = ClassicalId(v);
+            match variant {
+                0 => Ld { mem, reg },
+                1 => St { reg, mem },
+                2 => PzC { reg },
+                3 => PpC { reg },
+                4 => Pm { reg },
+                5 => HdC { reg },
+                6 => PhC { reg },
+                7 => MxC { reg, out },
+                8 => MzC { reg, out },
+                9 => MxxC {
+                    reg1: reg,
+                    reg2,
+                    out,
+                },
+                10 => MzzC {
+                    reg1: reg,
+                    reg2,
+                    out,
+                },
+                11 => Sk { cond: out },
+                12 => PzM { mem },
+                13 => PpM { mem },
+                14 => HdM { mem },
+                15 => PhM { mem },
+                16 => MxM { mem, out },
+                17 => MzM { mem, out },
+                18 => MxxM { reg, mem, out },
+                19 => MzzM { reg, mem, out },
+                _ => Cx {
+                    control: mem,
+                    target: mem2,
+                },
+            }
+        })
+}
+
+fn any_program(name: &'static str) -> impl Strategy<Value = Program> {
+    proptest::collection::vec(any_instruction(), 0..40).prop_map(move |instructions| {
+        let mut program = Program::new(name);
+        for instruction in instructions {
+            program.push(instruction);
+        }
+        program
+    })
+}
+
+fn any_arch() -> impl Strategy<Value = ArchConfig> {
+    (
+        prop_oneof![
+            (1u32..3).prop_map(|banks| FloorplanKind::PointSam { banks }),
+            (1u32..3).prop_map(|banks| FloorplanKind::DualPointSam { banks }),
+            (1u32..5).prop_map(|banks| FloorplanKind::LineSam { banks }),
+            Just(FloorplanKind::Conventional),
+        ],
+        1u32..4,
+        0u32..3,
+    )
+        .prop_map(|(floorplan, factories, hybrid_tenths)| {
+            ArchConfig::new(floorplan, factories)
+                .with_hybrid_fraction(f64::from(hybrid_tenths) * 0.1)
+        })
+}
+
+fn any_policy() -> impl Strategy<Value = Option<PolicyKind>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(PolicyKind::Static)),
+        Just(Some(PolicyKind::Lru)),
+        Just(Some(PolicyKind::FreqDecay)),
+    ]
+}
+
+/// One builder invocation per simulator, so "fresh" always means "the same
+/// configuration built from scratch".
+fn build(arch: &ArchConfig, hot: &[QubitTag], policy: Option<PolicyKind>) -> Simulator {
+    let mut builder = Simulator::builder(arch, QUBITS).hot_qubits(hot);
+    if let Some(kind) = policy {
+        builder = builder.migration_policy(kind.build());
+    }
+    builder.build().unwrap()
+}
+
+proptest! {
+    /// The headline property: after replaying the same prefix, a fork of the
+    /// warmed parent holds state bit-equivalent to a fresh simulator — grid
+    /// cells and positions, checkout ledgers, vacancy rings, ready tables,
+    /// and (Debug-rendered) policy state all compare equal, whether the
+    /// prefix succeeded or failed part-way.
+    #[test]
+    fn fork_state_matches_a_fresh_simulator_replaying_the_prefix(
+        prefix in any_program("prefix"),
+        arch in any_arch(),
+        hot in proptest::collection::vec(0u32..QUBITS, 0..4),
+        policy in any_policy(),
+    ) {
+        let hot: Vec<QubitTag> = hot.into_iter().map(QubitTag).collect();
+        let mut parent = build(&arch, &hot, policy);
+        let mut fresh = build(&arch, &hot, policy);
+        prop_assert!(parent.fork().state_eq(&fresh));
+        let expected = fresh.execute(&prefix);
+        let actual = parent.execute(&prefix);
+        prop_assert_eq!(expected, actual);
+        prop_assert!(parent.fork().state_eq(&fresh));
+    }
+
+    /// Fork-then-run equals reset-then-run: executing any program on a fork
+    /// of a dirty parent produces exactly what a fresh simulator produces,
+    /// because both start the run from the pristine architectural state.
+    #[test]
+    fn fork_then_run_equals_fresh_then_run(
+        prefix in any_program("prefix"),
+        program in any_program("main"),
+        arch in any_arch(),
+        hot in proptest::collection::vec(0u32..QUBITS, 0..4),
+        policy in any_policy(),
+    ) {
+        let hot: Vec<QubitTag> = hot.into_iter().map(QubitTag).collect();
+        let mut parent = build(&arch, &hot, policy);
+        // Dirty the parent (possibly with a failing prefix) before forking.
+        let _ = parent.execute(&prefix);
+        let mut fork = parent.fork();
+        let mut fresh = build(&arch, &hot, policy);
+        prop_assert_eq!(fresh.execute(&program), fork.execute(&program));
+        prop_assert!(fork.state_eq(&fresh));
+    }
+
+    /// Forks own their state: killing the parent right after the fork — while
+    /// every page is still shared — leaves a fork that runs exactly like a
+    /// fresh simulator. Running the parent further must not leak into the
+    /// fork either.
+    #[test]
+    fn forks_survive_their_parent(
+        program in any_program("main"),
+        arch in any_arch(),
+        hot in proptest::collection::vec(0u32..QUBITS, 0..4),
+        policy in any_policy(),
+    ) {
+        let hot: Vec<QubitTag> = hot.into_iter().map(QubitTag).collect();
+        let parent = build(&arch, &hot, policy);
+        let mut orphan = parent.fork();
+        drop(parent);
+        let mut fresh = build(&arch, &hot, policy);
+        prop_assert_eq!(fresh.execute(&program), orphan.execute(&program));
+
+        // Sibling forks stay independent while the parent keeps running.
+        let mut parent = build(&arch, &hot, policy);
+        let mut sibling = parent.fork();
+        let _ = parent.execute(&program);
+        prop_assert_eq!(fresh.execute(&program), sibling.execute(&program));
+    }
+}

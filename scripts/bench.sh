@@ -59,6 +59,8 @@ validate_hotpath_json() {
     '"latency_class"' \
     '"trace_lowering"' \
     '"trace_dispatch"' \
+    '"snapshot_fork"' \
+    '"snapshot_fork_scaling"' \
     '"calibration_ns_per_op"' \
     '"ns_per_instruction"'; do
     if ! grep -qF "$needle" "$file"; then
@@ -103,6 +105,36 @@ extract_calibration() {
       exit
     }
   ' "$1"
+}
+
+# Asserts the copy-on-write fork contract: the snapshot_fork_scaling
+# comparison times the same fork on a 64x smaller machine (its "legacy" side)
+# and on the large one (its "optimized" side), so the reported speedup must
+# sit near 1.0 — fork cost is O(pages), independent of qubit count and grid
+# size. The bounds are generous to absorb timer noise on sub-microsecond
+# operations.
+check_fork_scaling() {
+  local file="$1"
+  local speedup
+  speedup="$(awk '
+    /"name": "snapshot_fork_scaling"/ { found = 1 }
+    found && /"speedup":/ {
+      line = $0
+      sub(/.*"speedup": */, "", line)
+      sub(/,.*/, "", line)
+      print line
+      exit
+    }
+  ' "$file")"
+  if [[ -z "$speedup" ]]; then
+    echo "error: $file is missing the snapshot_fork_scaling comparison" >&2
+    return 1
+  fi
+  if awk -v s="$speedup" 'BEGIN { exit !(s < 0.2 || s > 5.0) }'; then
+    echo "error: snapshot_fork_scaling ratio ${speedup} outside [0.2, 5.0]: fork cost scales with machine size" >&2
+    return 1
+  fi
+  echo "  snapshot_fork_scaling: small/large fork ratio ${speedup} in [0.2, 5.0] (fork is O(1)) OK"
 }
 
 # Fails if any end-to-end measurement in $2 regressed more than the tolerance
@@ -156,6 +188,8 @@ if [[ "${1:-}" == "--quick" ]]; then
   ./target/release/experiments hotpath --json > "$out"
   validate_hotpath_json "$out"
   echo "schema lsqca-bench-hotpath-v1 OK: $out"
+  echo "== snapshot-fork O(1) gate =="
+  check_fork_scaling "$out"
   if [[ -f BENCH_hotpath.json ]]; then
     echo "== end-to-end regression gate (tolerance ${LSQCA_BENCH_TOLERANCE:-0.25}) =="
     check_regression BENCH_hotpath.json "$out"
@@ -178,6 +212,7 @@ echo "== hot-path baseline =="
 tmp="$(mktemp /tmp/lsqca-hotpath-XXXXXX.json)"
 ./target/release/experiments hotpath --json > "$tmp"
 validate_hotpath_json "$tmp"
+check_fork_scaling "$tmp"
 mv "$tmp" BENCH_hotpath.json
 echo "wrote BENCH_hotpath.json:"
 ./target/release/experiments hotpath
