@@ -33,6 +33,10 @@
 //! | `--shards N`     | supervised sharded run: N worker processes partition   |
 //! |                  | the sweep, crash/hang-tolerant (see `supervisor`)      |
 //! | `--shard k/N`    | run as worker shard k of N (spawned by the supervisor) |
+//! | `--metrics-out F`| write the `lsqca-metrics-v1` registry snapshot to F    |
+//! |                  | (sharded/merge runs aggregate `metrics-<shard>.json`)  |
+//! | `--trace-out F`  | record spans and write Chrome trace-event JSON to F    |
+//! |                  | (load in Perfetto / `chrome://tracing`)                |
 //!
 //! The figure sweeps run in parallel across CPU cores; set `LSQCA_THREADS=1`
 //! to force serial execution.
@@ -84,7 +88,8 @@ const COMMANDS: [&str; 11] = [
 fn usage_line() -> String {
     format!(
         "usage: experiments <{}> [--full] [--json] [--store-dir <dir>] [--no-store] [--resume] \
-         [--shards <n>] [--shard <k/n>] [--stall-timeout-ms <ms>]",
+         [--shards <n>] [--shard <k/n>] [--stall-timeout-ms <ms>] [--metrics-out <file>] \
+         [--trace-out <file>]",
         COMMANDS.join("|")
     )
 }
@@ -101,6 +106,13 @@ fn help() -> String {
          --shard <k/n>            run as worker shard k of n (spawned by --shards)\n  \
          --stall-timeout-ms <ms>  restart a worker whose journal has not grown for\n  \
                                   this long (default 30000)\n\n\
+         observability:\n  \
+         --metrics-out <file>     write the telemetry registry (counters, gauges,\n  \
+                                  log2 histograms) as a `lsqca-metrics-v1` JSON\n  \
+                                  document; sharded and merge runs aggregate the\n  \
+                                  workers' metrics-<shard>.json files into it\n  \
+         --trace-out <file>       enable span recording and write the run's spans\n  \
+                                  as Chrome trace-event JSON (Perfetto-loadable)\n\n\
          exit codes:\n  \
          0  report complete: every sweep point computed or served from the store\n  \
          2  report complete, but quarantined sweep points were skipped and their\n     \
@@ -130,6 +142,8 @@ fn main() -> ExitCode {
     let mut shards: Option<u32> = None;
     let mut shard: Option<(u32, u32)> = None;
     let mut stall_timeout = Duration::from_millis(30_000);
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -159,6 +173,18 @@ fn main() -> ExitCode {
                     return usage("`--shard` requires an index/count pair like `2/4` with k < n");
                 };
                 shard = Some((k, n));
+            }
+            "--metrics-out" => {
+                let Some(path) = iter.next() else {
+                    return usage("`--metrics-out` requires a file argument");
+                };
+                metrics_out = Some(path.clone());
+            }
+            "--trace-out" => {
+                let Some(path) = iter.next() else {
+                    return usage("`--trace-out` requires a file argument");
+                };
+                trace_out = Some(path.clone());
             }
             "--stall-timeout-ms" => {
                 let Some(ms) = iter.next().and_then(|v| v.parse::<u64>().ok()) else {
@@ -198,6 +224,13 @@ fn main() -> ExitCode {
     }
     if (shards.is_some() || shard.is_some()) && matches!(command, "hotpath" | "merge") {
         return usage(&format!("`{command}` cannot run sharded"));
+    }
+
+    // Anchor the span clock at startup so trace timestamps count from
+    // process start; recording itself stays off unless requested.
+    lsqca_telemetry::init_clock();
+    if trace_out.is_some() {
+        lsqca_telemetry::set_spans_enabled(true);
     }
 
     // The store flags travel to `lsqca_bench::result_store()` via the same
@@ -381,15 +414,54 @@ fn main() -> ExitCode {
     } else {
         println!("{}", run(command));
     }
+    // A worker leaves its final metrics snapshot next to its journal so the
+    // supervisor/merge aggregation sees the completed totals (a no-op in
+    // every other mode).
+    supervisor::export_worker_metrics();
+
     // Stderr so `--json` stdout stays machine-readable; `table1` compiles no
     // workloads, everything else reports its compile/hit split here. The
-    // trace and snapshot lines mirror the other two: a warm run loads every
-    // execution trace from the artifact cache and answers every point from
-    // the result store, so it reports `0 lowered` and `0 warmed`.
-    eprintln!("{}", lsqca_bench::cache_summary());
-    eprintln!("{}", lsqca_bench::store_summary());
-    eprintln!("{}", lsqca_bench::trace_summary());
-    eprintln!("{}", lsqca_bench::snapshot_summary());
+    // block is rendered from one registry snapshot; its four line formats
+    // are stable and CI-greppable. A warm run loads every execution trace
+    // from the artifact cache and answers every point from the result store,
+    // so it reports `0 lowered` and `0 warmed`.
+    eprintln!("{}", lsqca_bench::telemetry_summary());
+
+    if let Some(path) = &metrics_out {
+        let mut snapshot = lsqca_bench::telemetry::metrics_snapshot();
+        if command == "merge" || shards.is_some() {
+            // Fold in what the shard workers measured; a missing or corrupt
+            // per-shard file degrades to partial aggregation with a warning,
+            // never a failure — the results themselves are safe in the store.
+            for warning in
+                lsqca_bench::telemetry::aggregate_shard_metrics(&mut snapshot, &resolved_store_dir)
+            {
+                eprintln!("warning: {warning}");
+            }
+        }
+        if let Err(err) = std::fs::write(path, snapshot.to_json().pretty() + "\n") {
+            eprintln!("error: cannot write metrics to `{path}`: {err}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "metrics: wrote {} ({path})",
+            lsqca_telemetry::METRICS_SCHEMA
+        );
+    }
+    if let Some(path) = &trace_out {
+        let spans = lsqca_telemetry::take_spans();
+        let dropped = lsqca_telemetry::dropped_spans();
+        let document = lsqca_telemetry::chrome_trace(&spans);
+        if let Err(err) = std::fs::write(path, document.pretty() + "\n") {
+            eprintln!("error: cannot write trace to `{path}`: {err}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "trace: wrote {} spans ({dropped} dropped) as Chrome trace events ({path})",
+            spans.len()
+        );
+    }
+
     if quarantined_points > 0 {
         eprintln!(
             "warning: {quarantined_points} quarantined sweep points rendered as placeholders"

@@ -26,6 +26,9 @@ use lsqca_store::ResultStore;
 pub mod hotpath;
 pub mod par;
 pub mod supervisor;
+pub mod telemetry;
+
+pub use telemetry::telemetry_summary;
 
 /// How large the workload instances should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,37 +84,6 @@ pub fn workload_cache() -> &'static WorkloadCache {
     CACHE.get_or_init(WorkloadCache::from_env)
 }
 
-/// One-line summary of this process's cache activity, for operator output.
-pub fn cache_summary() -> String {
-    let cache = workload_cache();
-    match cache.dir() {
-        Some(dir) => format!("workload cache: {} ({})", cache.stats(), dir.display()),
-        None => format!("workload cache: disabled; {}", cache.stats()),
-    }
-}
-
-/// One-line summary of this process's trace-lowering activity, for operator
-/// output (mirrors [`cache_summary`] and [`store_summary`]). Cached workload
-/// artifacts carry their execution trace pre-lowered, so a warm sweep must
-/// report `0 lowered` — CI asserts exactly that, the same way it asserts zero
-/// compiles and zero simulations on a warm cache.
-pub fn trace_summary() -> String {
-    format!("trace engine: {} lowered", lsqca::isa::lowering_count())
-}
-
-/// One-line summary of this process's simulator warm-up and copy-on-write
-/// fork activity, for operator output (mirrors [`trace_summary`]). A warm
-/// sweep answers every point from the result store without building a single
-/// simulator, so it must report `0 warmed` — CI asserts exactly that; cold
-/// batched paths report how many warm-ups their forks amortized away.
-pub fn snapshot_summary() -> String {
-    format!(
-        "snapshot engine: {} warmed, {} forked",
-        lsqca::sim::snapshot::warm_count(),
-        lsqca::sim::snapshot::fork_count()
-    )
-}
-
 /// Compiles or cache-loads the benchmark instance for `scale`.
 pub fn cached_workload(benchmark: Benchmark, scale: Scale) -> Workload {
     let cfg = benchmark.config(scale.instance_size());
@@ -137,21 +109,6 @@ pub fn cached_workload_with(
 pub fn result_store() -> &'static ResultStore {
     static STORE: std::sync::OnceLock<ResultStore> = std::sync::OnceLock::new();
     STORE.get_or_init(ResultStore::from_env)
-}
-
-/// One-line summary of this process's result-store activity, for operator
-/// output (mirrors [`cache_summary`]).
-pub fn store_summary() -> String {
-    let store = result_store();
-    match (store.dir(), store.is_degraded()) {
-        (Some(dir), false) => format!("result store: {} ({})", store.stats(), dir.display()),
-        (Some(dir), true) => format!(
-            "result store: {} (degraded to memory; {})",
-            store.stats(),
-            dir.display()
-        ),
-        (None, _) => format!("result store: disabled; {}", store.stats()),
-    }
 }
 
 /// Runs `workload` under `config` through the process-wide result store:

@@ -75,6 +75,9 @@ pub fn owning_shard(key: &str, shards: u32) -> u32 {
 
 static PLAN: OnceLock<ShardPlan> = OnceLock::new();
 static INFLIGHT: OnceLock<InflightTracker> = OnceLock::new();
+/// `(shard label, store dir)` of this process when it is a worker — where
+/// [`export_worker_metrics`] writes `metrics-<shard>.json`.
+static WORKER_EXPORT: OnceLock<(String, PathBuf)> = OnceLock::new();
 
 /// The in-flight point tracker a worker writes through (see
 /// [`lsqca_store::InflightLog`]); `keys` mirrors the file so concurrent
@@ -116,6 +119,23 @@ pub fn install_worker(index: u32, count: u32, store_dir: &Path) {
         log,
         keys: Mutex::new(BTreeSet::new()),
     });
+    let _ = WORKER_EXPORT.set((index.to_string(), store_dir.to_path_buf()));
+}
+
+/// In worker mode, writes this process's metrics snapshot to
+/// `metrics-<shard>.json` in the store directory (atomic replace); a no-op
+/// otherwise. Called after every completed point (the journal-heartbeat
+/// cadence) and again at worker exit, so the supervisor's aggregation sees
+/// counters that are at most one point stale even if the worker is later
+/// SIGKILLed. Export failures are logged, never fatal — metrics must not
+/// take down a sweep.
+pub fn export_worker_metrics() {
+    let Some((label, dir)) = WORKER_EXPORT.get() else {
+        return;
+    };
+    if let Err(err) = crate::telemetry::write_shard_metrics(dir, label) {
+        eprintln!("worker: metrics export failed (ignored): {err}");
+    }
 }
 
 /// Installs this process as the merge/render side of a sharded sweep: it may
@@ -188,6 +208,9 @@ impl Drop for InflightGuard {
         }
         if let (Some(key), Some(tracker)) = (&self.key, INFLIGHT.get()) {
             tracker.remove(key);
+            // A cleared in-flight mark means one point just finished: refresh
+            // this worker's on-disk metrics alongside the journal heartbeat.
+            export_worker_metrics();
         }
     }
 }
@@ -379,10 +402,16 @@ fn supervise_slot(
             }
             Ok(None) => {
                 let signature = progress_signature(io, &config.store_dir, &label);
-                if signature != slot.signature {
+                let progressed = signature != slot.signature;
+                if progressed {
                     slot.signature = signature;
                     slot.last_progress = Instant::now();
-                } else if slot.last_progress.elapsed() > config.stall_timeout {
+                }
+                // Supervisor-side per-shard liveness gauge: how long since
+                // this worker's journal or in-flight marker last changed.
+                lsqca_telemetry::gauge(&format!("shard.{label}.heartbeat_lag_ms"))
+                    .set(slot.last_progress.elapsed().as_millis() as i64);
+                if !progressed && slot.last_progress.elapsed() > config.stall_timeout {
                     eprintln!(
                         "supervisor: shard {} made no progress for {:?}; killing",
                         slot.index, config.stall_timeout
@@ -426,6 +455,7 @@ fn handle_failure(
                 "supervisor: quarantined point after {attempts} failed attempts: {key}",
                 attempts = *attempts
             );
+            lsqca_telemetry::gauge(&format!("shard.{label}.quarantined")).add(1);
             slot.attempts.remove(&key);
             // A quarantine decision is progress: the sweep shrank.
             progressed = true;
@@ -449,6 +479,13 @@ fn handle_failure(
     }
     *restarts += 1;
     let backoff = config.backoff_base * 2u32.pow(slot.consecutive_failures.min(6));
+    // Per-shard supervision gauges for the final metrics artifact: restart
+    // total, the backoff currently in force, and the consecutive-failure
+    // streak feeding it.
+    lsqca_telemetry::gauge(&format!("shard.{label}.restarts")).add(1);
+    lsqca_telemetry::gauge(&format!("shard.{label}.backoff_ms")).set(backoff.as_millis() as i64);
+    lsqca_telemetry::gauge(&format!("shard.{label}.consecutive_failures"))
+        .set(i64::from(slot.consecutive_failures));
     slot.restart_at = Some(Instant::now() + backoff);
     Ok(())
 }

@@ -304,6 +304,7 @@ impl Workload {
         hot_qubits: u32,
         mut simulator: Simulator,
     ) -> ExperimentResult {
+        let _span = lsqca_telemetry::span("point.execute");
         let outcome = match simulator.execute(&self.artifact) {
             Ok(outcome) => outcome,
             Err(err) => panic!(

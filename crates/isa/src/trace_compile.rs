@@ -32,7 +32,7 @@ use crate::instruction::Instruction;
 use crate::operand::{ClassicalId, MemAddr, RegId};
 use crate::program::Program;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Revision of the trace lowering (record layout, opcode numbering, encode
 /// format, and the static per-opcode metadata baked into each record).
@@ -43,15 +43,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// relowered instead of silently driving the engine with an older contract.
 pub const TRACE_REVISION: u32 = 1;
 
-/// Number of trace lowerings performed by this process (every [`lower`] /
-/// [`lower_into`] call, including the one inside `CompiledWorkload::compile`).
+/// The registry counter behind [`lowering_count`]: every [`lower`] /
+/// [`lower_into`] call, including the one inside `CompiledWorkload::compile`.
 /// Decoding a cached trace does **not** count. The warm-cache acceptance
 /// tests assert this stays flat across a sweep served entirely from disk.
-static LOWERING_COUNT: AtomicU64 = AtomicU64::new(0);
+fn lowering_counter() -> &'static lsqca_telemetry::Counter {
+    static COUNTER: OnceLock<&'static lsqca_telemetry::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| lsqca_telemetry::counter("trace.lowered"))
+}
 
-/// Total trace lowerings performed by this process so far.
+/// Total trace lowerings performed by this process so far (the registry's
+/// `trace.lowered` counter).
 pub fn lowering_count() -> u64 {
-    LOWERING_COUNT.load(Ordering::Relaxed)
+    lowering_counter().get()
 }
 
 /// The pre-resolved duration dispatch arm of one trace record.
@@ -82,6 +86,37 @@ pub enum ExecKind {
     Cx,
     /// `SK`: zero-beat, but arms the skip guard for the next instruction.
     Skip,
+}
+
+impl ExecKind {
+    /// Every kind, in `repr(u8)` discriminant order — `ALL[k as usize] == k`.
+    pub const ALL: [ExecKind; 9] = [
+        ExecKind::Negligible,
+        ExecKind::Fixed,
+        ExecKind::Load,
+        ExecKind::Store,
+        ExecKind::Magic,
+        ExecKind::Seek,
+        ExecKind::TwoQubitAccess,
+        ExecKind::Cx,
+        ExecKind::Skip,
+    ];
+
+    /// Stable lower-snake name, used to key per-kind telemetry
+    /// (`sim.beats.<name>` histograms).
+    pub const fn name(self) -> &'static str {
+        match self {
+            ExecKind::Negligible => "negligible",
+            ExecKind::Fixed => "fixed",
+            ExecKind::Load => "load",
+            ExecKind::Store => "store",
+            ExecKind::Magic => "magic",
+            ExecKind::Seek => "seek",
+            ExecKind::TwoQubitAccess => "two_qubit_access",
+            ExecKind::Cx => "cx",
+            ExecKind::Skip => "skip",
+        }
+    }
 }
 
 /// Flag bits of one trace record (the `flags` column).
@@ -650,7 +685,8 @@ pub fn lower(program: &Program) -> ExecutionTrace {
 /// scratch-reuse entry point for engines that lower ad-hoc programs per run.
 /// Counted by [`lowering_count`].
 pub fn lower_into(program: &Program, trace: &mut ExecutionTrace) {
-    LOWERING_COUNT.fetch_add(1, Ordering::Relaxed);
+    lowering_counter().inc();
+    let _span = lsqca_telemetry::span("trace.lower");
     trace.clear();
     trace.reserve(program.len());
     for instr in program.iter() {

@@ -2,7 +2,7 @@
 
 use crate::config::SimConfig;
 use crate::metrics::ExecutionStats;
-use crate::snapshot::{Snapshot, SIM_BUILDS, SIM_FORKS};
+use crate::snapshot::{builds_counter, forks_counter, Snapshot};
 use crate::trace::MemoryTrace;
 use lsqca_arch::{ArchConfig, MagicStateSupply, MemorySystem, MigrationPolicy, MsfConfig};
 use lsqca_isa::trace_compile::flags;
@@ -13,19 +13,83 @@ use lsqca_lattice::{Beats, LatticeError, Page, QubitTag};
 use lsqca_workloads::CompiledWorkload;
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
-/// Number of simulation runs performed by this process (every trace-engine
-/// execution — which [`Simulator::execute`] funnels `Program`,
+/// Registry counter of simulation runs performed by this process (every
+/// trace-engine execution — which [`Simulator::execute`] funnels `Program`,
 /// `ExecutionTrace`, and `CompiledWorkload` inputs through — plus every
 /// [`Classified`] reference-interpreter run). The warm-store acceptance
 /// tests assert this stays flat across a sweep served entirely from the
 /// result store.
-static SIM_COUNT: AtomicU64 = AtomicU64::new(0);
+fn runs_counter() -> &'static lsqca_telemetry::Counter {
+    static COUNTER: OnceLock<&'static lsqca_telemetry::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| lsqca_telemetry::counter("sim.runs"))
+}
 
-/// Total simulation runs performed by this process so far.
+/// Total simulation runs performed by this process so far (the registry's
+/// `sim.runs` counter).
 pub fn simulation_count() -> u64 {
-    SIM_COUNT.load(Ordering::Relaxed)
+    runs_counter().get()
+}
+
+/// Opt-in per-instance telemetry knobs, set on
+/// [`SimulatorBuilder::telemetry`]. Separate from [`SimConfig`] for the same
+/// reason the instruction budget is: telemetry observes a run, it is not an
+/// experiment parameter, and must not perturb result-store keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TelemetryConfig {
+    /// Attribute hot-loop time per [`ExecKind`]: during a trace walk, record
+    /// each instruction's beat duration into a local log2 histogram and
+    /// flush it to the registry's `sim.beats.<kind>` histograms when the run
+    /// completes. Off by default; the disabled path costs one predictable
+    /// branch per instruction (guarded by `scripts/bench.sh`'s end-to-end
+    /// regression gate).
+    pub beat_attribution: bool,
+}
+
+/// The process-wide [`TelemetryConfig`] default: `LSQCA_BEAT_HISTOGRAM=1`
+/// enables beat attribution for every simulator built without an explicit
+/// [`SimulatorBuilder::telemetry`] override. Read once.
+fn env_telemetry_config() -> TelemetryConfig {
+    static CONFIG: OnceLock<TelemetryConfig> = OnceLock::new();
+    *CONFIG.get_or_init(|| TelemetryConfig {
+        beat_attribution: std::env::var("LSQCA_BEAT_HISTOGRAM").is_ok_and(|v| v == "1"),
+    })
+}
+
+/// Local, non-atomic per-[`ExecKind`] log2 beat histogram. The hot loop
+/// increments plain array slots; [`BeatBuckets::flush`] pays the registry
+/// atomics once per run.
+struct BeatBuckets {
+    buckets: Box<[[u64; lsqca_telemetry::HISTOGRAM_BUCKETS]; ExecKind::ALL.len()]>,
+    sums: [u64; ExecKind::ALL.len()],
+}
+
+impl BeatBuckets {
+    fn new() -> BeatBuckets {
+        BeatBuckets {
+            buckets: Box::new([[0; lsqca_telemetry::HISTOGRAM_BUCKETS]; ExecKind::ALL.len()]),
+            sums: [0; ExecKind::ALL.len()],
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, kind: ExecKind, beats: Beats) {
+        let value = beats.as_u64();
+        self.buckets[kind as usize][lsqca_telemetry::bucket_index(value)] += 1;
+        self.sums[kind as usize] += value;
+    }
+
+    fn flush(&self) {
+        for kind in ExecKind::ALL {
+            let buckets = &self.buckets[kind as usize];
+            if buckets.iter().all(|&n| n == 0) {
+                continue;
+            }
+            lsqca_telemetry::histogram(&format!("sim.beats.{}", kind.name()))
+                .absorb(buckets, self.sums[kind as usize]);
+        }
+    }
 }
 
 /// An error raised by the simulator: an invalid configuration rejected at
@@ -166,6 +230,9 @@ pub struct Simulator {
     /// guard, not an experiment parameter, and must not perturb result-store
     /// keys (which embed the experiment config).
     instruction_budget: Option<u64>,
+    /// Opt-in observation knobs (beat attribution); like the budget, not
+    /// part of [`SimConfig`] so it never perturbs result-store keys.
+    telemetry: TelemetryConfig,
 }
 
 impl Simulator {
@@ -182,6 +249,7 @@ impl Simulator {
             config: SimConfig::default(),
             migration: None,
             instruction_budget: None,
+            telemetry: None,
         }
     }
 
@@ -238,6 +306,7 @@ impl Simulator {
         hot_qubits: &[QubitTag],
         config: SimConfig,
     ) -> Result<Self, SimError> {
+        let _span = lsqca_telemetry::span("sim.warm");
         let memory = MemorySystem::new(arch, num_qubits, hot_qubits);
         let magic = Self::build_magic(arch);
         let bank_count = memory.bank_count();
@@ -259,9 +328,10 @@ impl Simulator {
                 floorplan: format!("{:?}", arch.floorplan),
             });
         }
-        SIM_BUILDS.fetch_add(1, Ordering::Relaxed);
+        builds_counter().inc();
         Ok(Simulator {
             unbounded_registers,
+            telemetry: env_telemetry_config(),
             arch: arch.clone(),
             num_qubits,
             hot_qubits: hot_qubits.to_vec(),
@@ -402,7 +472,8 @@ impl Simulator {
     /// use [`Simulator::fork_with_policy`] to fork into a different policy
     /// variant in one step.
     pub fn fork(&self) -> Simulator {
-        SIM_FORKS.fetch_add(1, Ordering::Relaxed);
+        forks_counter().inc();
+        let _span = lsqca_telemetry::span("sim.fork");
         let mut fork = self.clone();
         // The lowering scratch is per-instance working memory, not
         // architectural state; a fresh fork starts with an empty one.
@@ -635,7 +706,7 @@ impl Simulator {
             program.len(),
             "latency-class vector is not parallel to the program"
         );
-        SIM_COUNT.fetch_add(1, Ordering::Relaxed);
+        runs_counter().inc();
         if self.dirty {
             self.reset();
         }
@@ -908,7 +979,7 @@ impl Simulator {
     /// [`SimError::Instruction`] is reconstructed from the trace record, so
     /// errors render identically to the interpreter's.
     fn execute_trace(&mut self, trace: &ExecutionTrace) -> Result<SimOutcome, SimError> {
-        SIM_COUNT.fetch_add(1, Ordering::Relaxed);
+        runs_counter().inc();
         if self.dirty {
             self.reset();
         }
@@ -952,6 +1023,11 @@ impl Simulator {
         let bounded_registers = !self.unbounded_registers;
         let infinite_magic = self.config.assume_infinite_magic;
         let migrating = self.migration.is_some();
+        // Opt-in beat attribution: a run-local, non-atomic histogram so the
+        // loop below pays one predictable `Option` branch when disabled and
+        // plain array increments when enabled; the registry atomics are paid
+        // once at flush, after a successful walk.
+        let mut beat_buckets = self.telemetry.beat_attribution.then(BeatBuckets::new);
 
         // With a single SAM bank and no conventional region every memory
         // operand resolves to bank 0 (residence is constant over a run:
@@ -1179,6 +1255,9 @@ impl Simulator {
             };
 
             let finish = start + migration_delay + duration;
+            if let Some(beats) = beat_buckets.as_mut() {
+                beats.record(kind, duration);
+            }
 
             // Bookkeeping: flag tests instead of instruction re-matching.
             // Ready-table writes are unconditional — an absent operand is
@@ -1236,6 +1315,9 @@ impl Simulator {
         }
 
         stats.total_beats = makespan;
+        if let Some(beats) = beat_buckets {
+            beats.flush();
+        }
         Ok(SimOutcome {
             stats,
             trace: mem_trace,
@@ -1334,6 +1416,9 @@ pub struct SimulatorBuilder {
     /// default (including `Some(None)` = explicitly unguarded); `None`
     /// inherits it.
     instruction_budget: Option<Option<u64>>,
+    /// `Some` overrides the process-wide `LSQCA_BEAT_HISTOGRAM` default;
+    /// `None` inherits it.
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl SimulatorBuilder {
@@ -1373,6 +1458,15 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Sets the [`TelemetryConfig`] for this instance, overriding the
+    /// process-wide `LSQCA_BEAT_HISTOGRAM` default (in either direction).
+    /// Telemetry observes runs without affecting results or result-store
+    /// keys.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Attaches a runtime hot-set [`MigrationPolicy`]; it is initialized
     /// with the qubit count and pinned hot set at build time. Pass the boxed
     /// policy from [`lsqca_arch::PolicyKind::build`] or a custom
@@ -1395,6 +1489,9 @@ impl SimulatorBuilder {
             Simulator::construct(&self.arch, self.num_qubits, &self.hot_qubits, self.config)?;
         if let Some(budget) = self.instruction_budget {
             simulator.instruction_budget = budget;
+        }
+        if let Some(telemetry) = self.telemetry {
+            simulator.telemetry = telemetry;
         }
         if let Some(policy) = self.migration {
             simulator.attach_policy(policy);

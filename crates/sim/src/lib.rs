@@ -55,7 +55,7 @@ pub mod trace;
 pub use config::SimConfig;
 pub use engine::{
     simulate, simulation_count, Classified, Executable, SimError, SimOutcome, Simulator,
-    SimulatorBuilder,
+    SimulatorBuilder, TelemetryConfig,
 };
 pub use metrics::{ExecutionStats, StatsDecodeError, STATS_SCHEMA};
 pub use snapshot::Snapshot;

@@ -24,30 +24,39 @@
 //! warm-store rerun performs zero warm-ups, exactly like the existing
 //! `trace engine: 0 lowered` assertion.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use lsqca_arch::{MagicStateSupply, MemorySystem};
 use lsqca_lattice::{Beats, Page};
 
-/// Number of full simulator warm-ups (constructions) in this process: every
-/// successful pass through the private `Simulator::construct`, whichever
-/// public path ([`SimulatorBuilder::build`](crate::SimulatorBuilder::build)
-/// or a deprecated constructor) invoked it.
-pub(crate) static SIM_BUILDS: AtomicU64 = AtomicU64::new(0);
-
-/// Number of copy-on-write forks taken in this process (every entry into
-/// [`Simulator::fork`](crate::Simulator::fork), including via
-/// [`Simulator::fork_with_policy`](crate::Simulator::fork_with_policy)).
-pub(crate) static SIM_FORKS: AtomicU64 = AtomicU64::new(0);
-
-/// Total full simulator warm-ups (constructions) performed by this process.
-pub fn warm_count() -> u64 {
-    SIM_BUILDS.load(Ordering::Relaxed)
+/// Registry counter of full simulator warm-ups (constructions) in this
+/// process: every successful pass through the private
+/// `Simulator::construct`, whichever public path
+/// ([`SimulatorBuilder::build`](crate::SimulatorBuilder::build) or a
+/// deprecated constructor) invoked it.
+pub(crate) fn builds_counter() -> &'static lsqca_telemetry::Counter {
+    static COUNTER: OnceLock<&'static lsqca_telemetry::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| lsqca_telemetry::counter("sim.warmed"))
 }
 
-/// Total copy-on-write simulator forks performed by this process.
+/// Registry counter of copy-on-write forks taken in this process (every
+/// entry into [`Simulator::fork`](crate::Simulator::fork), including via
+/// [`Simulator::fork_with_policy`](crate::Simulator::fork_with_policy)).
+pub(crate) fn forks_counter() -> &'static lsqca_telemetry::Counter {
+    static COUNTER: OnceLock<&'static lsqca_telemetry::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| lsqca_telemetry::counter("sim.forked"))
+}
+
+/// Total full simulator warm-ups (constructions) performed by this process
+/// (the registry's `sim.warmed` counter).
+pub fn warm_count() -> u64 {
+    builds_counter().get()
+}
+
+/// Total copy-on-write simulator forks performed by this process (the
+/// registry's `sim.forked` counter).
 pub fn fork_count() -> u64 {
-    SIM_FORKS.load(Ordering::Relaxed)
+    forks_counter().get()
 }
 
 /// An O(pages) capture of one simulator's architectural and scheduler state.

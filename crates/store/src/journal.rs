@@ -65,6 +65,7 @@ impl ShardJournal {
 
     /// Append one entry and fsync so the line survives a kill right after.
     pub fn append(&self, entry: &JournalEntry) -> io::Result<()> {
+        let _span = lsqca_telemetry::span("journal.append");
         let line = format!("{LINE_TAG} {} {}\n", entry.checksum, entry.file);
         self.io.append(&self.path, line.as_bytes())?;
         self.io.sync_file(&self.path)

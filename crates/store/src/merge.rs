@@ -117,6 +117,7 @@ impl Error for MergeError {
 /// listing or a journal read fails outright (a *missing* journal or record is
 /// a tally, not an error).
 pub fn merge_audit(io: &dyn StoreIo, dir: &Path) -> Result<MergeReport, MergeError> {
+    let _span = lsqca_telemetry::span("merge.audit");
     let mut report = MergeReport::default();
     let entries = io.list_dir(dir).map_err(MergeError::Io)?;
     let mut journal_files: Vec<_> = entries

@@ -410,6 +410,7 @@ impl ResultStore {
 
     /// Publish a record durably and journal the publication.
     fn publish(&self, path: &Path, key: &str, payload: &Json) -> io::Result<()> {
+        let _span = lsqca_telemetry::span("store.publish");
         let record = encode_record(key, payload);
         atomic_write(self.io.as_ref(), path, record.text.as_bytes())?;
         let dir = path.parent().expect("record paths have a parent directory");

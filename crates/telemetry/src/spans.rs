@@ -1,0 +1,263 @@
+//! Span tracing: `(name, start, end)` intervals over a monotonic process
+//! clock, buffered per thread and exportable as Chrome trace-event JSON.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use lsqca_json::Json;
+
+/// Per-thread ring-buffer capacity in records. When a thread exceeds it the
+/// oldest records are overwritten (and counted by [`dropped_spans`]), so a
+/// pathological run degrades to a truncated trace instead of unbounded
+/// memory growth.
+pub const SPAN_RING_CAPACITY: usize = 1 << 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+fn clock_anchor() -> &'static Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    ANCHOR.get_or_init(Instant::now)
+}
+
+/// Pins the monotonic clock's zero point to "now". Call once at process
+/// start so span timestamps count from startup; otherwise the clock anchors
+/// itself on first use.
+pub fn init_clock() {
+    let _ = clock_anchor();
+}
+
+/// Nanoseconds since the process clock anchor (monotonic, never wall time).
+#[inline]
+pub fn now_ns() -> u64 {
+    clock_anchor().elapsed().as_nanos() as u64
+}
+
+/// One closed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name (e.g. `"sim.warm"`).
+    pub name: &'static str,
+    /// Start, in [`now_ns`] nanoseconds.
+    pub start_ns: u64,
+    /// End, in [`now_ns`] nanoseconds.
+    pub end_ns: u64,
+    /// Small sequential id of the recording thread.
+    pub tid: u64,
+}
+
+struct ThreadSink {
+    tid: u64,
+    /// Ring storage plus the index of its logical start. `records.len()`
+    /// stays below [`SPAN_RING_CAPACITY`] until the ring wraps.
+    ring: Mutex<(Vec<SpanRecord>, usize)>,
+}
+
+impl ThreadSink {
+    fn push(&self, record: SpanRecord) {
+        let mut ring = self.ring.lock().unwrap();
+        let (records, head) = &mut *ring;
+        if records.len() < SPAN_RING_CAPACITY {
+            records.push(record);
+        } else {
+            records[*head] = record;
+            *head = (*head + 1) % SPAN_RING_CAPACITY;
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn drain(&self) -> Vec<SpanRecord> {
+        let mut ring = self.ring.lock().unwrap();
+        let (records, head) = &mut *ring;
+        let mut out = Vec::with_capacity(records.len());
+        out.extend_from_slice(&records[*head..]);
+        out.extend_from_slice(&records[..*head]);
+        records.clear();
+        *head = 0;
+        out
+    }
+}
+
+fn sinks() -> &'static Mutex<Vec<Arc<ThreadSink>>> {
+    static SINKS: OnceLock<Mutex<Vec<Arc<ThreadSink>>>> = OnceLock::new();
+    SINKS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL_SINK: Arc<ThreadSink> = {
+        let sink = Arc::new(ThreadSink {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            ring: Mutex::new((Vec::new(), 0)),
+        });
+        sinks().lock().unwrap().push(Arc::clone(&sink));
+        sink
+    };
+}
+
+/// Turns span recording on or off process-wide. Off (the default) makes
+/// [`span`] cost a single relaxed load.
+pub fn set_spans_enabled(on: bool) {
+    if on {
+        init_clock();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being recorded.
+#[inline]
+pub fn spans_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Opens a span named `name`; the span closes when the returned guard drops.
+/// Guards are RAII, so per-thread nesting is balanced by construction.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    let start_ns = if spans_enabled() { now_ns() } else { u64::MAX };
+    SpanGuard { name, start_ns }
+}
+
+/// An open span; dropping it records the `(name, start, end)` interval.
+#[must_use = "a span measures the scope of its guard; dropping it immediately records nothing useful"]
+pub struct SpanGuard {
+    name: &'static str,
+    /// `u64::MAX` marks a guard taken while recording was disabled; it stays
+    /// silent even if recording is enabled before it drops, so every record
+    /// has a real start.
+    start_ns: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.start_ns == u64::MAX || !spans_enabled() {
+            return;
+        }
+        let end_ns = now_ns();
+        LOCAL_SINK.with(|sink| {
+            sink.push(SpanRecord {
+                name: self.name,
+                start_ns: self.start_ns,
+                end_ns,
+                tid: sink.tid,
+            });
+        });
+    }
+}
+
+/// Drains every thread's buffer (including buffers of threads that have
+/// exited) and returns the records sorted by start time.
+pub fn take_spans() -> Vec<SpanRecord> {
+    let sinks = sinks().lock().unwrap();
+    let mut all = Vec::new();
+    for sink in sinks.iter() {
+        all.extend(sink.drain());
+    }
+    all.sort_by_key(|record| (record.start_ns, std::cmp::Reverse(record.end_ns)));
+    all
+}
+
+/// Number of records lost to ring-buffer overwrites so far.
+pub fn dropped_spans() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Renders spans as a Chrome trace-event document (`ph: "X"` complete
+/// events, microsecond timestamps) — loadable in Perfetto or
+/// `chrome://tracing`.
+pub fn chrome_trace(spans: &[SpanRecord]) -> Json {
+    let events = spans
+        .iter()
+        .map(|record| {
+            Json::obj([
+                ("name", Json::Str(record.name.to_string())),
+                ("cat", Json::Str("lsqca".to_string())),
+                ("ph", Json::Str("X".to_string())),
+                ("pid", Json::U64(1)),
+                ("tid", Json::U64(record.tid)),
+                ("ts", Json::F64(record.start_ns as f64 / 1000.0)),
+                (
+                    "dur",
+                    Json::F64(record.end_ns.saturating_sub(record.start_ns) as f64 / 1000.0),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("displayTimeUnit", Json::Str("ms".to_string())),
+        ("traceEvents", Json::Arr(events)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The enable toggle and the drain are process-wide, so tests that touch
+    /// them must not interleave.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _serial = test_lock();
+        set_spans_enabled(false);
+        drop(span("test.disabled"));
+        set_spans_enabled(true);
+        let taken = take_spans();
+        assert!(taken.iter().all(|r| r.name != "test.disabled"));
+        set_spans_enabled(false);
+    }
+
+    #[test]
+    fn spans_nest_and_order_by_start() {
+        let _serial = test_lock();
+        set_spans_enabled(true);
+        {
+            let _outer = span("test.outer");
+            let _inner = span("test.inner");
+        }
+        let mine: Vec<SpanRecord> = take_spans()
+            .into_iter()
+            .filter(|r| r.name.starts_with("test.outer") || r.name.starts_with("test.inner"))
+            .collect();
+        set_spans_enabled(false);
+        assert_eq!(mine.len(), 2);
+        let outer = mine.iter().find(|r| r.name == "test.outer").unwrap();
+        let inner = mine.iter().find(|r| r.name == "test.inner").unwrap();
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(inner.end_ns <= outer.end_ns);
+        assert_eq!(outer.tid, inner.tid);
+    }
+
+    #[test]
+    fn guard_taken_disabled_stays_silent_across_enable() {
+        let _serial = test_lock();
+        set_spans_enabled(false);
+        let guard = span("test.silent");
+        set_spans_enabled(true);
+        drop(guard);
+        let taken = take_spans();
+        set_spans_enabled(false);
+        assert!(taken.iter().all(|r| r.name != "test.silent"));
+    }
+
+    #[test]
+    fn chrome_trace_renders_complete_events() {
+        let spans = [SpanRecord {
+            name: "sim.warm",
+            start_ns: 1_500,
+            end_ns: 4_500,
+            tid: 2,
+        }];
+        let json = chrome_trace(&spans);
+        let events = json.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(events[0].get("ts").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(events[0].get("dur").and_then(Json::as_f64), Some(3.0));
+    }
+}

@@ -256,19 +256,25 @@ impl WorkloadCache {
         };
         let Some(path) = path else {
             self.compiled.fetch_add(1, Ordering::Relaxed);
+            let _span = lsqca_telemetry::span("workload.compile");
             return (
                 CompiledWorkload::compile(key, &build(), config),
                 CacheEvent::Compiled,
             );
         };
-        let miss = match load_artifact(self.io.as_ref(), &path, &key) {
-            Ok(artifact) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return (artifact, CacheEvent::Hit);
+        let miss = {
+            let _span = lsqca_telemetry::span("workload.cache_load");
+            match load_artifact(self.io.as_ref(), &path, &key) {
+                Ok(artifact) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (artifact, CacheEvent::Hit);
+                }
+                Err(miss) => miss,
             }
-            Err(miss) => miss,
         };
+        let compile_span = lsqca_telemetry::span("workload.compile");
         let artifact = CompiledWorkload::compile(key, &build(), config);
+        drop(compile_span);
         if let Miss::Io(err) = &miss {
             // An unreadable cache (not just a missing or corrupt entry) means
             // the directory itself is unhealthy: degrade once instead of
